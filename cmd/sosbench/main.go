@@ -1,0 +1,315 @@
+// Command sosbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sosbench -exp table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|parallel|warmstart|all
+//	         [-scale quick|default|paper] [-seed N] [-mix "Jsb(6,3,3)"]
+//
+// Output is plain text formatted like the paper's tables; weighted speedups
+// are measured at the selected scale (see internal/experiments for the
+// scaling rules).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"symbios/internal/experiments"
+	"symbios/internal/report"
+)
+
+func main() {
+	var (
+		expName   = flag.String("exp", "table3", "experiment to run: table1, table2, table3, fig1..fig6, parallel, warmstart, levels, coldstart, pairwise, shootout, ablation, all")
+		scaleName = flag.String("scale", "default", "cycle budget: quick, default or paper")
+		seed      = flag.Uint64("seed", 1, "root random seed")
+		mixLabel  = flag.String("mix", "", "restrict fig1/fig3 to one mix label, e.g. 'Jsb(6,3,3)'")
+		jsonPath  = flag.String("json", "", "also write structured results to this JSON file")
+	)
+	flag.Parse()
+
+	sc, err := scaleByName(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	sc.Seed = *seed
+	qs := experiments.DefaultQueueScale()
+	if *scaleName == "quick" {
+		qs = experiments.QuickQueueScale()
+	}
+	qs.Seed = *seed
+
+	var labels []string
+	if *mixLabel != "" {
+		labels = []string{*mixLabel}
+	}
+
+	results := map[string]any{}
+	for _, exp := range strings.Split(*expName, ",") {
+		if err := run(exp, sc, qs, labels, results); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func scaleByName(name string) (experiments.Scale, error) {
+	switch name {
+	case "quick":
+		return experiments.QuickScale(), nil
+	case "default":
+		return experiments.DefaultScale(), nil
+	case "paper":
+		return experiments.PaperScale(), nil
+	}
+	return experiments.Scale{}, fmt.Errorf("unknown scale %q", name)
+}
+
+func run(exp string, sc experiments.Scale, qs experiments.QueueScale, labels []string, results map[string]any) error {
+	switch exp {
+	case "all":
+		for _, e := range []string{"table1", "table2", "table3", "fig1", "fig2", "fig3", "parallel", "fig4", "warmstart", "fig5", "fig6"} {
+			if err := run(e, sc, qs, labels, results); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "table1":
+		fmt.Println("== Table 1: applications used in each experiment ==")
+		results["table1"] = experiments.Table1()
+		for _, r := range experiments.Table1() {
+			fmt.Printf("%-36s %s\n", r.Experiments, strings.Join(r.Jobs, ","))
+		}
+
+	case "table2":
+		fmt.Println("== Table 2: distinct schedules and sample-phase length ==")
+		fmt.Printf("%-14s %18s %22s %24s\n", "Experiment", "Distinct Schedules", "Sample Cycles (scaled)", "Million Sample Cycles")
+		results["table2"] = experiments.Table2(sc)
+		for _, r := range experiments.Table2(sc) {
+			fmt.Printf("%-14s %18s %22d %24d\n", r.Experiment, r.DistinctSchedules, r.SampleCycles, r.PaperSampleMCycles)
+		}
+
+	case "table3":
+		fmt.Println("== Table 3: Jsb(6,3,3) predictor detail ==")
+		rows, ev, err := experiments.Table3(sc)
+		if err != nil {
+			return err
+		}
+		results["table3"] = rows
+		fmt.Printf("%-10s %6s %8s %7s %6s %6s %6s %9s %8s %9s | %6s\n",
+			"Schedule", "IPC", "AllConf", "Dcache", "FQ", "FP", "Sum2", "Diversity", "Balance", "Composite", "WS(t)")
+		for _, r := range rows {
+			fmt.Printf("%-10s %6.3f %8.2f %7.1f %6.2f %6.2f %6.2f %9.3f %8.3f %9.2f | %6.3f\n",
+				r.Schedule, r.IPC, r.AllConf, r.Dcache, r.FQ, r.FP, r.Sum2, r.Diversity, r.Balance, r.Composite, r.WS)
+		}
+		fmt.Printf("best %.3f  worst %.3f  avg %.3f\n", ev.Best(), ev.Worst(), ev.Avg())
+
+	case "fig1":
+		fmt.Println("== Figure 1: worst and best weighted speedup per jobmix ==")
+		rows, err := experiments.Figure1(sc, labels)
+		if err != nil {
+			return err
+		}
+		results["fig1"] = rows
+		fmt.Printf("%-14s %7s %7s %7s %9s %10s %6s\n", "Mix", "Worst", "Best", "Avg", "Spread%", "BestvsAvg%", "Scheds")
+		for _, r := range rows {
+			fmt.Printf("%-14s %7.3f %7.3f %7.3f %9.1f %10.1f %6d\n",
+				r.Mix, r.Worst, r.Best, r.Avg, r.SpreadPct, r.OverAvgPct, r.NumSchedules)
+		}
+
+	case "fig2":
+		fmt.Println("== Figure 2: weighted speedup by predictor, Jsb(6,3,3) ==")
+		bars, err := experiments.Figure2(sc)
+		if err != nil {
+			return err
+		}
+		results["fig2"] = bars
+		printBars(bars)
+
+	case "fig3":
+		fmt.Println("== Figure 3: weighted speedup by predictor, all jobmixes ==")
+		rows, err := experiments.Figure3(sc, labels)
+		if err != nil {
+			return err
+		}
+		results["fig3"] = rows
+		for _, r := range rows {
+			fmt.Printf("-- %s --\n", r.Mix)
+			printBars(r.Bars)
+		}
+
+	case "parallel":
+		fmt.Println("== Section 6: parallel workload scheduling ==")
+		var parallelRows []experiments.ParallelRow
+		for _, label := range []string{"Jpb(10,2,2)", "J2pb(10,2,2)"} {
+			row, err := experiments.ParallelStudy(sc, label)
+			if err != nil {
+				return err
+			}
+			parallelRows = append(parallelRows, row)
+			fmt.Printf("%-14s cosched-avg %.3f  split-avg %.3f  chosen cosched=%v WS %.3f  (best %.3f worst %.3f)\n",
+				row.Mix, row.CoschedAvgWS, row.SplitAvgWS, row.ChosenCosched, row.ChosenWS, row.Best, row.Worst)
+		}
+		results["parallel"] = parallelRows
+
+	case "fig4":
+		fmt.Println("== Figure 4: hierarchical symbiosis ==")
+		rows, err := experiments.Figure4(sc)
+		if err != nil {
+			return err
+		}
+		results["fig4"] = rows
+		fmt.Printf("%-10s %8s %8s %8s %8s %10s %11s %s\n", "SMT level", "Chosen", "Best", "Worst", "Avg", "OverAvg%", "OverWorst%", "Chosen alloc")
+		for _, r := range rows {
+			fmt.Printf("%-10d %8.3f %8.3f %8.3f %8.3f %10.1f %11.1f %s\n",
+				r.SMTLevel, r.ChosenWS, r.Best, r.Worst, r.Avg, r.OverAvgPct, r.OverWorstPct, r.ChosenDesc)
+		}
+
+	case "warmstart":
+		fmt.Println("== Section 8: warmstart scheduling ==")
+		rows, err := experiments.WarmstartStudy(sc)
+		if err != nil {
+			return err
+		}
+		results["warmstart"] = rows
+		for _, r := range rows {
+			fmt.Printf("%-12s avg %.3f | %-12s avg %.3f (%+.1f%%) | %-12s avg %.3f (%+.1f%%)\n",
+				r.FullSwap, r.FullSwapAvg, r.WarmBig, r.WarmBigAvg, r.WarmBigGainPct,
+				r.WarmLittle, r.WarmLittleAvg, r.WarmLittleGainPct)
+		}
+
+	case "fig5":
+		fmt.Println("== Figure 5: response time improvement vs SMT level ==")
+		rows, err := experiments.Figure5(qs)
+		if err != nil {
+			return err
+		}
+		results["fig5"] = rows
+		printResponse(rows)
+
+	case "fig6":
+		fmt.Println("== Figure 6: response time improvement vs arrival rate (SMT=3) ==")
+		rows, err := experiments.Figure6(qs, nil)
+		if err != nil {
+			return err
+		}
+		results["fig6"] = rows
+		printResponse(rows)
+
+	case "shootout":
+		fmt.Println("== Extension: predictor shootout (paper's ten + experimental variants) ==")
+		rows, err := experiments.PredictorShootout(sc, nil)
+		if err != nil {
+			return err
+		}
+		results["shootout"] = rows
+		fmt.Printf("%-14s %10s %6s %6s\n", "Predictor", "MeanGain%", "Best", "Worst")
+		for _, r := range rows {
+			fmt.Printf("%-14s %10.1f %6d %6d\n", r.Name, r.MeanGainPct, r.BestPicks, r.WorstPicks)
+		}
+
+	case "pairwise":
+		fmt.Println("== Extension: pairwise symbiosis matrix (WS of each pair on a 2-context machine) ==")
+		tbl, err := experiments.Pairwise(sc, nil)
+		if err != nil {
+			return err
+		}
+		results["pairwise"] = tbl
+		if err := report.Matrix(os.Stdout, tbl.Names, tbl.WS); err != nil {
+			return err
+		}
+
+	case "coldstart":
+		fmt.Println("== Section 8 extension: coldstart amortization vs timeslice length (Jsb(6,3,3), schedule 012_345) ==")
+		rows, err := experiments.ColdstartStudy(sc, nil)
+		if err != nil {
+			return err
+		}
+		results["coldstart"] = rows
+		fmt.Printf("%-12s %8s %8s %8s\n", "slice", "WS", "IPC", "L1D hit%")
+		for _, r := range rows {
+			fmt.Printf("%-12d %8.3f %8.3f %8.1f\n", r.SliceCycles, r.WS, r.IPC, r.L1DHitPct)
+		}
+
+	case "levels":
+		fmt.Println("== Extension: throughput and schedule sensitivity vs SMT level (12-job mix) ==")
+		rows, err := experiments.ThroughputVsLevel(sc, nil)
+		if err != nil {
+			return err
+		}
+		results["levels"] = rows
+		fmt.Printf("%-10s %7s %7s %7s %9s %9s %10s\n", "SMT level", "Worst", "Best", "Avg", "Spread%", "Score", "ScoreGain%")
+		for _, r := range rows {
+			fmt.Printf("%-10d %7.3f %7.3f %7.3f %9.1f %9.3f %10.1f\n",
+				r.SMTLevel, r.Worst, r.Best, r.Avg, r.SpreadPct, r.ScoreWS, r.ScoreGainPct)
+		}
+
+	case "ablation":
+		fmt.Println("== Ablation: fetch policy (Jsb(6,3,3)) ==")
+		fps, err := experiments.AblationFetchPolicy(sc)
+		if err != nil {
+			return err
+		}
+		results["ablation_fetch"] = fps
+		for _, r := range fps {
+			fmt.Println(" ", r)
+		}
+		fmt.Println("== Ablation: sample count (Jsb(8,4,1)) ==")
+		scs, err := experiments.AblationSampleCount("Jsb(8,4,1)", sc, nil)
+		if err != nil {
+			return err
+		}
+		for _, r := range scs {
+			fmt.Printf("  samples %2d: chosen WS %.3f  sample-best %.3f  avg %.3f  regret %.1f%%\n",
+				r.Samples, r.ChosenWS, r.BestWS, r.AvgWS, 100*r.Regret)
+		}
+		fmt.Println("== Ablation: sampling-seed robustness (Jsb(6,3,3)) ==")
+		srs, err := experiments.AblationSeeds("Jsb(6,3,3)", sc, nil)
+		if err != nil {
+			return err
+		}
+		for _, r := range srs {
+			fmt.Printf("  seed %d: chosen WS %.3f  avg %.3f  gain %+.1f%%\n", r.Seed, r.ChosenWS, r.AvgWS, r.GainPct)
+		}
+
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+func printBars(bars []experiments.Figure2Bar) {
+	for _, b := range bars {
+		fmt.Printf("  %-10s %6.3f  %s\n", b.Label, b.WS, strings.Repeat("#", int(b.WS*20)))
+	}
+}
+
+func printResponse(rows []experiments.ResponseRow) {
+	fmt.Printf("%-10s %14s %12s %12s %12s %8s\n", "SMT level", "interarrival", "naive RT", "SOS RT", "improve%", "N~")
+	for _, r := range rows {
+		fmt.Printf("%-10d %14.0f %12.0f %12.0f %12.1f %8.1f\n",
+			r.SMTLevel, r.Lambda, r.NaiveResponse, r.SOSResponse, r.ImprovementPct, r.MeanJobsInSystem)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sosbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,19 @@
+// Package symbios reproduces Snavely & Tullsen, "Symbiotic Jobscheduling
+// for a Simultaneous Multithreading Processor" (ASPLOS 2000): the SOS
+// (Sample, Optimize, Symbios) jobscheduler, a cycle-level SMT processor
+// simulator standing in for SMTSIM, synthetic SPEC95/NPB workload models,
+// and drivers that regenerate every table and figure of the paper's
+// evaluation.
+//
+// Entry points:
+//
+//   - internal/core — the SOS scheduler (the paper's contribution)
+//   - internal/cpu — the simulated SMT processor
+//   - internal/experiments — one driver per table/figure
+//   - cmd/sosbench — CLI over the experiment drivers
+//   - examples/ — runnable walkthroughs
+//
+// The root package carries only documentation and the benchmark harness
+// (bench_test.go), which regenerates every table and figure via `go test
+// -bench=.`.
+package symbios

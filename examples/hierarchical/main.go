@@ -1,0 +1,97 @@
+// Hierarchical: let the scheduler decide how many contexts each
+// multithreaded job receives (Section 7).
+//
+// On a 3-context machine running the parallel jobs ARRAY and EP, the
+// scheduler can devote 2 contexts to ARRAY and 1 to EP, or vice versa, or
+// keep both single-threaded and add a third job. This program evaluates
+// the allocations directly and shows the kind of difference hierarchical
+// symbiosis exploits; the full Figure 4 study lives in
+// internal/experiments and `sosbench -exp fig4`.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"symbios/internal/arch"
+	"symbios/internal/cpu"
+	"symbios/internal/rng"
+	"symbios/internal/workload"
+)
+
+// alloc is one way to divide the machine's contexts between two jobs.
+type alloc struct {
+	name         string
+	arrayThreads int
+	epThreads    int
+}
+
+func main() {
+	const contexts = 3
+	cfg := arch.Default21264(contexts)
+
+	allocs := []alloc{
+		{"ARRAY x2 + EP x1", 2, 1},
+		{"ARRAY x1 + EP x2", 1, 2},
+	}
+
+	for _, a := range allocs {
+		ipc, perJob, err := run(cfg, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s aggregate IPC %.3f  (mt_ARRAY %.3f, mt_EP %.3f)\n",
+			a.name, ipc, perJob[0], perJob[1])
+	}
+	fmt.Println("\nThe allocations differ: a hierarchical SOS tries both in its sample")
+	fmt.Println("phase and keeps the better one — and the best split can change when a")
+	fmt.Println("third job joins the mix (run `sosbench -exp fig4`).")
+}
+
+// run coschedules mt_ARRAY and mt_EP with the given thread counts for a
+// fixed interval and returns aggregate and per-job IPC.
+func run(cfg arch.Config, a alloc) (float64, [2]float64, error) {
+	var perJob [2]float64
+	specs := []workload.Spec{
+		workload.MustLookup("mt_ARRAY").WithThreads(a.arrayThreads),
+		workload.MustLookup("mt_EP").WithThreads(a.epThreads),
+	}
+	c, err := cpu.New(cfg)
+	if err != nil {
+		return 0, perJob, err
+	}
+	ctx := 0
+	type span struct{ lo, hi int }
+	var spans [2]span
+	for ji, spec := range specs {
+		job, err := workload.NewJob(spec, ji, rng.Hash2(11, uint64(ji), 5))
+		if err != nil {
+			return 0, perJob, err
+		}
+		spans[ji].lo = ctx
+		for t := 0; t < job.Threads(); t++ {
+			c.Attach(ctx, job.Source(t), 0, job.Gate(), t)
+			ctx++
+		}
+		spans[ji].hi = ctx
+	}
+
+	const warmup, measure = 1_000_000, 1_000_000
+	c.Run(warmup)
+	before := c.Snapshot()
+	var committed [8]uint64
+	for i := 0; i < ctx; i++ {
+		committed[i] = c.ThreadCommitted(i)
+	}
+	c.Run(measure)
+	d := c.Snapshot().Sub(before)
+
+	for ji, sp := range spans {
+		var n uint64
+		for i := sp.lo; i < sp.hi; i++ {
+			n += c.ThreadCommitted(i) - committed[i]
+		}
+		perJob[ji] = float64(n) / measure
+	}
+	return d.IPC(), perJob, nil
+}

@@ -1,0 +1,50 @@
+// Warmstart: compare full-swap scheduling with swapping one job at a time
+// (Section 8).
+//
+// Swapping only one job per timeslice lengthens every job's resident
+// timeslice (coldstart costs amortize over more cycles, and the other
+// resident jobs hide the newcomer's cache-warming latencies) and reduces
+// per-switch pressure on the memory subsystem. This program evaluates the
+// Jsb(6,3,3) jobmix under both policies at equal per-job CPU shares and
+// reports the average weighted speedup of the sampled schedules under each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"symbios/internal/experiments"
+)
+
+func main() {
+	sc := experiments.QuickScale()
+
+	type policy struct {
+		label string
+		desc  string
+	}
+	policies := []policy{
+		{"Jsb(6,3,3)", "full swap, big timeslice (all 3 jobs replaced)"},
+		{"Jsb(6,3,1)", "warmstart, big timeslice (1 job replaced per slice)"},
+		{"Jsl(6,3,1)", "warmstart, little timeslice"},
+	}
+
+	var base float64
+	for i, p := range policies {
+		ev, err := experiments.EvalMixCached(p.label, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		avg, best := ev.Avg(), ev.Best()
+		if i == 0 {
+			base = avg
+			fmt.Printf("%-12s avg WS %.3f  best %.3f   (%s)\n", p.label, avg, best, p.desc)
+			continue
+		}
+		fmt.Printf("%-12s avg WS %.3f  best %.3f  %+.1f%% vs full swap  (%s)\n",
+			p.label, avg, best, 100*(avg-base)/base, p.desc)
+	}
+	fmt.Println("\nSymbiosis scheduling works under both policies; the paper reports a")
+	fmt.Println("~7% average warmstart gain at the big timeslice and a negligible one")
+	fmt.Println("at the little timeslice.")
+}

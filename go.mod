@@ -1,0 +1,3 @@
+module symbios
+
+go 1.22

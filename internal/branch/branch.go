@@ -1,0 +1,97 @@
+// Package branch implements the shared branch predictor: a gshare scheme
+// with a single pattern history table of two-bit saturating counters shared
+// by all hardware contexts, and per-context global history registers.
+//
+// Because the table is shared, coscheduled jobs interfere in it — one of the
+// shared resources the paper lists as a source of (anti-)symbiosis.
+package branch
+
+// Predictor is a gshare branch predictor.
+type Predictor struct {
+	pht      []uint8 // two-bit counters
+	mask     uint64
+	histBits uint
+	hist     []uint64 // per-context global history
+
+	predicts    uint64
+	mispredicts uint64
+}
+
+// New constructs a predictor with 2^phtBits counters, histBits of global
+// history, and one history register per context.
+func New(phtBits, histBits, contexts int) *Predictor {
+	if phtBits < 1 || phtBits > 24 {
+		panic("branch: phtBits out of range")
+	}
+	if histBits < 0 || histBits > 16 {
+		panic("branch: histBits out of range")
+	}
+	if contexts < 1 {
+		panic("branch: contexts < 1")
+	}
+	p := &Predictor{
+		pht:      make([]uint8, 1<<phtBits),
+		mask:     uint64(1<<phtBits - 1),
+		histBits: uint(histBits),
+		hist:     make([]uint64, contexts),
+	}
+	// Initialize counters to weakly taken so cold predictions are not
+	// systematically wrong for loop-heavy code.
+	for i := range p.pht {
+		p.pht[i] = 2
+	}
+	return p
+}
+
+// index computes the gshare PHT index for a branch at pc in context ctx.
+func (p *Predictor) index(ctx int, pc uint64) uint64 {
+	h := p.hist[ctx] & (1<<p.histBits - 1)
+	return ((pc >> 2) ^ h) & p.mask
+}
+
+// Lookup predicts the branch at pc for context ctx, then updates the
+// counter and history with the actual outcome. It returns whether the
+// prediction was correct.
+func (p *Predictor) Lookup(ctx int, pc uint64, taken bool) bool {
+	idx := p.index(ctx, pc)
+	pred := p.pht[idx] >= 2
+	if taken && p.pht[idx] < 3 {
+		p.pht[idx]++
+	} else if !taken && p.pht[idx] > 0 {
+		p.pht[idx]--
+	}
+	p.hist[ctx] = p.hist[ctx]<<1 | b2u(taken)
+	p.predicts++
+	correct := pred == taken
+	if !correct {
+		p.mispredicts++
+	}
+	return correct
+}
+
+// ResetHistory clears the history register for a context (a new job was
+// switched onto it).
+func (p *Predictor) ResetHistory(ctx int) { p.hist[ctx] = 0 }
+
+// Stats returns total predictions and mispredictions.
+func (p *Predictor) Stats() (predicts, mispredicts uint64) {
+	return p.predicts, p.mispredicts
+}
+
+// ResetStats zeroes the counters without touching predictor state.
+func (p *Predictor) ResetStats() { p.predicts, p.mispredicts = 0, 0 }
+
+// MispredictRate returns mispredicts/predicts, or 0 with no predictions.
+func (p *Predictor) MispredictRate() float64 {
+	if p.predicts == 0 {
+		return 0
+	}
+	return float64(p.mispredicts) / float64(p.predicts)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

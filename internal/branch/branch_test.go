@@ -1,0 +1,132 @@
+package branch
+
+import (
+	"testing"
+
+	"symbios/internal/rng"
+)
+
+// TestBiasedBranchTrains: a branch with a fixed direction is predicted
+// nearly perfectly once the counter saturates.
+func TestBiasedBranchTrains(t *testing.T) {
+	p := New(12, 0, 1)
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		if !p.Lookup(0, 0x400, true) {
+			wrong++
+		}
+	}
+	if wrong > 2 {
+		t.Errorf("%d mispredicts on a monotone branch", wrong)
+	}
+	predicts, mis := p.Stats()
+	if predicts != 1000 || mis != uint64(wrong) {
+		t.Errorf("stats %d/%d inconsistent with observed %d", predicts, mis, wrong)
+	}
+}
+
+// TestHysteresis: two-bit counters tolerate a single anomaly without
+// flipping the prediction.
+func TestHysteresis(t *testing.T) {
+	p := New(12, 0, 1)
+	for i := 0; i < 10; i++ {
+		p.Lookup(0, 0x400, true) // saturate taken
+	}
+	p.Lookup(0, 0x400, false) // one anomaly
+	if !p.Lookup(0, 0x400, true) {
+		t.Error("prediction flipped after a single contrary outcome")
+	}
+}
+
+// TestRandomBranchMispredicts: a 50/50 branch mispredicts about half the
+// time — the predictor can't learn noise.
+func TestRandomBranchMispredicts(t *testing.T) {
+	p := New(12, 0, 1)
+	r := rng.New(3)
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		p.Lookup(0, 0x400, r.Float64() < 0.5)
+	}
+	rate := p.MispredictRate()
+	if rate < 0.4 || rate > 0.6 {
+		t.Errorf("mispredict rate %.3f on random outcomes, want ~0.5", rate)
+	}
+}
+
+// TestTableInterference: two contexts whose opposite-biased branches alias
+// to the same counter degrade each other — the shared-resource effect the
+// scheduler observes.
+func TestTableInterference(t *testing.T) {
+	solo := New(10, 0, 2)
+	for i := 0; i < 2000; i++ {
+		solo.Lookup(0, 0x400, true)
+	}
+	soloRate := solo.MispredictRate()
+
+	shared := New(10, 0, 2)
+	for i := 0; i < 2000; i++ {
+		shared.Lookup(0, 0x400, true)
+		// Same PHT index (PC equal), opposite direction, other context.
+		shared.Lookup(1, 0x400, false)
+	}
+	if shared.MispredictRate() < soloRate+0.3 {
+		t.Errorf("aliased contexts mispredict %.3f, solo %.3f: interference too weak",
+			shared.MispredictRate(), soloRate)
+	}
+}
+
+// TestResetHistoryAndStats covers the maintenance entry points.
+func TestResetHistoryAndStats(t *testing.T) {
+	p := New(12, 4, 2)
+	p.Lookup(0, 0x100, true)
+	p.Lookup(1, 0x200, false)
+	p.ResetHistory(0)
+	p.ResetStats()
+	if pr, mis := p.Stats(); pr != 0 || mis != 0 {
+		t.Error("stats survive ResetStats")
+	}
+	if p.MispredictRate() != 0 {
+		t.Error("rate nonzero with no predictions")
+	}
+}
+
+// TestGeometryPanics rejects out-of-range construction.
+func TestGeometryPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 0, 1) },
+		func() { New(25, 0, 1) },
+		func() { New(12, -1, 1) },
+		func() { New(12, 17, 1) },
+		func() { New(12, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid predictor geometry accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestHistoryIndexing: with history bits enabled, the same PC under
+// different histories can use different counters (gshare indexing).
+func TestHistoryIndexing(t *testing.T) {
+	p := New(12, 2, 1)
+	// Alternate outcomes in a fixed period-2 pattern; with 2 history bits a
+	// gshare predictor learns it, while a bimodal one would mispredict half
+	// the time.
+	warm := 200
+	wrong := 0
+	for i := 0; i < 2000; i++ {
+		taken := i%2 == 0
+		correct := p.Lookup(0, 0x400, taken)
+		if i >= warm && !correct {
+			wrong++
+		}
+	}
+	if rate := float64(wrong) / 1800; rate > 0.1 {
+		t.Errorf("gshare failed to learn a period-2 pattern: mispredict %.3f", rate)
+	}
+}

@@ -1,0 +1,78 @@
+package cache
+
+import "symbios/internal/arch"
+
+// Hierarchy bundles the shared memory system: L1I, L1D, unified L2, and the
+// data TLB, with the latencies from the architecture config.
+type Hierarchy struct {
+	L1I  *Cache
+	L1D  *Cache
+	L2   *Cache
+	DTLB *TLB
+
+	l1dHit  int
+	l2Hit   int
+	mem     int
+	tlbMiss int
+}
+
+// NewHierarchy constructs the memory system for cfg.
+func NewHierarchy(cfg arch.Config) *Hierarchy {
+	return &Hierarchy{
+		L1I:     New(cfg.L1ISets, cfg.L1IAssoc, cfg.L1ILineBytes),
+		L1D:     New(cfg.L1DSets, cfg.L1DAssoc, cfg.L1DLineBytes),
+		L2:      New(cfg.L2Sets, cfg.L2Assoc, cfg.L2LineBytes),
+		DTLB:    NewTLB(cfg.DTLBEntries, cfg.PageBytes),
+		l1dHit:  cfg.L1DHitLatency,
+		l2Hit:   cfg.L2HitLatency,
+		mem:     cfg.MemLatency,
+		tlbMiss: cfg.TLBMissPenalty,
+	}
+}
+
+// DataAccess performs a load/store lookup and returns the access latency and
+// whether it hit in the L1 data cache. Stores are modeled as allocate-on-miss
+// like loads (write-allocate), which is adequate for contention modeling.
+func (h *Hierarchy) DataAccess(addr uint64) (latency int, l1Hit bool) {
+	latency = h.l1dHit
+	if !h.DTLB.Access(addr) {
+		latency += h.tlbMiss
+	}
+	if h.L1D.Access(addr) {
+		return latency, true
+	}
+	latency += h.l2Hit
+	if h.L2.Access(addr) {
+		return latency, false
+	}
+	latency += h.mem
+	return latency, false
+}
+
+// InstAccess performs an instruction fetch lookup for a cache line and
+// returns the extra stall (0 on an L1I hit).
+func (h *Hierarchy) InstAccess(pc uint64) (stall int) {
+	if h.L1I.Access(pc) {
+		return 0
+	}
+	if h.L2.Access(pc) {
+		return h.l2Hit
+	}
+	return h.l2Hit + h.mem
+}
+
+// Flush cold-starts the entire memory system.
+func (h *Hierarchy) Flush() {
+	h.L1I.Flush()
+	h.L1D.Flush()
+	h.L2.Flush()
+	h.DTLB.Flush()
+}
+
+// ResetStats zeroes all counters without touching contents.
+func (h *Hierarchy) ResetStats() {
+	h.L1I.ResetStats()
+	h.L1D.ResetStats()
+	h.L2.ResetStats()
+	h.DTLB.ResetStats()
+}

@@ -1,0 +1,92 @@
+package cache
+
+import "fmt"
+
+// TLB is a set-associative translation lookaside buffer with LRU
+// replacement within each set, keyed by virtual page number. (Hardware TLBs
+// are often fully associative; a 4-way TLB of the same capacity behaves
+// nearly identically for the workloads here and probes in constant time.)
+type TLB struct {
+	pageShift uint
+	setMask   uint64
+	assoc     int
+	entries   []tlbEntry // sets*assoc, set-major
+	clock     uint64
+	stats     Stats
+}
+
+type tlbEntry struct {
+	vpn   uint64
+	stamp uint64
+	valid bool
+}
+
+// tlbAssoc is the fixed associativity.
+const tlbAssoc = 4
+
+// NewTLB constructs a TLB with the given entry count and page size.
+// entries must be a multiple of the associativity (4) with a power-of-two
+// set count; pageBytes must be a power of two.
+func NewTLB(entries, pageBytes int) *TLB {
+	if entries < tlbAssoc {
+		panic("cache: TLB entries < associativity")
+	}
+	sets := entries / tlbAssoc
+	if sets*tlbAssoc != entries || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: TLB entries %d must be 4 x power-of-two", entries))
+	}
+	if pageBytes <= 0 || pageBytes&(pageBytes-1) != 0 {
+		panic(fmt.Sprintf("cache: pageBytes %d not a power of two", pageBytes))
+	}
+	shift := uint(0)
+	for 1<<shift != pageBytes {
+		shift++
+	}
+	return &TLB{
+		pageShift: shift,
+		setMask:   uint64(sets - 1),
+		assoc:     tlbAssoc,
+		entries:   make([]tlbEntry, entries),
+	}
+}
+
+// Entries returns the TLB capacity.
+func (t *TLB) Entries() int { return len(t.entries) }
+
+// Stats returns the event counts so far.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the counters without touching contents.
+func (t *TLB) ResetStats() { t.stats = Stats{} }
+
+// Access translates addr, filling the entry on a miss. Returns hit.
+func (t *TLB) Access(addr uint64) bool {
+	vpn := addr >> t.pageShift
+	set := int(vpn&t.setMask) * t.assoc
+	ways := t.entries[set : set+t.assoc]
+	t.clock++
+	victim := 0
+	for i := range ways {
+		e := &ways[i]
+		if e.valid && e.vpn == vpn {
+			e.stamp = t.clock
+			t.stats.Hits++
+			return true
+		}
+		if !e.valid {
+			victim = i
+		} else if ways[victim].valid && e.stamp < ways[victim].stamp {
+			victim = i
+		}
+	}
+	t.stats.Misses++
+	ways[victim] = tlbEntry{vpn: vpn, stamp: t.clock, valid: true}
+	return false
+}
+
+// Flush invalidates all entries.
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i] = tlbEntry{}
+	}
+}

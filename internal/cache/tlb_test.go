@@ -1,0 +1,80 @@
+package cache
+
+import (
+	"testing"
+
+	"symbios/internal/rng"
+)
+
+// TestTLBHitAfterFill: translations are cached per page.
+func TestTLBHitAfterFill(t *testing.T) {
+	tlb := NewTLB(16, 8192)
+	if tlb.Access(0x2000) {
+		t.Error("cold translation hit")
+	}
+	if !tlb.Access(0x2000) || !tlb.Access(0x3fff) {
+		t.Error("same-page access missed")
+	}
+	if tlb.Access(0x4000) {
+		t.Error("next page hit cold")
+	}
+}
+
+// TestTLBSetLRU: within a set, the least recently used entry is evicted.
+func TestTLBSetLRU(t *testing.T) {
+	tlb := NewTLB(16, 8192) // 4 sets x 4 ways
+	// Five pages mapping to set 0 (vpn multiples of 4): the first
+	// becomes LRU and is evicted by the fifth.
+	pages := []uint64{0, 4, 8, 12, 16}
+	for _, p := range pages {
+		tlb.Access(p * 8192)
+	}
+	if tlb.Access(pages[0] * 8192) {
+		t.Error("LRU entry survived a full-set replacement cycle")
+	}
+	if !tlb.Access(pages[4] * 8192) {
+		t.Error("most recent entry evicted")
+	}
+}
+
+// TestTLBCapacityReach: a footprint within reach never misses after
+// warmup.
+func TestTLBCapacityReach(t *testing.T) {
+	tlb := NewTLB(64, 8192) // 512 KB reach
+	touch := func() {
+		for addr := uint64(0); addr < 64*8192; addr += 8192 {
+			tlb.Access(addr)
+		}
+	}
+	touch()
+	tlb.ResetStats()
+	touch()
+	if s := tlb.Stats(); s.Misses != 0 {
+		t.Errorf("%d misses on a resident footprint", s.Misses)
+	}
+}
+
+// TestTLBFlush empties the TLB.
+func TestTLBFlush(t *testing.T) {
+	tlb := NewTLB(8, 8192)
+	tlb.Access(0)
+	tlb.Flush()
+	if tlb.Access(0) {
+		t.Error("translation survived flush")
+	}
+}
+
+// TestTLBThrash: random pages far beyond reach mostly miss.
+func TestTLBThrash(t *testing.T) {
+	tlb := NewTLB(16, 8192)
+	r := rng.New(2)
+	tlbWarm := 0
+	for i := 0; i < 10_000; i++ {
+		if tlb.Access(uint64(r.Intn(4096)) * 8192) {
+			tlbWarm++
+		}
+	}
+	if rate := float64(tlbWarm) / 10_000; rate > 0.05 {
+		t.Errorf("hit rate %.3f on a 256x-oversubscribed TLB", rate)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"symbios/internal/arch"
+	"symbios/internal/cpu"
+	"symbios/internal/workload"
+)
+
+// SoloRates measures each task's natural offer rate — the single-threaded
+// IPC that forms the weighted-speedup denominator. Each job is run alone on
+// a fresh machine (all of a multithreaded job's threads together, per the
+// Section 7 extension: "the issue rate of the job running alone, with no
+// other jobs in the coschedule"), for warmup cycles to fill the caches and
+// then measure cycles of observation.
+//
+// The calibration jobs are rebuilt from the originals' specs and seeds so
+// the mix's own progress is untouched; streams are pure functions, so the
+// rebuilt job replays identically.
+func SoloRates(cfg arch.Config, jobs []*workload.Job, seeds []uint64, warmup, measure uint64) ([]float64, error) {
+	if len(jobs) != len(seeds) {
+		return nil, fmt.Errorf("core: %d jobs but %d seeds", len(jobs), len(seeds))
+	}
+	if measure == 0 {
+		return nil, fmt.Errorf("core: zero measurement interval")
+	}
+	var rates []float64
+	for i, j := range jobs {
+		solo, err := soloJob(cfg, j.Spec, j.ID, seeds[i], warmup, measure)
+		if err != nil {
+			return nil, fmt.Errorf("core: calibrating %s: %w", j.Name(), err)
+		}
+		rates = append(rates, solo...)
+	}
+	return rates, nil
+}
+
+// soloJob returns the per-thread solo IPC of one job.
+func soloJob(cfg arch.Config, spec workload.Spec, id int, seed uint64, warmup, measure uint64) ([]float64, error) {
+	if spec.Threads > cfg.Contexts {
+		return nil, fmt.Errorf("%d threads exceed %d contexts", spec.Threads, cfg.Contexts)
+	}
+	j, err := workload.NewJob(spec, id, seed)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cpu.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for t := 0; t < j.Threads(); t++ {
+		c.Attach(t, j.Source(t), 0, j.Gate(), t)
+	}
+	c.Run(warmup)
+	before := make([]uint64, j.Threads())
+	for t := range before {
+		before[t] = c.ThreadCommitted(t)
+	}
+	c.Run(measure)
+	rates := make([]float64, j.Threads())
+	for t := range rates {
+		delta := c.ThreadCommitted(t) - before[t]
+		rates[t] = float64(delta) / float64(measure)
+		if rates[t] <= 0 {
+			return nil, fmt.Errorf("thread %d made no progress alone", t)
+		}
+	}
+	return rates, nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"symbios/internal/arch"
+	"symbios/internal/counters"
+	"symbios/internal/cpu"
+	"symbios/internal/workload"
+)
+
+// TestSoloMemoryBehaviour is a diagnostic: per-benchmark solo IPC, L1D/L1I
+// hit rates, TLB behaviour and branch mispredict rate after warmup.
+func TestSoloMemoryBehaviour(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	cfg := arch.Default21264(2)
+	for _, name := range []string{"FP", "MG", "WAVE", "SWIM", "GCC", "GO", "IS", "CG", "EP", "FT"} {
+		spec := workload.MustLookup(name)
+		spec.Threads, spec.SyncEvery = 1, 0
+		job := workload.MustNewJob(spec, 0, 42)
+		c, err := cpu.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Attach(0, job.Source(0), 0, nil, 0)
+		c.Run(1_000_000)
+		before := c.Snapshot()
+		c.Run(500_000)
+		d := c.Snapshot().Sub(before)
+		t.Logf("%-7s IPC %.3f L1D %.1f%% L1I %.1f%% L2 %.1f%% TLBmiss/1k %.2f mispred %.2f%%",
+			name, d.IPC(), 100*d.L1DHitRate(),
+			100*float64(d.L1IHits)/float64(d.L1IHits+d.L1IMisses+1),
+			100*float64(d.L2Hits)/float64(d.L2Hits+d.L2Misses+1),
+			1000*float64(d.TLBMisses)/float64(d.Committed+1),
+			100*d.MispredictRate())
+	}
+}
+
+// TestCoscheduleDiag runs one tuple (FP,MG,WAVE) and one mixed tuple
+// (FP,GCC,GO) and prints the conflict breakdown.
+func TestCoscheduleDiag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	run := func(names []string) {
+		cfg := arch.Default21264(len(names))
+		c, err := cpu.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, name := range names {
+			spec := workload.MustLookup(name)
+			spec.Threads, spec.SyncEvery = 1, 0
+			job := workload.MustNewJob(spec, i, 42+uint64(i))
+			c.Attach(i, job.Source(0), 0, nil, 0)
+		}
+		c.Run(1_000_000)
+		before := c.Snapshot()
+		perT := make([]uint64, len(names))
+		for i := range perT {
+			perT[i] = c.ThreadCommitted(i)
+		}
+		c.Run(500_000)
+		d := c.Snapshot().Sub(before)
+		msg := ""
+		for i, n := range names {
+			msg += n + " "
+			msg += formatIPC(float64(c.ThreadCommitted(i)-perT[i]) / 500_000)
+		}
+		t.Logf("%s| total IPC %.3f L1D %.1f%% L1I %.1f%%", msg, d.IPC(), 100*d.L1DHitRate(),
+			100*float64(d.L1IHits)/float64(d.L1IHits+d.L1IMisses+1))
+		for r := counters.Resource(0); r < counters.NumResources; r++ {
+			t.Logf("  conflict %-10s %5.1f%%", r, d.ConflictPct(r))
+		}
+	}
+	run([]string{"FP", "MG", "WAVE"})
+	run([]string{"FP", "GCC", "GO"})
+}
+
+func formatIPC(v float64) string {
+	return string(rune('0'+int(v))) + "." + string(rune('0'+int(v*10)%10)) + string(rune('0'+int(v*100)%10)) + " "
+}
+
+// TestAntagonistChannels: each stressor degrades a victim through its own
+// resource channel — the substrate's conflict channels are real and
+// separable. The victim is the NICE filler, which suffers only what the
+// antagonist inflicts.
+func TestAntagonistChannels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic simulation")
+	}
+	victimWith := func(partner string) (float64, counters.Set) {
+		cfg := arch.Default21264(2)
+		c, err := cpu.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nice, _ := workload.Antagonist("NICE")
+		vj := workload.MustNewJob(nice, 0, 11)
+		c.Attach(0, vj.Source(0), 0, nil, 0)
+		if partner != "" {
+			spec, ok := workload.Antagonist(partner)
+			if !ok {
+				t.Fatalf("no antagonist %s", partner)
+			}
+			pj := workload.MustNewJob(spec, 1, 13)
+			c.Attach(1, pj.Source(0), 0, nil, 0)
+		}
+		c.Run(800_000)
+		before := c.ThreadCommitted(0)
+		start := c.Snapshot()
+		c.Run(400_000)
+		d := c.Snapshot().Sub(start)
+		return float64(c.ThreadCommitted(0)-before) / 400_000, d
+	}
+
+	soloIPC, _ := victimWith("")
+	type expect struct {
+		partner string
+		check   func(d counters.Set) bool
+		what    string
+	}
+	cases := []expect{
+		{"SWEEP_D", func(d counters.Set) bool { return d.L1DHitRate() < 0.90 }, "L1D hit rate degradation"},
+		{"FPHOG", func(d counters.Set) bool { return d.ConflictPct(counters.FPUnits) > 20 }, "FP unit conflicts"},
+		{"BRPOLLUTE", func(d counters.Set) bool { return d.MispredictRate() > 0.10 }, "mispredict inflation"},
+	}
+	worstAntagonist := soloIPC
+	for _, c := range cases {
+		ipc, d := victimWith(c.partner)
+		t.Logf("NICE solo %.3f, with %s %.3f (L1D %.1f%%, FPU conf %.1f%%, mispred %.1f%%)",
+			soloIPC, c.partner, ipc, 100*d.L1DHitRate(), d.ConflictPct(counters.FPUnits), 100*d.MispredictRate())
+		if !c.check(d) {
+			t.Errorf("%s did not produce its signature (%s)", c.partner, c.what)
+		}
+		if ipc < worstAntagonist {
+			worstAntagonist = ipc
+		}
+	}
+	// A second NICE merely shares issue bandwidth (two ~5-IPC threads on an
+	// 8-wide core); it must hurt the victim far less than the worst
+	// antagonist does.
+	niceIPC, _ := victimWith("NICE")
+	if niceIPC <= worstAntagonist*1.5 {
+		t.Errorf("benign partner (%.3f) nearly as harmful as the worst antagonist (%.3f)", niceIPC, worstAntagonist)
+	}
+	if niceIPC < 0.5*soloIPC {
+		t.Errorf("NICE partner halved the victim: %.3f vs solo %.3f", niceIPC, soloIPC)
+	}
+}

@@ -1,0 +1,194 @@
+// Package core implements the paper's contribution: the SOS (Sample,
+// Optimize, Symbios) jobscheduler for a simultaneous multithreading
+// processor.
+//
+// SOS runs in two phases. In the sample phase it permutes the set of
+// coscheduled jobs while making fair progress through the jobmix, reading
+// the hardware performance counters after each schedule it tries. It then
+// applies a predictor (Section 5.1) to the samples to guess which schedule
+// will deliver the highest weighted speedup, and runs that schedule in the
+// symbios phase. Because the sample phase performs exactly as much useful
+// work as a naive scheduler would, sampling is overhead-free; the only cost
+// is the occasional reading and resetting of counters.
+package core
+
+import (
+	"fmt"
+
+	"symbios/internal/arch"
+	"symbios/internal/counters"
+	"symbios/internal/cpu"
+	"symbios/internal/schedule"
+	"symbios/internal/workload"
+)
+
+// Task is one schedulable entry: a software thread of a job. On an SMT
+// machine each scheduled task occupies one hardware context. A
+// single-threaded job is one task; the two threads of ARRAY in the Jpb
+// mixes are two tasks that the scheduler may or may not coschedule.
+type Task struct {
+	Job    *workload.Job
+	Thread int
+}
+
+// Name renders the task for diagnostics, e.g. "ARRAY.1".
+func (t Task) Name() string {
+	if t.Job.Threads() == 1 {
+		return t.Job.Name()
+	}
+	return fmt.Sprintf("%s.%d", t.Job.Name(), t.Thread)
+}
+
+// Machine binds a simulated SMT core to a jobmix and executes schedules
+// timeslice by timeslice, preserving each task's progress across context
+// switches.
+type Machine struct {
+	Core  *cpu.Core
+	tasks []Task
+
+	// SliceCycles is the timeslice length ("every 5 million cycles ... the
+	// jobscheduler receives a clock pulse", scaled per the harness).
+	SliceCycles uint64
+
+	// taskCtx[i] is the hardware context task i occupies, or -1.
+	taskCtx []int
+}
+
+// NewMachine constructs a machine for cfg over the given jobs. Tasks are
+// the (job, thread) pairs in job-list order — the task indexing every
+// Schedule refers to.
+func NewMachine(cfg arch.Config, jobs []*workload.Job, sliceCycles uint64) (*Machine, error) {
+	c, err := cpu.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if sliceCycles == 0 {
+		return nil, fmt.Errorf("core: zero timeslice")
+	}
+	m := &Machine{Core: c, SliceCycles: sliceCycles}
+	for _, j := range jobs {
+		for t := 0; t < j.Threads(); t++ {
+			m.tasks = append(m.tasks, Task{Job: j, Thread: t})
+		}
+	}
+	if len(m.tasks) < cfg.Contexts {
+		return nil, fmt.Errorf("core: %d tasks for %d contexts; the running set cannot be filled", len(m.tasks), cfg.Contexts)
+	}
+	m.taskCtx = make([]int, len(m.tasks))
+	for i := range m.taskCtx {
+		m.taskCtx[i] = -1
+	}
+	return m, nil
+}
+
+// Tasks returns the schedulable entries in index order.
+func (m *Machine) Tasks() []Task { return m.tasks }
+
+// NumTasks returns X, the number of schedulable entries.
+func (m *Machine) NumTasks() int { return len(m.tasks) }
+
+// RunResult aggregates one schedule execution.
+type RunResult struct {
+	// Cycles is the simulated length of the run.
+	Cycles uint64
+	// Committed[i] is the instructions task i retired during the run.
+	Committed []uint64
+	// Counters is the counter delta over the run.
+	Counters counters.Set
+	// SliceIPCs is the machine IPC of each timeslice, in order (the
+	// Balance predictor's input).
+	SliceIPCs []float64
+}
+
+// attach puts task ti on a free context.
+func (m *Machine) attach(ti int) {
+	if m.taskCtx[ti] >= 0 {
+		return
+	}
+	for ctx := 0; ctx < m.Core.Config().Contexts; ctx++ {
+		if !m.Core.Occupied(ctx) {
+			t := m.tasks[ti]
+			m.Core.Attach(ctx, t.Job.Source(t.Thread), t.Job.Progress[t.Thread], t.Job.Gate(), t.Thread)
+			m.taskCtx[ti] = ctx
+			return
+		}
+	}
+	panic("core: no free context; running set exceeds SMT level")
+}
+
+// detach removes task ti, saving its progress, and credits committed
+// instructions both to the job and to acc (when non-nil).
+func (m *Machine) detach(ti int, acc []uint64) {
+	ctx := m.taskCtx[ti]
+	if ctx < 0 {
+		return
+	}
+	t := m.tasks[ti]
+	resume, committed := m.Core.Detach(ctx)
+	t.Job.Progress[t.Thread] = resume
+	t.Job.Committed[t.Thread] += committed
+	if acc != nil {
+		acc[ti] += committed
+	}
+	m.taskCtx[ti] = -1
+}
+
+// RunSchedule executes s for the given number of timeslices, starting from
+// the schedule's initial running set, and returns the aggregated result.
+// slices is typically a multiple of s.CycleSlices() so every task receives
+// equal CPU time. All tasks are detached (their progress saved) on return.
+func (m *Machine) RunSchedule(s schedule.Schedule, slices int) (RunResult, error) {
+	if err := s.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	if s.X() != len(m.tasks) {
+		return RunResult{}, fmt.Errorf("core: schedule over %d entries, machine has %d tasks", s.X(), len(m.tasks))
+	}
+	if s.Y != m.Core.Config().Contexts {
+		return RunResult{}, fmt.Errorf("core: schedule Y=%d, machine has %d contexts", s.Y, m.Core.Config().Contexts)
+	}
+
+	res := RunResult{Committed: make([]uint64, len(m.tasks))}
+	running := append([]int(nil), s.Order[:s.Y]...)
+	queue := append([]int(nil), s.Order[s.Y:]...)
+
+	start := m.Core.Snapshot()
+	prev := start
+	for slice := 0; slice < slices; slice++ {
+		for _, ti := range running {
+			m.attach(ti)
+		}
+		m.Core.Run(m.SliceCycles)
+
+		snap := m.Core.Snapshot()
+		d := snap.Sub(prev)
+		res.SliceIPCs = append(res.SliceIPCs, d.IPC())
+		prev = snap
+
+		// Rotate: swap out the Z longest-resident running tasks FIFO,
+		// admit Z from the queue head.
+		z := s.Z
+		for _, ti := range running[:z] {
+			m.detach(ti, res.Committed)
+		}
+		queue = append(queue, running[:z]...)
+		running = append(running[z:], queue[:z]...)
+		queue = queue[z:]
+	}
+	// Collect the tasks still resident.
+	for _, ti := range running {
+		m.detach(ti, res.Committed)
+	}
+	end := m.Core.Snapshot()
+	res.Counters = end.Sub(start)
+	res.Cycles = res.Counters.Cycles
+	return res, nil
+}
+
+// DetachAll removes every resident task, saving progress (used by drivers
+// that interleave schedules with other work).
+func (m *Machine) DetachAll() {
+	for ti := range m.taskCtx {
+		m.detach(ti, nil)
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"symbios/internal/counters"
+	"symbios/internal/metrics"
+	"symbios/internal/schedule"
+)
+
+// Sample is what SOS records for one schedule tried during the sample
+// phase: the schedule and the dynamic predictor quantities derived from the
+// hardware performance counters (the columns of the paper's Table 3).
+type Sample struct {
+	Sched schedule.Schedule
+
+	// IPC is the machine IPC observed while the schedule ran.
+	IPC float64
+	// AllConf is the summed percentage of cycles with a conflict on each of
+	// the eight shared resources.
+	AllConf float64
+	// Dcache is the overall L1 data cache hit rate, in percent.
+	Dcache float64
+	// FQ and FP are the percentages of cycles with conflicts on the
+	// floating-point queue and floating-point units; Sum2 is their sum.
+	FQ, FP, Sum2 float64
+	// Diversity is the absolute difference between the fractions of
+	// floating-point and integer instructions (lower = more diverse).
+	Diversity float64
+	// Balance is the standard deviation of IPC between consecutive
+	// timeslices (lower = smoother).
+	Balance float64
+
+	// Additional counter-derived quantities consumed by the experimental
+	// predictors (predictors_ext.go); the paper's ten use only the fields
+	// above.
+	Mispredict float64 // branch mispredict rate in [0,1]
+	L2Hit      float64 // L2 hit rate in percent
+	IQ         float64 // integer queue conflict percentage
+}
+
+// NewSample derives the predictor quantities from a schedule run.
+func NewSample(s schedule.Schedule, r RunResult) Sample {
+	c := r.Counters
+	fpFrac := 0.0
+	intFrac := 0.0
+	if c.Committed > 0 {
+		fpFrac = float64(c.FPCommitted) / float64(c.Committed)
+		intFrac = float64(c.IntCommitted) / float64(c.Committed)
+	}
+	fq := c.ConflictPct(counters.FQ)
+	fp := c.ConflictPct(counters.FPUnits)
+	l2 := 100.0
+	if a := c.L2Hits + c.L2Misses; a > 0 {
+		l2 = 100 * float64(c.L2Hits) / float64(a)
+	}
+	return Sample{
+		Sched:      s,
+		IPC:        c.IPC(),
+		AllConf:    c.AllConflictPct(),
+		Dcache:     100 * c.L1DHitRate(),
+		FQ:         fq,
+		FP:         fp,
+		Sum2:       fq + fp,
+		Diversity:  math.Abs(fpFrac - intFrac),
+		Balance:    metrics.StdDev(r.SliceIPCs),
+		Mispredict: c.MispredictRate(),
+		L2Hit:      l2,
+		IQ:         c.ConflictPct(counters.IQ),
+	}
+}
+
+// Predictor identifies one of the paper's dynamic predictors (Section 5.2).
+type Predictor int
+
+// The predictors of Figure 2/3, in presentation order.
+const (
+	PredIPC Predictor = iota
+	PredAllConf
+	PredDcache
+	PredFQ
+	PredFP
+	PredSum2
+	PredDiversity
+	PredBalance
+	PredComposite
+	PredScore
+	NumPredictors
+)
+
+// String returns the predictor's paper name.
+func (p Predictor) String() string {
+	switch p {
+	case PredIPC:
+		return "IPC"
+	case PredAllConf:
+		return "AllConf"
+	case PredDcache:
+		return "Dcache"
+	case PredFQ:
+		return "FQ"
+	case PredFP:
+		return "FP"
+	case PredSum2:
+		return "Sum2"
+	case PredDiversity:
+		return "Diversity"
+	case PredBalance:
+		return "Balance"
+	case PredComposite:
+		return "Composite"
+	case PredScore:
+		return "Score"
+	}
+	return fmt.Sprintf("Predictor(%d)", int(p))
+}
+
+// Predictors lists every predictor in presentation order.
+func Predictors() []Predictor {
+	ps := make([]Predictor, NumPredictors)
+	for i := range ps {
+		ps[i] = Predictor(i)
+	}
+	return ps
+}
+
+// eps avoids division by zero for perfectly balanced samples.
+const eps = 1e-9
+
+// Composite computes the paper's experimental-fit predictor over a sample
+// set:
+//
+//	0.9 / MIN{FQ/LowestFQ, FP/LowestFP, SUM2/LowestSUM2}  +  0.1 / Balance
+//
+// where the Lowest terms are the lowest values observed for any schedule in
+// the sample phase. Higher is better: it rewards smooth (balanced)
+// schedules most, with some weight on low conflicts on the critical
+// floating-point resources.
+func Composite(samples []Sample, i int) float64 {
+	lowFQ, lowFP, lowSum2 := math.Inf(1), math.Inf(1), math.Inf(1)
+	for _, s := range samples {
+		lowFQ = math.Min(lowFQ, s.FQ)
+		lowFP = math.Min(lowFP, s.FP)
+		lowSum2 = math.Min(lowSum2, s.Sum2)
+	}
+	s := samples[i]
+	ratio := math.Min(ratioOf(s.FQ, lowFQ), math.Min(ratioOf(s.FP, lowFP), ratioOf(s.Sum2, lowSum2)))
+	return 0.9/ratio + 0.1/(s.Balance+eps)
+}
+
+// ratioOf returns v/lowest, treating an all-zero column as neutral.
+func ratioOf(v, lowest float64) float64 {
+	if lowest <= eps {
+		return v + 1
+	}
+	return v / lowest
+}
+
+// goodness returns a value for sample i under predictor p where *higher is
+// better*, inverting the lower-is-better quantities. PredScore is handled
+// by Pick, not here.
+func goodness(samples []Sample, p Predictor, i int) float64 {
+	s := samples[i]
+	switch p {
+	case PredIPC:
+		return s.IPC
+	case PredAllConf:
+		return -s.AllConf
+	case PredDcache:
+		return s.Dcache
+	case PredFQ:
+		return -s.FQ
+	case PredFP:
+		return -s.FP
+	case PredSum2:
+		return -s.Sum2
+	case PredDiversity:
+		return -s.Diversity
+	case PredBalance:
+		return -s.Balance
+	case PredComposite:
+		return Composite(samples, i)
+	}
+	panic("core: goodness of non-scalar predictor")
+}
+
+// Pick returns the index of the sample that predictor p deems best. For
+// PredScore it tallies one vote per scalar predictor and breaks ties by the
+// relative magnitude of predicted goodness (each tied candidate's summed
+// margin over the per-predictor worst, normalized by the per-predictor
+// spread).
+func Pick(samples []Sample, p Predictor) int {
+	if len(samples) == 0 {
+		panic("core: Pick over no samples")
+	}
+	if p != PredScore {
+		best := 0
+		for i := 1; i < len(samples); i++ {
+			if goodness(samples, p, i) > goodness(samples, p, best) {
+				best = i
+			}
+		}
+		return best
+	}
+
+	votes := make([]int, len(samples))
+	margin := make([]float64, len(samples))
+	for q := PredIPC; q < PredScore; q++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		best := 0
+		for i := range samples {
+			g := goodness(samples, q, i)
+			lo = math.Min(lo, g)
+			hi = math.Max(hi, g)
+			if g > goodness(samples, q, best) {
+				best = i
+			}
+		}
+		votes[best]++
+		spread := hi - lo
+		if spread <= eps {
+			continue
+		}
+		for i := range samples {
+			margin[i] += (goodness(samples, q, i) - lo) / spread
+		}
+	}
+	win := 0
+	for i := 1; i < len(samples); i++ {
+		if votes[i] > votes[win] || (votes[i] == votes[win] && margin[i] > margin[win]) {
+			win = i
+		}
+	}
+	return win
+}

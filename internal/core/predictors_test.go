@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"symbios/internal/counters"
+	"symbios/internal/schedule"
+)
+
+// mkSamples hand-builds a sample set with one clearly best schedule per
+// predictor dimension.
+func mkSamples() []Sample {
+	s := func(i int) schedule.Schedule {
+		return schedule.Schedule{Order: []int{0, 1, 2, 3}, Y: 2, Z: 2}
+	}
+	return []Sample{
+		{Sched: s(0), IPC: 2.0, AllConf: 100, Dcache: 95.0, FQ: 10, FP: 20, Sum2: 30, Diversity: 0.10, Balance: 0.50},
+		{Sched: s(1), IPC: 3.0, AllConf: 140, Dcache: 94.0, FQ: 12, FP: 25, Sum2: 37, Diversity: 0.20, Balance: 0.40},
+		{Sched: s(2), IPC: 2.5, AllConf: 90, Dcache: 97.5, FQ: 6, FP: 15, Sum2: 21, Diversity: 0.05, Balance: 0.10},
+		{Sched: s(3), IPC: 2.2, AllConf: 120, Dcache: 96.0, FQ: 8, FP: 30, Sum2: 38, Diversity: 0.15, Balance: 0.90},
+	}
+}
+
+// TestPickPerPredictor: each scalar predictor picks the sample its rule
+// says is best.
+func TestPickPerPredictor(t *testing.T) {
+	samples := mkSamples()
+	want := map[Predictor]int{
+		PredIPC:       1, // highest IPC
+		PredAllConf:   2, // lowest summed conflicts
+		PredDcache:    2, // highest hit rate
+		PredFQ:        2, // lowest FQ conflicts
+		PredFP:        2, // lowest FP conflicts
+		PredSum2:      2, // lowest FQ+FP
+		PredDiversity: 2, // lowest |fp-int|
+		PredBalance:   2, // smoothest
+	}
+	for p, wantIdx := range want {
+		if got := Pick(samples, p); got != wantIdx {
+			t.Errorf("%s picked %d, want %d", p, got, wantIdx)
+		}
+	}
+}
+
+// TestComposite checks the literal formula: 0.9 / min ratio + 0.1/Balance.
+func TestComposite(t *testing.T) {
+	samples := mkSamples()
+	// Lowest FQ=6, FP=15, Sum2=21. For sample 0: ratios 10/6, 20/15, 30/21
+	// -> min = 20/15 = 4/3. Composite = 0.9/(4/3) + 0.1/0.5.
+	want := 0.9/(20.0/15.0) + 0.1/(0.50+1e-9)
+	if got := Composite(samples, 0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Composite = %f, want %f", got, want)
+	}
+	// Sample 2 holds every Lowest: min ratio 1, so 0.9 + 0.1/0.1 = 1.9.
+	if got := Composite(samples, 2); math.Abs(got-(0.9+0.1/(0.10+1e-9))) > 1e-6 {
+		t.Errorf("Composite(best) = %f", got)
+	}
+	// Composite must rank sample 2 top.
+	if Pick(samples, PredComposite) != 2 {
+		t.Error("Composite did not pick the low-conflict smooth schedule")
+	}
+}
+
+// TestScoreMajority: Score tallies votes from the other predictors; with
+// sample 2 winning 8 of 9 dimensions, it must win the vote.
+func TestScoreMajority(t *testing.T) {
+	if got := Pick(mkSamples(), PredScore); got != 2 {
+		t.Errorf("Score picked %d, want 2", got)
+	}
+}
+
+// TestScoreTieBreak: with votes split evenly, the relative magnitude of
+// predicted goodness decides.
+func TestScoreTieBreak(t *testing.T) {
+	s := schedule.Schedule{Order: []int{0, 1}, Y: 2, Z: 2}
+	samples := []Sample{
+		// Sample 0: hugely better IPC and Dcache; slightly worse elsewhere.
+		{Sched: s, IPC: 5.0, AllConf: 101, Dcache: 99, FQ: 10.1, FP: 20.1, Sum2: 30.2, Diversity: 0.101, Balance: 0.101},
+		// Sample 1: marginally better on the conflict dimensions.
+		{Sched: s, IPC: 1.0, AllConf: 100, Dcache: 50, FQ: 10.0, FP: 20.0, Sum2: 30.0, Diversity: 0.100, Balance: 0.100},
+	}
+	// Votes: sample 0 takes IPC + Dcache (2); sample 1 takes AllConf, FQ,
+	// FP, Sum2, Diversity, Balance, Composite (7) -> sample 1 outright.
+	if got := Pick(samples, PredScore); got != 1 {
+		t.Errorf("Score picked %d, want 1", got)
+	}
+}
+
+// TestPickSingleSample degenerates gracefully.
+func TestPickSingleSample(t *testing.T) {
+	samples := mkSamples()[:1]
+	for _, p := range Predictors() {
+		if Pick(samples, p) != 0 {
+			t.Errorf("%s did not pick the only sample", p)
+		}
+	}
+}
+
+// TestPredictorNames covers presentation strings.
+func TestPredictorNames(t *testing.T) {
+	want := []string{"IPC", "AllConf", "Dcache", "FQ", "FP", "Sum2", "Diversity", "Balance", "Composite", "Score"}
+	ps := Predictors()
+	if len(ps) != len(want) {
+		t.Fatalf("%d predictors", len(ps))
+	}
+	for i, p := range ps {
+		if p.String() != want[i] {
+			t.Errorf("predictor %d = %q, want %q", i, p, want[i])
+		}
+	}
+	if Predictor(99).String() != "Predictor(99)" {
+		t.Error("unknown predictor name")
+	}
+}
+
+// TestNewSampleDerivation: the counter-to-sample math matches the paper's
+// definitions.
+func TestNewSampleDerivation(t *testing.T) {
+	var c counters.Set
+	c.Cycles = 1000
+	c.Committed = 2000
+	c.FPCommitted = 1200
+	c.IntCommitted = 500
+	c.L1DHits, c.L1DMisses = 975, 25
+	c.ConflictCycles[counters.FQ] = 100
+	c.ConflictCycles[counters.FPUnits] = 300
+	c.ConflictCycles[counters.IQ] = 50
+
+	res := RunResult{
+		Cycles:    1000,
+		Counters:  c,
+		SliceIPCs: []float64{2.0, 2.0, 2.0},
+	}
+	s := NewSample(schedule.Schedule{Order: []int{0, 1}, Y: 2, Z: 2}, res)
+	if s.IPC != 2.0 {
+		t.Errorf("IPC %f", s.IPC)
+	}
+	if s.FQ != 10 || s.FP != 30 || s.Sum2 != 40 {
+		t.Errorf("FQ/FP/Sum2 = %f/%f/%f", s.FQ, s.FP, s.Sum2)
+	}
+	if s.AllConf != 45 {
+		t.Errorf("AllConf %f", s.AllConf)
+	}
+	if s.Dcache != 97.5 {
+		t.Errorf("Dcache %f", s.Dcache)
+	}
+	if math.Abs(s.Diversity-math.Abs(0.6-0.25)) > 1e-12 {
+		t.Errorf("Diversity %f", s.Diversity)
+	}
+	if s.Balance != 0 {
+		t.Errorf("Balance %f for constant slice IPCs", s.Balance)
+	}
+}
+
+// TestExtPredictorNames covers the experimental predictor mnemonics.
+func TestExtPredictorNames(t *testing.T) {
+	want := []string{"WeightedConf", "Mispredict", "MemSystem", "IPCBalance", "RankFusion"}
+	ps := ExtPredictors()
+	if len(ps) != len(want) {
+		t.Fatalf("%d ext predictors", len(ps))
+	}
+	for i, p := range ps {
+		if p.String() != want[i] {
+			t.Errorf("ext predictor %d = %q, want %q", i, p, want[i])
+		}
+	}
+	if ExtPredictor(99).String() != "ExtPredictor(99)" {
+		t.Error("unknown ext predictor name")
+	}
+}
+
+// TestPickExt: each experimental predictor picks by its own rule on a
+// hand-built sample set.
+func TestPickExt(t *testing.T) {
+	samples := mkSamples()
+	samples[0].Mispredict, samples[1].Mispredict = 0.10, 0.02
+	samples[2].Mispredict, samples[3].Mispredict = 0.05, 0.08
+	samples[0].L2Hit, samples[1].L2Hit = 90, 80
+	samples[2].L2Hit, samples[3].L2Hit = 99, 85
+
+	if got := PickExt(samples, ExtMispredict); got != 1 {
+		t.Errorf("Mispredict picked %d, want 1", got)
+	}
+	if got := PickExt(samples, ExtMemSystem); got != 2 {
+		t.Errorf("MemSystem picked %d, want 2", got)
+	}
+	// IPCBalance: IPC - 2*Balance => s0: 1.0, s1: 2.2, s2: 2.3, s3: 0.4.
+	if got := PickExt(samples, ExtIPCBalance); got != 2 {
+		t.Errorf("IPCBalance picked %d, want 2", got)
+	}
+	// RankFusion: sample 2 ranks first on Sum2 and Balance, third on IPC.
+	if got := PickExt(samples, ExtRankFusion); got != 2 {
+		t.Errorf("RankFusion picked %d, want 2", got)
+	}
+	// WeightedConf favours low weighted conflicts; sample 2 has the lowest
+	// FP/FQ/IQ and the best Dcache.
+	if got := PickExt(samples, ExtWeightedConf); got != 2 {
+		t.Errorf("WeightedConf picked %d, want 2", got)
+	}
+}
+
+// TestRankOf: ranks are a permutation and agree with goodness ordering.
+func TestRankOf(t *testing.T) {
+	samples := mkSamples()
+	seen := map[int]bool{}
+	for i := range samples {
+		r := rankOf(samples, PredIPC, i)
+		if seen[r] {
+			t.Fatalf("duplicate rank %d", r)
+		}
+		seen[r] = true
+	}
+	if rankOf(samples, PredIPC, 1) != 0 {
+		t.Error("highest-IPC sample not rank 0")
+	}
+}

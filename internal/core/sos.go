@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"symbios/internal/metrics"
+	"symbios/internal/rng"
+	"symbios/internal/schedule"
+)
+
+// Options configures an SOS run.
+type Options struct {
+	// Samples is the number of random schedules evaluated in the sample
+	// phase (the paper uses 10, or all of them when fewer exist).
+	Samples int
+	// Predictor selects the dynamic predictor used to pick the symbios
+	// schedule; the paper's best overall performer is Score.
+	Predictor Predictor
+	// SymbiosSlices is the symbios phase length in timeslices (the paper
+	// runs 2 billion cycles against a ~10x shorter sample phase).
+	SymbiosSlices int
+	// WarmupCycles are simulated before sampling begins, so the sample
+	// phase observes a warm memory system rather than coldstart artifacts
+	// (the paper begins "with each benchmark partially executed"). The
+	// warmup runs the first sampled schedule and performs normal work.
+	WarmupCycles uint64
+	// Seed drives schedule sampling.
+	Seed uint64
+}
+
+// Result reports a full SOS run.
+type Result struct {
+	// Samples holds the sample-phase records, in evaluation order.
+	Samples []Sample
+	// SampleCycles is the total length of the sample phase.
+	SampleCycles uint64
+	// ChosenIdx indexes Samples; Chosen is its schedule.
+	ChosenIdx int
+	Chosen    schedule.Schedule
+	// Symbios is the symbios-phase execution of the chosen schedule.
+	Symbios RunResult
+	// WeightedSpeedup is WS(t) over the symbios phase, when solo rates were
+	// supplied.
+	WeightedSpeedup float64
+}
+
+// SamplePhase evaluates each candidate schedule for one full rotation (the
+// minimum interval over which every task receives equal CPU time) and
+// returns the recorded samples. Jobs make normal progress throughout —
+// sampling is overhead-free.
+func SamplePhase(m *Machine, scheds []schedule.Schedule) ([]Sample, error) {
+	if len(scheds) == 0 {
+		return nil, fmt.Errorf("core: no schedules to sample")
+	}
+	samples := make([]Sample, 0, len(scheds))
+	for _, s := range scheds {
+		res, err := m.RunSchedule(s, s.CycleSlices())
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, NewSample(s, res))
+	}
+	return samples, nil
+}
+
+// Run executes the complete SOS pipeline on m: sample opt.Samples random
+// distinct schedules, choose one with opt.Predictor, then run it for
+// opt.SymbiosSlices. soloIPC, when non-nil, must hold each task's solo
+// offer rate (see SoloRates) and enables the weighted-speedup report.
+func Run(m *Machine, y, z int, soloIPC []float64, opt Options) (Result, error) {
+	if opt.Samples < 1 {
+		return Result{}, fmt.Errorf("core: Samples must be >= 1")
+	}
+	if opt.SymbiosSlices < 1 {
+		return Result{}, fmt.Errorf("core: SymbiosSlices must be >= 1")
+	}
+	r := rng.New(opt.Seed)
+	scheds := schedule.Sample(r, m.NumTasks(), y, z, opt.Samples)
+
+	if opt.WarmupCycles > 0 {
+		rot := scheds[0].CycleSlices()
+		rounds := int(opt.WarmupCycles/(uint64(rot)*m.SliceCycles)) + 1
+		if _, err := m.RunSchedule(scheds[0], rot*rounds); err != nil {
+			return Result{}, err
+		}
+	}
+
+	samples, err := SamplePhase(m, scheds)
+	if err != nil {
+		return Result{}, err
+	}
+	var sampleCycles uint64
+	for _, s := range scheds {
+		sampleCycles += uint64(s.CycleSlices()) * m.SliceCycles
+	}
+
+	idx := Pick(samples, opt.Predictor)
+	chosen := samples[idx].Sched
+
+	sym, err := m.RunSchedule(chosen, opt.SymbiosSlices)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Samples:      samples,
+		SampleCycles: sampleCycles,
+		ChosenIdx:    idx,
+		Chosen:       chosen,
+		Symbios:      sym,
+	}
+	if soloIPC != nil {
+		ws, err := metrics.WeightedSpeedup(sym.Cycles, sym.Committed, soloIPC)
+		if err != nil {
+			return Result{}, err
+		}
+		res.WeightedSpeedup = ws
+	}
+	return res, nil
+}

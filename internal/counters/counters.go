@@ -1,0 +1,175 @@
+// Package counters defines the hardware performance counter model.
+//
+// The modeled processor, like the Alpha 21264 the paper's simulator is based
+// on, exposes counters the jobscheduler samples at low cost: committed
+// instructions (total and by class), cycles on which each shared resource
+// suffered a conflict, data/instruction cache events, and branch predictor
+// events. SOS's predictors (Section 5.1) consume exactly these.
+package counters
+
+import "fmt"
+
+// Resource identifies one of the shared hardware resources whose conflicts
+// the paper's AllConf predictor sums: "the integer queue, the floating point
+// queue, the integer renaming registers, the floating point renaming
+// registers, scoreboard entries, integer units, floating point unit and load
+// store units".
+type Resource int
+
+// The eight conflict-counted resources.
+const (
+	IQ         Resource = iota // integer instruction queue full at dispatch
+	FQ                         // floating-point instruction queue full at dispatch
+	IntRegs                    // integer renaming registers exhausted
+	FPRegs                     // floating-point renaming registers exhausted
+	Scoreboard                 // instruction window (scoreboard entries) full
+	IntUnits                   // ready integer op denied an integer ALU
+	FPUnits                    // ready fp op denied a floating-point unit
+	LSUnits                    // ready memory op denied a load/store unit
+	NumResources
+)
+
+// String returns the resource mnemonic.
+func (r Resource) String() string {
+	switch r {
+	case IQ:
+		return "IQ"
+	case FQ:
+		return "FQ"
+	case IntRegs:
+		return "IntRegs"
+	case FPRegs:
+		return "FPRegs"
+	case Scoreboard:
+		return "Scoreboard"
+	case IntUnits:
+		return "IntUnits"
+	case FPUnits:
+		return "FPUnits"
+	case LSUnits:
+		return "LSUnits"
+	}
+	return fmt.Sprintf("Resource(%d)", int(r))
+}
+
+// Set is a snapshot of every counter. Sets are absolute totals; subtract two
+// snapshots (Sub) to measure an interval.
+type Set struct {
+	Cycles uint64
+
+	// Committed instruction counts by class.
+	Committed       uint64
+	IntCommitted    uint64 // IALU + IMUL + BRANCH
+	FPCommitted     uint64 // FADD + FMUL + FDIV
+	LoadCommitted   uint64
+	StoreCommitted  uint64
+	BranchCommitted uint64
+
+	Fetched uint64
+
+	// ConflictCycles[r] counts cycles during which resource r suffered at
+	// least one conflict (the paper's "percentage of cycles for which the
+	// schedule conflicts on each of these resources").
+	ConflictCycles [NumResources]uint64
+
+	// Branch predictor events.
+	BranchPredicts    uint64
+	BranchMispredicts uint64
+
+	// Memory system events.
+	L1DHits, L1DMisses uint64
+	L1IHits, L1IMisses uint64
+	L2Hits, L2Misses   uint64
+	TLBHits, TLBMisses uint64
+}
+
+// Sub returns the interval counters s - prev.
+func (s Set) Sub(prev Set) Set {
+	d := Set{
+		Cycles:            s.Cycles - prev.Cycles,
+		Committed:         s.Committed - prev.Committed,
+		IntCommitted:      s.IntCommitted - prev.IntCommitted,
+		FPCommitted:       s.FPCommitted - prev.FPCommitted,
+		LoadCommitted:     s.LoadCommitted - prev.LoadCommitted,
+		StoreCommitted:    s.StoreCommitted - prev.StoreCommitted,
+		BranchCommitted:   s.BranchCommitted - prev.BranchCommitted,
+		Fetched:           s.Fetched - prev.Fetched,
+		BranchPredicts:    s.BranchPredicts - prev.BranchPredicts,
+		BranchMispredicts: s.BranchMispredicts - prev.BranchMispredicts,
+		L1DHits:           s.L1DHits - prev.L1DHits,
+		L1DMisses:         s.L1DMisses - prev.L1DMisses,
+		L1IHits:           s.L1IHits - prev.L1IHits,
+		L1IMisses:         s.L1IMisses - prev.L1IMisses,
+		L2Hits:            s.L2Hits - prev.L2Hits,
+		L2Misses:          s.L2Misses - prev.L2Misses,
+		TLBHits:           s.TLBHits - prev.TLBHits,
+		TLBMisses:         s.TLBMisses - prev.TLBMisses,
+	}
+	for r := Resource(0); r < NumResources; r++ {
+		d.ConflictCycles[r] = s.ConflictCycles[r] - prev.ConflictCycles[r]
+	}
+	return d
+}
+
+// IPC returns committed instructions per cycle for the interval.
+func (s Set) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// ConflictPct returns the percentage of cycles with a conflict on r.
+func (s Set) ConflictPct(r Resource) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return 100 * float64(s.ConflictCycles[r]) / float64(s.Cycles)
+}
+
+// AllConflictPct sums the conflict percentages over all eight resources
+// (the paper's AllConf quantity; may exceed 100).
+func (s Set) AllConflictPct() float64 {
+	sum := 0.0
+	for r := Resource(0); r < NumResources; r++ {
+		sum += s.ConflictPct(r)
+	}
+	return sum
+}
+
+// L1DHitRate returns the L1 data cache hit rate in [0,1]; 1 if no accesses.
+func (s Set) L1DHitRate() float64 {
+	a := s.L1DHits + s.L1DMisses
+	if a == 0 {
+		return 1
+	}
+	return float64(s.L1DHits) / float64(a)
+}
+
+// MispredictRate returns branch mispredictions per prediction.
+func (s Set) MispredictRate() float64 {
+	if s.BranchPredicts == 0 {
+		return 0
+	}
+	return float64(s.BranchMispredicts) / float64(s.BranchPredicts)
+}
+
+// FPPct returns the percentage of committed instructions that are
+// floating-point; IntPct the percentage that are integer/branch. These feed
+// the Diversity predictor ("lowest absolute difference between percentage of
+// floating point and integer instructions").
+func (s Set) FPPct() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return 100 * float64(s.FPCommitted) / float64(s.Committed)
+}
+
+// IntPct returns the percentage of committed instructions executing on the
+// integer pipeline.
+func (s Set) IntPct() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return 100 * float64(s.IntCommitted) / float64(s.Committed)
+}

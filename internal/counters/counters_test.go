@@ -1,0 +1,145 @@
+package counters
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"symbios/internal/rng"
+)
+
+// randomSet builds a Set with bounded random counters.
+func randomSet(r *rng.Stream) Set {
+	s := Set{
+		Cycles:            uint64(r.Intn(1_000_000) + 1),
+		Committed:         uint64(r.Intn(1_000_000)),
+		IntCommitted:      uint64(r.Intn(500_000)),
+		FPCommitted:       uint64(r.Intn(500_000)),
+		LoadCommitted:     uint64(r.Intn(100_000)),
+		StoreCommitted:    uint64(r.Intn(100_000)),
+		BranchCommitted:   uint64(r.Intn(100_000)),
+		Fetched:           uint64(r.Intn(2_000_000)),
+		BranchPredicts:    uint64(r.Intn(100_000) + 1),
+		BranchMispredicts: uint64(r.Intn(10_000)),
+		L1DHits:           uint64(r.Intn(100_000)),
+		L1DMisses:         uint64(r.Intn(10_000)),
+	}
+	for i := Resource(0); i < NumResources; i++ {
+		s.ConflictCycles[i] = uint64(r.Intn(int(s.Cycles)))
+	}
+	return s
+}
+
+// add composes two Sets field-wise (test helper mirroring Sub).
+func add(a, b Set) Set {
+	c := Set{
+		Cycles:            a.Cycles + b.Cycles,
+		Committed:         a.Committed + b.Committed,
+		IntCommitted:      a.IntCommitted + b.IntCommitted,
+		FPCommitted:       a.FPCommitted + b.FPCommitted,
+		LoadCommitted:     a.LoadCommitted + b.LoadCommitted,
+		StoreCommitted:    a.StoreCommitted + b.StoreCommitted,
+		BranchCommitted:   a.BranchCommitted + b.BranchCommitted,
+		Fetched:           a.Fetched + b.Fetched,
+		BranchPredicts:    a.BranchPredicts + b.BranchPredicts,
+		BranchMispredicts: a.BranchMispredicts + b.BranchMispredicts,
+		L1DHits:           a.L1DHits + b.L1DHits,
+		L1DMisses:         a.L1DMisses + b.L1DMisses,
+		L1IHits:           a.L1IHits + b.L1IHits,
+		L1IMisses:         a.L1IMisses + b.L1IMisses,
+		L2Hits:            a.L2Hits + b.L2Hits,
+		L2Misses:          a.L2Misses + b.L2Misses,
+		TLBHits:           a.TLBHits + b.TLBHits,
+		TLBMisses:         a.TLBMisses + b.TLBMisses,
+	}
+	for i := Resource(0); i < NumResources; i++ {
+		c.ConflictCycles[i] = a.ConflictCycles[i] + b.ConflictCycles[i]
+	}
+	return c
+}
+
+// TestSubInverseOfAdd is a property test: (a+b).Sub(a) == b.
+func TestSubInverseOfAdd(t *testing.T) {
+	r := rng.New(5)
+	f := func(seed uint64) bool {
+		a, b := randomSet(r), randomSet(r)
+		return add(a, b).Sub(a) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDerivedRates checks the rate helpers on a hand-built set.
+func TestDerivedRates(t *testing.T) {
+	s := Set{
+		Cycles:            1000,
+		Committed:         2500,
+		IntCommitted:      1000,
+		FPCommitted:       1500,
+		BranchPredicts:    200,
+		BranchMispredicts: 20,
+		L1DHits:           900,
+		L1DMisses:         100,
+	}
+	s.ConflictCycles[FQ] = 250
+	s.ConflictCycles[FPUnits] = 500
+
+	if s.IPC() != 2.5 {
+		t.Errorf("IPC %f", s.IPC())
+	}
+	if s.ConflictPct(FQ) != 25 {
+		t.Errorf("FQ conflict %f", s.ConflictPct(FQ))
+	}
+	if s.AllConflictPct() != 75 {
+		t.Errorf("AllConf %f", s.AllConflictPct())
+	}
+	if s.L1DHitRate() != 0.9 {
+		t.Errorf("L1D hit rate %f", s.L1DHitRate())
+	}
+	if s.MispredictRate() != 0.1 {
+		t.Errorf("mispredict rate %f", s.MispredictRate())
+	}
+	if s.FPPct() != 60 || s.IntPct() != 40 {
+		t.Errorf("mix percentages %f/%f", s.FPPct(), s.IntPct())
+	}
+}
+
+// TestEmptySetRates: zero-length intervals degrade gracefully.
+func TestEmptySetRates(t *testing.T) {
+	var s Set
+	if s.IPC() != 0 || s.ConflictPct(IQ) != 0 || s.MispredictRate() != 0 {
+		t.Error("empty set produced nonzero rates")
+	}
+	if s.L1DHitRate() != 1 {
+		t.Error("no accesses should read as a perfect hit rate")
+	}
+	if s.FPPct() != 0 || s.IntPct() != 0 {
+		t.Error("empty set mix percentages nonzero")
+	}
+}
+
+// TestResourceNames covers the mnemonics used in reports.
+func TestResourceNames(t *testing.T) {
+	want := []string{"IQ", "FQ", "IntRegs", "FPRegs", "Scoreboard", "IntUnits", "FPUnits", "LSUnits"}
+	for i, name := range want {
+		if Resource(i).String() != name {
+			t.Errorf("resource %d: %q want %q", i, Resource(i), name)
+		}
+	}
+	if Resource(99).String() != "Resource(99)" {
+		t.Errorf("unknown resource: %q", Resource(99))
+	}
+}
+
+// TestAllConflictMayExceed100 documents the paper's AllConf semantics: the
+// sum over eight resources can exceed 100%.
+func TestAllConflictMayExceed100(t *testing.T) {
+	s := Set{Cycles: 100}
+	for i := Resource(0); i < NumResources; i++ {
+		s.ConflictCycles[i] = 50
+	}
+	if got := s.AllConflictPct(); math.Abs(got-400) > 1e-9 {
+		t.Errorf("AllConf %f, want 400", got)
+	}
+}

@@ -1,0 +1,23 @@
+package counters_test
+
+import (
+	"fmt"
+
+	"symbios/internal/counters"
+)
+
+// Counter sets are absolute totals; subtracting two snapshots measures an
+// interval, and the derived rates follow the paper's definitions.
+func ExampleSet_Sub() {
+	var start, end counters.Set
+	start.Cycles, end.Cycles = 1_000_000, 2_000_000
+	start.Committed, end.Committed = 1_500_000, 4_500_000
+	start.ConflictCycles[counters.FQ], end.ConflictCycles[counters.FQ] = 100_000, 350_000
+
+	d := end.Sub(start)
+	fmt.Printf("interval IPC %.1f\n", d.IPC())
+	fmt.Printf("FQ conflicts on %.1f%% of cycles\n", d.ConflictPct(counters.FQ))
+	// Output:
+	// interval IPC 3.0
+	// FQ conflicts on 25.0% of cycles
+}

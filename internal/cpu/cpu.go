@@ -1,0 +1,676 @@
+// Package cpu implements the cycle-level simultaneous multithreading
+// processor simulator that substitutes for SMTSIM.
+//
+// The model is an out-of-order superscalar core based on the Alpha 21264
+// with hardware contexts added for SMT, simulated cycle by cycle:
+//
+//   - Fetch uses the ICOUNT.2.8 policy: up to FetchWidth instructions per
+//     cycle from up to FetchThreads threads, favouring threads with the
+//     fewest instructions in the pre-issue pipeline stages.
+//   - Fetched instructions claim a reorder-window slot (scoreboard entry), an
+//     integer or floating-point renaming register, and a slot in the shared
+//     integer or floating-point instruction queue. Exhaustion of any of these
+//     is recorded as a conflict on that resource.
+//   - Issue selects ready instructions oldest-first from each queue, limited
+//     by functional unit availability (integer ALUs, floating-point units,
+//     load/store units) and total issue width; a ready instruction denied a
+//     unit records a conflict on that unit class. FDIV occupies its unit
+//     non-pipelined; everything else is fully pipelined.
+//   - Loads and stores probe the shared DTLB/L1D/L2/memory hierarchy at
+//     issue; the access latency determines completion time.
+//   - Branches consult the shared gshare predictor at fetch. A mispredicted
+//     branch stops the thread's fetch until the branch resolves, plus a
+//     pipeline-refill penalty.
+//   - Instructions retire in order per thread, freeing window slots and
+//     renaming registers.
+//
+// Contexts are attached to instruction streams (see internal/trace) by the
+// jobscheduler; detaching a context squashes its in-flight instructions and
+// reports the sequence number to resume from, so a job's execution replays
+// exactly regardless of how it is timesliced.
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"symbios/internal/arch"
+	"symbios/internal/branch"
+	"symbios/internal/cache"
+	"symbios/internal/counters"
+	"symbios/internal/trace"
+)
+
+// Source supplies a thread's dynamic instruction stream. At must be a pure
+// function of seq (see internal/trace).
+type Source interface {
+	At(seq uint64) trace.Inst
+}
+
+// SyncGate coordinates SYNC (barrier) instructions between threads of a
+// multithreaded job. TryPass is called when a thread is about to fetch past
+// barrier number idx; it must be idempotent and return true once every
+// sibling thread has arrived at idx.
+type SyncGate interface {
+	TryPass(thread int, idx uint64) bool
+}
+
+const noSeq = math.MaxUint64
+
+// uopState tracks an instruction's progress through the pipeline.
+type uopState uint8
+
+const (
+	stQueued uopState = iota // dispatched, waiting in IQ/FQ
+	stIssued                 // executing on a functional unit
+	stDone                   // completed, awaiting in-order retire
+)
+
+// uop is one in-flight instruction occupying a window slot.
+type uop struct {
+	op         trace.Op
+	seq        uint64
+	dep1, dep2 uint64 // producer sequence numbers; noSeq when absent
+	addr       uint64
+	pc         uint64
+	taken      bool
+	mispred    bool
+	isFP       bool // claims an fp rename register and the FQ
+	state      uopState
+	doneAt     uint64 // completion cycle, valid once issued
+}
+
+// thread is the per-context state.
+type thread struct {
+	src  Source
+	gate SyncGate
+	id   int // thread id passed to the gate
+
+	seq       uint64 // next instruction to fetch
+	committed uint64 // instructions retired since attach
+
+	// Reorder window: a ring of window slots (power-of-two length).
+	win   []uop
+	mask  int // len(win)-1
+	head  int // index of oldest
+	count int
+
+	headSeq uint64 // seq of the oldest in-flight instruction (== seq when empty)
+
+	unissued int // ICOUNT: instructions fetched but not yet issued
+
+	fetchStallUntil uint64 // icache miss or post-mispredict refill
+	waitBranch      uint64 // seq of unresolved mispredicted branch, or noSeq
+	blockedBarrier  uint64 // barrier index the thread is blocked on, or noSeq
+	curLine         uint64 // last icache line fetched (1 + line address; 0 = none)
+
+	gen uint32 // attach generation, to invalidate stale wheel entries
+}
+
+func (t *thread) windowFull() bool { return t.count == len(t.win) }
+
+// slotIndex returns the ring index for in-window sequence number s.
+func (t *thread) slotIndex(s uint64) int {
+	off := int(s - t.headSeq)
+	return (t.head + off) & t.mask
+}
+
+// qent is a queue/wheel reference to a window slot. retry caches the
+// instruction's earliest possible readiness cycle so the issue scan can
+// skip it without touching the window.
+type qent struct {
+	ctx   int32
+	slot  int32
+	gen   uint32
+	retry uint64
+}
+
+const wheelSize = 1024 // > worst-case instruction latency
+
+// Core is the simulated SMT processor.
+type Core struct {
+	cfg arch.Config
+	mem *cache.Hierarchy
+	bp  *branch.Predictor
+
+	threads []*thread // nil when the context is idle
+	ctxGen  []uint32  // per-context attach generation; survives detach
+
+	intQ []qent // age-ordered
+	fpQ  []qent
+
+	intRegsFree int
+	fpRegsFree  int
+
+	ialuBusy []uint64 // busy-until cycle per unit
+	fpuBusy  []uint64
+	lsuBusy  []uint64
+
+	wheel [wheelSize][]qent
+
+	cycle uint64
+	ctr   counters.Set
+
+	// per-cycle conflict latches
+	conf [counters.NumResources]bool
+
+	lineMask uint64
+}
+
+// New constructs a core for cfg. The memory hierarchy and branch predictor
+// are created cold.
+func New(cfg arch.Config) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	maxLat := cfg.L1DHitLatency + cfg.TLBMissPenalty + cfg.L2HitLatency + cfg.MemLatency + cfg.FPDivLatency + 2
+	if maxLat >= wheelSize {
+		return nil, fmt.Errorf("cpu: configured latencies (%d) exceed wheel capacity %d", maxLat, wheelSize)
+	}
+	if cfg.WindowSize&(cfg.WindowSize-1) != 0 {
+		return nil, fmt.Errorf("cpu: WindowSize %d must be a power of two", cfg.WindowSize)
+	}
+	c := &Core{
+		cfg:         cfg,
+		mem:         cache.NewHierarchy(cfg),
+		bp:          branch.New(cfg.BranchPHTBits, cfg.BranchHistBits, cfg.Contexts),
+		threads:     make([]*thread, cfg.Contexts),
+		ctxGen:      make([]uint32, cfg.Contexts),
+		intQ:        make([]qent, 0, cfg.IntQueue),
+		fpQ:         make([]qent, 0, cfg.FPQueue),
+		intRegsFree: cfg.IntRenameRegs,
+		fpRegsFree:  cfg.FPRenameRegs,
+		ialuBusy:    make([]uint64, cfg.IntALUs),
+		fpuBusy:     make([]uint64, cfg.FPUnits),
+		lsuBusy:     make([]uint64, cfg.LSUnits),
+		lineMask:    ^uint64(cfg.L1ILineBytes - 1),
+	}
+	return c, nil
+}
+
+// Config returns the architecture configuration.
+func (c *Core) Config() arch.Config { return c.cfg }
+
+// Cycle returns the current cycle number.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Mem exposes the memory hierarchy (for warmup and diagnostics).
+func (c *Core) Mem() *cache.Hierarchy { return c.mem }
+
+// Attach binds src to hardware context ctx, starting at startSeq. gate may
+// be nil for single-threaded jobs; threadID is the identifier passed to the
+// gate for barrier coordination. Attach panics if the context is occupied or
+// out of range, which indicates a scheduler bug.
+func (c *Core) Attach(ctx int, src Source, startSeq uint64, gate SyncGate, threadID int) {
+	if ctx < 0 || ctx >= len(c.threads) {
+		panic(fmt.Sprintf("cpu: Attach to context %d of %d", ctx, len(c.threads)))
+	}
+	if c.threads[ctx] != nil {
+		panic(fmt.Sprintf("cpu: context %d already occupied", ctx))
+	}
+	c.ctxGen[ctx]++
+	t := &thread{
+		src:            src,
+		gate:           gate,
+		id:             threadID,
+		seq:            startSeq,
+		headSeq:        startSeq,
+		win:            make([]uop, c.cfg.WindowSize),
+		mask:           c.cfg.WindowSize - 1,
+		waitBranch:     noSeq,
+		blockedBarrier: noSeq,
+		gen:            c.ctxGen[ctx],
+	}
+	c.threads[ctx] = t
+	c.bp.ResetHistory(ctx)
+}
+
+// Detach removes the thread on ctx, squashing its in-flight instructions,
+// and returns the sequence number at which the job should later resume (the
+// oldest unretired instruction) along with the number of instructions it
+// committed while attached.
+func (c *Core) Detach(ctx int) (resumeSeq, committed uint64) {
+	t := c.threads[ctx]
+	if t == nil {
+		panic(fmt.Sprintf("cpu: Detach of idle context %d", ctx))
+	}
+	// Reclaim rename registers held by in-flight instructions.
+	for i := 0; i < t.count; i++ {
+		u := &t.win[(t.head+i)&t.mask]
+		if u.isFP {
+			c.fpRegsFree++
+		} else {
+			c.intRegsFree++
+		}
+	}
+	// Purge queue entries belonging to this context. Wheel entries are
+	// invalidated lazily via the generation check.
+	c.intQ = purge(c.intQ, ctx)
+	c.fpQ = purge(c.fpQ, ctx)
+	resume, n := t.headSeq, t.committed
+	c.threads[ctx] = nil
+	return resume, n
+}
+
+// Occupied reports whether context ctx has a thread attached.
+func (c *Core) Occupied(ctx int) bool { return c.threads[ctx] != nil }
+
+// ThreadCommitted returns instructions committed by the thread on ctx since
+// it was attached.
+func (c *Core) ThreadCommitted(ctx int) uint64 {
+	if t := c.threads[ctx]; t != nil {
+		return t.committed
+	}
+	return 0
+}
+
+func purge(q []qent, ctx int) []qent {
+	out := q[:0]
+	for _, e := range q {
+		if int(e.ctx) != ctx {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Snapshot returns the current counter totals, including memory-system and
+// branch-predictor counters.
+func (c *Core) Snapshot() counters.Set {
+	s := c.ctr
+	s.Cycles = c.cycle
+	l1d, l1i, l2, tlb := c.mem.L1D.Stats(), c.mem.L1I.Stats(), c.mem.L2.Stats(), c.mem.DTLB.Stats()
+	s.L1DHits, s.L1DMisses = l1d.Hits, l1d.Misses
+	s.L1IHits, s.L1IMisses = l1i.Hits, l1i.Misses
+	s.L2Hits, s.L2Misses = l2.Hits, l2.Misses
+	s.TLBHits, s.TLBMisses = tlb.Hits, tlb.Misses
+	s.BranchPredicts, s.BranchMispredicts = c.bp.Stats()
+	return s
+}
+
+// Run simulates n cycles.
+func (c *Core) Run(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.step()
+	}
+}
+
+// step advances the core by one cycle.
+func (c *Core) step() {
+	c.cycle++
+	for r := range c.conf {
+		c.conf[r] = false
+	}
+
+	c.complete()
+	c.retire()
+	c.issue()
+	c.fetch()
+
+	for r := counters.Resource(0); r < counters.NumResources; r++ {
+		if c.conf[r] {
+			c.ctr.ConflictCycles[r]++
+		}
+	}
+}
+
+// complete processes instructions whose execution finishes this cycle.
+func (c *Core) complete() {
+	slot := &c.wheel[c.cycle%wheelSize]
+	for _, e := range *slot {
+		t := c.threads[int(e.ctx)]
+		if t == nil || t.gen != e.gen {
+			continue // squashed
+		}
+		u := &t.win[e.slot]
+		if u.state != stIssued {
+			continue
+		}
+		u.state = stDone
+		if u.op == trace.BRANCH && u.mispred && t.waitBranch == u.seq {
+			// Resolve: fetch restarts after the refill penalty.
+			t.waitBranch = noSeq
+			t.fetchStallUntil = c.cycle + uint64(c.cfg.MispredictPenalty)
+		}
+	}
+	*slot = (*slot)[:0]
+}
+
+// retire commits completed instructions in order, per thread.
+func (c *Core) retire() {
+	for _, t := range c.threads {
+		if t == nil {
+			continue
+		}
+		for n := 0; n < c.cfg.RetireWidth && t.count > 0; n++ {
+			u := &t.win[t.head]
+			if u.state != stDone {
+				break
+			}
+			if u.isFP {
+				c.fpRegsFree++
+				c.ctr.FPCommitted++
+			} else {
+				c.intRegsFree++
+				switch u.op {
+				case trace.LOAD:
+					c.ctr.LoadCommitted++
+				case trace.STORE:
+					c.ctr.StoreCommitted++
+				case trace.BRANCH:
+					c.ctr.BranchCommitted++
+					c.ctr.IntCommitted++
+				default:
+					c.ctr.IntCommitted++
+				}
+			}
+			c.ctr.Committed++
+			t.committed++
+			t.head = (t.head + 1) & t.mask
+			t.headSeq++
+			t.count--
+		}
+	}
+}
+
+// availAt returns the earliest cycle u's producers could all be complete:
+// the current cycle if ready now, the producer's known completion cycle if
+// it is executing, or a near-future guess if it is still queued. The issue
+// logic uses this to skip re-checking instructions that cannot possibly
+// become ready yet.
+func (c *Core) availAt(t *thread, u *uop) uint64 {
+	a := c.depAvail(t, u.dep1)
+	if b := c.depAvail(t, u.dep2); b > a {
+		a = b
+	}
+	return a
+}
+
+func (c *Core) depAvail(t *thread, p uint64) uint64 {
+	if p == noSeq || p < t.headSeq {
+		return 0 // absent, retired or pre-attach: available
+	}
+	w := &t.win[t.slotIndex(p)]
+	if w.seq != p {
+		// The producer was squashed by a detach and never re-fetched under
+		// this attachment; its value is architecturally available on resume.
+		return 0
+	}
+	switch w.state {
+	case stDone:
+		return 0
+	case stIssued:
+		return w.doneAt
+	default:
+		// Still queued: it needs to issue and execute first.
+		return c.cycle + 2
+	}
+}
+
+// unitFor returns the busy array for u's unit class and the conflict
+// resource to charge when no unit is free.
+func (c *Core) unitFor(u *uop) ([]uint64, counters.Resource) {
+	switch {
+	case u.op.IsMem():
+		return c.lsuBusy, counters.LSUnits
+	case u.op.IsFP():
+		return c.fpuBusy, counters.FPUnits
+	default:
+		return c.ialuBusy, counters.IntUnits
+	}
+}
+
+// latency returns u's execution latency; memory ops probe the hierarchy.
+func (c *Core) latency(u *uop) int {
+	switch u.op {
+	case trace.IALU, trace.SYNC:
+		return c.cfg.IntALULatency
+	case trace.IMUL:
+		return c.cfg.IntMulLatency
+	case trace.FADD:
+		return c.cfg.FPAddLatency
+	case trace.FMUL:
+		return c.cfg.FPMulLatency
+	case trace.FDIV:
+		return c.cfg.FPDivLatency
+	case trace.BRANCH:
+		return c.cfg.BranchLatency
+	case trace.LOAD:
+		lat, _ := c.mem.DataAccess(u.addr)
+		return lat
+	case trace.STORE:
+		// The store probes the cache for contention accounting, but the
+		// write buffer lets dependents proceed after a single cycle.
+		c.mem.DataAccess(u.addr)
+		return 1
+	}
+	panic("cpu: unknown op")
+}
+
+// issue selects ready instructions from the queues, oldest first.
+func (c *Core) issue() {
+	budget := c.cfg.IssueWidth
+	budget = c.issueQueue(&c.intQ, budget)
+	c.issueQueue(&c.fpQ, budget)
+}
+
+func (c *Core) issueQueue(q *[]qent, budget int) int {
+	issued := 0
+	qq := *q
+	for i := range qq {
+		e := &qq[i]
+		if budget == 0 {
+			break
+		}
+		if e.retry > c.cycle {
+			continue
+		}
+		t := c.threads[int(e.ctx)]
+		u := &t.win[e.slot]
+		if avail := c.availAt(t, u); avail > c.cycle {
+			e.retry = avail
+			continue
+		}
+		busy, res := c.unitFor(u)
+		unit := -1
+		for k := range busy {
+			if busy[k] <= c.cycle {
+				unit = k
+				break
+			}
+		}
+		if unit < 0 {
+			c.conf[res] = true
+			continue
+		}
+		lat := c.latency(u)
+		if u.op == trace.FDIV {
+			busy[unit] = c.cycle + uint64(lat) // divider is not pipelined
+		} else {
+			busy[unit] = c.cycle + 1
+		}
+		u.state = stIssued
+		u.doneAt = c.cycle + uint64(lat)
+		c.wheel[u.doneAt%wheelSize] = append(c.wheel[u.doneAt%wheelSize], *e)
+		t.unissued--
+		e.ctx = -1 // tombstone
+		issued++
+		budget--
+	}
+	if issued > 0 {
+		out := qq[:0]
+		for _, e := range qq {
+			if e.ctx >= 0 {
+				out = append(out, e)
+			}
+		}
+		*q = out
+	}
+	return budget
+}
+
+// fetch implements the fetch stage (ICOUNT.2.8 by default) plus rename and
+// dispatch.
+func (c *Core) fetch() {
+	var order [16]int
+	n := 0
+	for ctx, t := range c.threads {
+		if t == nil {
+			continue
+		}
+		order[n] = ctx
+		n++
+	}
+	if c.cfg.FetchPolicy == arch.FetchRoundRobin {
+		// Rotate priority by cycle, ignoring pipeline occupancy.
+		if n > 1 {
+			k := int(c.cycle) % n
+			var rot [16]int
+			for i := 0; i < n; i++ {
+				rot[i] = order[(i+k)%n]
+			}
+			order = rot
+		}
+	} else {
+		// Insertion sort by unissued count (ICOUNT); context count is tiny.
+		for i := 1; i < n; i++ {
+			for j := i; j > 0; j-- {
+				a, b := c.threads[order[j-1]], c.threads[order[j]]
+				if b.unissued < a.unissued {
+					order[j-1], order[j] = order[j], order[j-1]
+				} else {
+					break
+				}
+			}
+		}
+	}
+
+	budget := c.cfg.FetchWidth
+	threadsUsed := 0
+	for i := 0; i < n && budget > 0 && threadsUsed < c.cfg.FetchThreads; i++ {
+		ctx := order[i]
+		got, attempted := c.fetchThread(ctx, budget)
+		budget -= got
+		if attempted {
+			threadsUsed++
+		}
+	}
+}
+
+// fetchThread fetches up to max instructions for ctx. It returns how many
+// were fetched and whether the thread consumed a fetch port.
+func (c *Core) fetchThread(ctx, max int) (fetched int, attempted bool) {
+	t := c.threads[ctx]
+	if t.fetchStallUntil > c.cycle || t.waitBranch != noSeq {
+		return 0, false
+	}
+	if t.blockedBarrier != noSeq {
+		if !t.gate.TryPass(t.id, t.blockedBarrier) {
+			return 0, false
+		}
+		t.blockedBarrier = noSeq
+		t.seq++ // consume the SYNC marker
+	}
+	for fetched < max {
+		if t.windowFull() {
+			c.conf[counters.Scoreboard] = true
+			break
+		}
+		in := t.src.At(t.seq)
+
+		if in.Op == trace.SYNC {
+			idx := in.Seq // barrier ordinal is encoded in Seq by the workload wrapper
+			if t.gate == nil || t.gate.TryPass(t.id, idx) {
+				t.seq++
+				fetched++ // a consumed barrier occupies a fetch slot
+				continue
+			}
+			t.blockedBarrier = idx
+			break
+		}
+
+		attempted = true
+
+		// Instruction cache.
+		line := in.PC&c.lineMask + 1
+		if line != t.curLine {
+			if stall := c.mem.InstAccess(in.PC); stall > 0 {
+				t.fetchStallUntil = c.cycle + uint64(stall)
+				t.curLine = line // the miss fills the line
+				break
+			}
+			t.curLine = line
+		}
+
+		// Rename register.
+		isFP := in.Op.IsFP()
+		if isFP {
+			if c.fpRegsFree == 0 {
+				c.conf[counters.FPRegs] = true
+				break
+			}
+		} else if c.intRegsFree == 0 {
+			c.conf[counters.IntRegs] = true
+			break
+		}
+
+		// Instruction queue slot.
+		if isFP {
+			if len(c.fpQ) == c.cfg.FPQueue {
+				c.conf[counters.FQ] = true
+				break
+			}
+		} else if len(c.intQ) == c.cfg.IntQueue {
+			c.conf[counters.IQ] = true
+			break
+		}
+
+		// All resources available: dispatch.
+		slot := (t.head + t.count) & t.mask
+		u := &t.win[slot]
+		*u = uop{
+			op:    in.Op,
+			seq:   t.seq,
+			dep1:  depSeq(t.seq, in.Dep1),
+			dep2:  depSeq(t.seq, in.Dep2),
+			addr:  in.Addr,
+			pc:    in.PC,
+			taken: in.Taken,
+			isFP:  isFP,
+			state: stQueued,
+		}
+		if isFP {
+			c.fpRegsFree--
+			c.fpQ = append(c.fpQ, qent{ctx: int32(ctx), slot: int32(slot), gen: t.gen})
+		} else {
+			c.intRegsFree--
+			c.intQ = append(c.intQ, qent{ctx: int32(ctx), slot: int32(slot), gen: t.gen})
+		}
+		t.count++
+		t.unissued++
+		t.seq++
+		fetched++
+		c.ctr.Fetched++
+
+		if in.Op == trace.BRANCH {
+			if correct := c.bp.Lookup(ctx, in.PC, in.Taken); !correct {
+				u.mispred = true
+				t.waitBranch = u.seq
+				break
+			}
+		}
+	}
+	return fetched, attempted
+}
+
+// depSeq converts a producer distance to an absolute sequence number.
+func depSeq(seq uint64, dist uint32) uint64 {
+	if dist == 0 {
+		return noSeq
+	}
+	d := uint64(dist)
+	if d > seq {
+		return noSeq
+	}
+	return seq - d
+}

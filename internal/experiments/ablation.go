@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+
+	"symbios/internal/arch"
+	"symbios/internal/core"
+	"symbios/internal/metrics"
+	"symbios/internal/schedule"
+	"symbios/internal/workload"
+)
+
+// The ablation studies probe the design choices DESIGN.md calls out: how
+// many schedules the sample phase needs, how robust the predictor choice is
+// to the random sample drawn, and how much the ICOUNT fetch policy
+// contributes to the substrate's behaviour.
+
+// SampleCountRow reports SOS quality as a function of the number of
+// schedules sampled (the paper argues "a small sample of the possible
+// schedules is sufficient to identify a good schedule quickly").
+type SampleCountRow struct {
+	Samples  int
+	ChosenWS float64
+	BestWS   float64 // best within the drawn sample
+	AvgWS    float64
+	Regret   float64 // (best - chosen) / best
+}
+
+// AblationSampleCount evaluates Score-predicted quality for several sample
+// sizes on one mix. The schedule space must be large enough that sample
+// size matters; Jsb(8,4,1) (2520 schedules) is a good subject.
+func AblationSampleCount(label string, sc Scale, counts []int) ([]SampleCountRow, error) {
+	if _, err := workload.MixByLabel(label); err != nil {
+		return nil, err
+	}
+	if counts == nil {
+		counts = []int{2, 5, 10, 20}
+	}
+	var rows []SampleCountRow
+	for _, n := range counts {
+		s := sc
+		s.MaxSamples = n
+		ClearEvalCache()
+		ev, err := EvalMix(label, s)
+		if err != nil {
+			return nil, err
+		}
+		chosen := ev.PredictorWS(core.PredScore)
+		rows = append(rows, SampleCountRow{
+			Samples:  len(ev.Scheds),
+			ChosenWS: chosen,
+			BestWS:   ev.Best(),
+			AvgWS:    ev.Avg(),
+			Regret:   (ev.Best() - chosen) / ev.Best(),
+		})
+	}
+	return rows, nil
+}
+
+// SeedRow reports one random-sample draw's outcome.
+type SeedRow struct {
+	Seed     uint64
+	ChosenWS float64
+	AvgWS    float64
+	GainPct  float64
+}
+
+// AblationSeeds re-draws the random schedule sample under different seeds
+// and reports the Score predictor's gain over the random-scheduler
+// expectation each time — the robustness of "10 random schedules is
+// enough".
+func AblationSeeds(label string, sc Scale, seeds []uint64) ([]SeedRow, error) {
+	if seeds == nil {
+		seeds = []uint64{1, 2, 3, 4, 5}
+	}
+	var rows []SeedRow
+	for _, seed := range seeds {
+		s := sc
+		s.Seed = seed
+		ClearEvalCache()
+		ev, err := EvalMix(label, s)
+		if err != nil {
+			return nil, err
+		}
+		chosen := ev.PredictorWS(core.PredScore)
+		rows = append(rows, SeedRow{
+			Seed:     seed,
+			ChosenWS: chosen,
+			AvgWS:    ev.Avg(),
+			GainPct:  100 * (chosen - ev.Avg()) / ev.Avg(),
+		})
+	}
+	return rows, nil
+}
+
+// FetchPolicyRow compares the substrate under ICOUNT versus round-robin
+// fetch for one coschedule.
+type FetchPolicyRow struct {
+	Policy       string
+	IPC          float64
+	WS           float64
+	SpreadBestWS float64
+	SpreadWorst  float64
+}
+
+// AblationFetchPolicy runs the Jsb(6,3,3) schedule spread under both fetch
+// policies. ICOUNT is expected to deliver higher throughput (it starves
+// stalled threads of fetch bandwidth); the schedule-sensitivity phenomenon
+// must survive under both, showing SOS does not depend on one fetch policy.
+func AblationFetchPolicy(sc Scale) ([]FetchPolicyRow, error) {
+	mix := workload.MustMix("Jsb(6,3,3)")
+	scheds, err := schedule.Enumerate(mix.Tasks(), mix.SMTLevel, mix.Swap, 100)
+	if err != nil {
+		return nil, err
+	}
+	var rows []FetchPolicyRow
+	for _, policy := range []arch.FetchPolicy{arch.FetchICOUNT, arch.FetchRoundRobin} {
+		cfg := arch.Default21264(mix.SMTLevel)
+		cfg.FetchPolicy = policy
+
+		jobs, seeds, err := buildJobs(mix, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		solo, err := core.SoloRates(cfg, jobs, seeds, sc.CalibWarmup, sc.CalibMeasure)
+		if err != nil {
+			return nil, err
+		}
+
+		var wss []float64
+		var ipcs []float64
+		for _, s := range scheds {
+			jobs, _, err := buildJobs(mix, sc.Seed)
+			if err != nil {
+				return nil, err
+			}
+			m, err := core.NewMachine(cfg, jobs, sc.Slice)
+			if err != nil {
+				return nil, err
+			}
+			if err := warm(m, s, sc.WarmupCycles); err != nil {
+				return nil, err
+			}
+			res, err := m.RunSchedule(s, sc.symbiosSlices(sc.Slice, s.CycleSlices()))
+			if err != nil {
+				return nil, err
+			}
+			ws, err := metrics.WeightedSpeedup(res.Cycles, res.Committed, solo)
+			if err != nil {
+				return nil, err
+			}
+			wss = append(wss, ws)
+			ipcs = append(ipcs, res.Counters.IPC())
+		}
+		rows = append(rows, FetchPolicyRow{
+			Policy:       policy.String(),
+			IPC:          metrics.Mean(ipcs),
+			WS:           metrics.Mean(wss),
+			SpreadBestWS: metrics.Max(wss),
+			SpreadWorst:  metrics.Min(wss),
+		})
+	}
+	return rows, nil
+}
+
+// String renders a fetch-policy row for reports.
+func (r FetchPolicyRow) String() string {
+	return fmt.Sprintf("%-10s mean IPC %.3f  mean WS %.3f  best %.3f  worst %.3f",
+		r.Policy, r.IPC, r.WS, r.SpreadBestWS, r.SpreadWorst)
+}

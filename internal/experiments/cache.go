@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+)
+
+// evalCache memoizes MixEval results within a process. Figures 1 and 3 and
+// the warmstart study are different views of the same underlying
+// experiments (as in the paper), so the harness evaluates each (mix, scale)
+// pair once. Entries are deterministic functions of their key.
+var evalCache sync.Map // string -> *MixEval
+
+// cacheKey identifies an evaluation.
+func cacheKey(label string, sc Scale) string {
+	return fmt.Sprintf("%s|%d|%d|%d|%d|%d|%d|%d|%d|%d",
+		label, sc.Slice, sc.LittleDivisor, sc.SymbiosCycles, sc.WarmupCycles,
+		sc.CalibWarmup, sc.CalibMeasure, sc.SampleRounds, sc.MaxSamples, sc.Seed)
+}
+
+// EvalMixCached returns the memoized evaluation of a mix, computing it on
+// first use.
+func EvalMixCached(label string, sc Scale) (*MixEval, error) {
+	key := cacheKey(label, sc)
+	if v, ok := evalCache.Load(key); ok {
+		return v.(*MixEval), nil
+	}
+	ev, err := EvalMix(label, sc)
+	if err != nil {
+		return nil, err
+	}
+	evalCache.Store(key, ev)
+	return ev, nil
+}
+
+// ClearEvalCache discards all memoized evaluations (tests use this to force
+// recomputation).
+func ClearEvalCache() {
+	evalCache.Range(func(k, _ any) bool {
+		evalCache.Delete(k)
+		return true
+	})
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"symbios/internal/arch"
+	"symbios/internal/core"
+	"symbios/internal/metrics"
+	"symbios/internal/schedule"
+	"symbios/internal/workload"
+)
+
+// ColdstartRow reports weighted speedup at one timeslice length.
+type ColdstartRow struct {
+	SliceCycles uint64
+	WS          float64
+	IPC         float64
+	L1DHitPct   float64
+}
+
+// ColdstartStudy quantifies the Section 8 coldstart effect directly:
+// the same Jsb(6,3,3) schedule is run at a range of timeslice lengths.
+// Short timeslices pay cache and predictor coldstart on every context
+// switch; as the resident timeslice grows the costs amortize and weighted
+// speedup approaches its asymptote. (The warmstart policies of Section 8
+// achieve the same amortization by swapping fewer jobs per slice.)
+func ColdstartStudy(sc Scale, slices []uint64) ([]ColdstartRow, error) {
+	if slices == nil {
+		slices = []uint64{25_000, 50_000, 100_000, 200_000, 400_000}
+	}
+	mix := workload.MustMix("Jsb(6,3,3)")
+	cfg := arch.Default21264(mix.SMTLevel)
+
+	jobs, seeds, err := buildJobs(mix, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	solo, err := core.SoloRates(cfg, jobs, seeds, sc.CalibWarmup, sc.CalibMeasure)
+	if err != nil {
+		return nil, err
+	}
+	s := schedule.Schedule{Order: []int{0, 1, 2, 3, 4, 5}, Y: mix.SMTLevel, Z: mix.Swap}
+
+	var rows []ColdstartRow
+	for _, slice := range slices {
+		jobs, _, err := buildJobs(mix, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.NewMachine(cfg, jobs, slice)
+		if err != nil {
+			return nil, err
+		}
+		if err := warm(m, s, sc.WarmupCycles); err != nil {
+			return nil, err
+		}
+		res, err := m.RunSchedule(s, sc.symbiosSlices(slice, s.CycleSlices()))
+		if err != nil {
+			return nil, err
+		}
+		ws, err := metrics.WeightedSpeedup(res.Cycles, res.Committed, solo)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ColdstartRow{
+			SliceCycles: slice,
+			WS:          ws,
+			IPC:         res.Counters.IPC(),
+			L1DHitPct:   100 * res.Counters.L1DHitRate(),
+		})
+	}
+	return rows, nil
+}

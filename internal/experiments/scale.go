@@ -1,0 +1,108 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, producing the same rows and series the paper reports.
+//
+// The paper's cycle counts (5M-cycle timeslices, 2B-cycle symbios phases)
+// are scaled down by a configurable factor with all phase *ratios*
+// preserved; weighted speedups and relative improvements are ratios and are
+// insensitive to the scale once caches are warm. Scale 1.0 reproduces the
+// paper's absolute cycle counts.
+package experiments
+
+import (
+	"symbios/internal/workload"
+)
+
+// Scale fixes every cycle budget an experiment uses.
+type Scale struct {
+	// Slice is the big timeslice in cycles (the paper's 5M-cycle clock
+	// pulse, "a 10 millisecond timer interrupt on a 500 MHz system").
+	Slice uint64
+	// LittleDivisor derives the little ('l') timeslice: Slice/LittleDivisor.
+	LittleDivisor uint64
+	// SymbiosCycles is the symbios-phase length (the paper's 2B cycles).
+	SymbiosCycles uint64
+	// WarmupCycles precede any measurement: the machine runs the workload
+	// unrecorded until the memory system reaches steady state ("we begin
+	// simulation with each benchmark partially executed").
+	WarmupCycles uint64
+	// CalibWarmup and CalibMeasure are the solo-rate calibration intervals.
+	CalibWarmup, CalibMeasure uint64
+	// SampleRounds is how many full rotations each sampled schedule runs in
+	// the sample phase (the paper uses exactly one).
+	SampleRounds int
+	// MaxSamples caps the schedules sampled per mix (the paper uses 10).
+	MaxSamples int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultScale is the 1/50-of-paper scale used by tests and benches:
+// 100k-cycle slices and 8M-cycle symbios phases keep a full figure run in
+// minutes while preserving the sample:symbios ratio within 2x of the
+// paper's.
+func DefaultScale() Scale {
+	return Scale{
+		Slice:         100_000,
+		LittleDivisor: 4,
+		SymbiosCycles: 8_000_000,
+		WarmupCycles:  2_000_000,
+		CalibWarmup:   1_500_000,
+		CalibMeasure:  500_000,
+		SampleRounds:  1,
+		MaxSamples:    10,
+		Seed:          1,
+	}
+}
+
+// QuickScale is a further-reduced scale for unit tests.
+func QuickScale() Scale {
+	return Scale{
+		Slice:         40_000,
+		LittleDivisor: 4,
+		SymbiosCycles: 1_500_000,
+		WarmupCycles:  1_000_000,
+		CalibWarmup:   1_000_000,
+		CalibMeasure:  300_000,
+		SampleRounds:  1,
+		MaxSamples:    10,
+		Seed:          1,
+	}
+}
+
+// PaperScale is the paper's absolute cycle budget (hours of simulation).
+func PaperScale() Scale {
+	return Scale{
+		Slice:         5_000_000,
+		LittleDivisor: 4,
+		SymbiosCycles: 2_000_000_000,
+		WarmupCycles:  20_000_000,
+		CalibWarmup:   10_000_000,
+		CalibMeasure:  10_000_000,
+		SampleRounds:  1,
+		MaxSamples:    10,
+		Seed:          1,
+	}
+}
+
+// sliceFor returns the timeslice for a mix under this scale, honoring the
+// mix's big/little flag.
+func (s Scale) sliceFor(m workload.Mix) uint64 {
+	if m.BigSlice {
+		return s.Slice
+	}
+	d := s.LittleDivisor
+	if d == 0 {
+		d = 4
+	}
+	return s.Slice / d
+}
+
+// symbiosSlices converts the symbios budget into a whole number of
+// rotations of sched-cycle length rot at slice length slice.
+func (s Scale) symbiosSlices(slice uint64, rot int) int {
+	want := int(s.SymbiosCycles / slice)
+	if want < rot {
+		return rot
+	}
+	return want - want%rot
+}

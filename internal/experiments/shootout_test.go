@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"testing"
+
+	"symbios/internal/core"
+)
+
+// TestShootoutScoring: on a synthetic evaluation where every sample-phase
+// signal points at the symbios winner, every predictor scores a clean
+// sweep — and the row accounting (best/worst picks, mean gain) is exact.
+func TestShootoutScoring(t *testing.T) {
+	rows := shootoutFrom([]*MixEval{synthEval()})
+	if len(rows) != int(core.NumPredictors)+int(core.NumExtPredictors) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.WorstPicks != 0 {
+			t.Errorf("%s picked the worst on a rigged evaluation", r.Name)
+		}
+		// Schedule 1 (WS 1.30) is every predictor's pick; avg is 1.2833.
+		wantGain := 100 * (1.30 - (1.10+1.30+1.45)/3) / ((1.10 + 1.30 + 1.45) / 3)
+		if diff := r.MeanGainPct - wantGain; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s mean gain %.6f, want %.6f", r.Name, r.MeanGainPct, wantGain)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"math/big"
+
+	"symbios/internal/schedule"
+	"symbios/internal/workload"
+)
+
+// Table1Row is one row of Table 1: the applications used in an experiment.
+type Table1Row struct {
+	Experiments string
+	Jobs        []string
+}
+
+// Table1 reproduces the job registry table. Mixes sharing a job list are
+// grouped, preserving the paper's presentation.
+func Table1() []Table1Row {
+	groups := []struct {
+		label string
+		mix   string
+	}{
+		{"Jsb(4,2,2)", "Jsb(4,2,2)"},
+		{"Jsb(5,2,2), Jsl(5,2,1)", "Jsb(5,2,2)"},
+		{"Jpb(10,2,2), J2pb(10,2,2)", "Jpb(10,2,2)"},
+		{"Jsb(6,3,3), Jsb(6,3,1), Jsl(6,3,1)", "Jsb(6,3,3)"},
+		{"Jsb(8,4,4), Jsb(8,4,1), Jsl(8,4,1)", "Jsb(8,4,4)"},
+		{"Jsb(12,6,6), Jsb(12,4,4)", "Jsb(12,6,6)"},
+	}
+	var rows []Table1Row
+	for _, g := range groups {
+		rows = append(rows, Table1Row{
+			Experiments: g.label,
+			Jobs:        workload.MustMix(g.mix).JobNames,
+		})
+	}
+	for _, level := range []int{2, 3, 4, 6} {
+		rows = append(rows, Table1Row{
+			Experiments: "SMT level " + string(rune('0'+level)),
+			Jobs:        workload.HierarchicalMixes[level],
+		})
+	}
+	return rows
+}
+
+// Table2Row is one row of Table 2: the number of distinct schedules for a
+// jobmix and the time to sample at most MaxSamples of them.
+type Table2Row struct {
+	Experiment        string
+	DistinctSchedules *big.Int
+	// SampleCycles is the sample-phase length under the given scale: one
+	// full rotation per sampled schedule.
+	SampleCycles uint64
+	// PaperSampleCycles is the same quantity at the paper's 5M-cycle
+	// timeslice, in millions (Table 2's "Million Sample Cycles" column).
+	PaperSampleMCycles uint64
+}
+
+// table2Order lists Table 2's rows in presentation order.
+var table2Order = []string{
+	"Jsb(4,2,2)",
+	"Jsb(5,2,2)",
+	"Jsb(5,2,1)",
+	"Jpb(10,2,2)",
+	"J2pb(10,2,2)",
+	"Jsb(6,3,3)",
+	"Jsb(6,3,1)",
+	"Jsl(6,3,1)",
+	"Jsb(8,4,4)",
+	"Jsb(8,4,1)",
+	"Jsl(8,4,1)",
+	"Jsb(12,4,4)",
+	"Jsb(12,6,6)",
+}
+
+// Table2 computes the schedule-space sizes and sample-phase lengths.
+func Table2(sc Scale) []Table2Row {
+	var rows []Table2Row
+	for _, label := range table2Order {
+		mix := workload.MustMix(label)
+		x := mix.Tasks()
+		count := schedule.Count(x, mix.SMTLevel, mix.Swap)
+
+		samples := int64(sc.MaxSamples)
+		if count.IsInt64() && count.Int64() < samples {
+			samples = count.Int64()
+		}
+		rot := schedule.Schedule{Order: make([]int, x), Y: mix.SMTLevel, Z: mix.Swap}
+		for i := range rot.Order {
+			rot.Order[i] = i
+		}
+		slices := uint64(rot.CycleSlices()) * uint64(samples)
+
+		rows = append(rows, Table2Row{
+			Experiment:         label,
+			DistinctSchedules:  count,
+			SampleCycles:       slices * sc.sliceFor(mix),
+			PaperSampleMCycles: (slices*paperSliceFor(mix) + 500_000) / 1_000_000,
+		})
+	}
+	return rows
+}
+
+// paperSliceFor returns the paper's timeslice for a mix: 5M cycles for big,
+// and the little slice such that one schedule evaluation takes 10M cycles
+// (the value consistent with Table 2's 100M-cycle little-slice entries).
+func paperSliceFor(m workload.Mix) uint64 {
+	if m.BigSlice {
+		return 5_000_000
+	}
+	rot := schedule.Schedule{Order: make([]int, m.Tasks()), Y: m.SMTLevel, Z: m.Swap}
+	for i := range rot.Order {
+		rot.Order[i] = i
+	}
+	return 10_000_000 / uint64(rot.CycleSlices())
+}

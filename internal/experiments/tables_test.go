@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"testing"
+
+	"symbios/internal/workload"
+)
+
+// TestTable2Counts verifies the distinct-schedule counts against the
+// paper's Table 2.
+func TestTable2Counts(t *testing.T) {
+	want := map[string]int64{
+		"Jsb(4,2,2)":   3,
+		"Jsb(5,2,2)":   12,
+		"Jsb(5,2,1)":   12,
+		"Jpb(10,2,2)":  945,
+		"J2pb(10,2,2)": 945,
+		"Jsb(6,3,3)":   10,
+		"Jsb(6,3,1)":   60,
+		"Jsl(6,3,1)":   60,
+		"Jsb(8,4,4)":   35,
+		"Jsb(8,4,1)":   2520,
+		"Jsl(8,4,1)":   2520,
+		"Jsb(12,4,4)":  5775,
+		"Jsb(12,6,6)":  462,
+	}
+	rows := Table2(DefaultScale())
+	if len(rows) != len(want) {
+		t.Fatalf("Table2 returned %d rows, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		w, ok := want[r.Experiment]
+		if !ok {
+			t.Errorf("unexpected experiment %s", r.Experiment)
+			continue
+		}
+		if !r.DistinctSchedules.IsInt64() || r.DistinctSchedules.Int64() != w {
+			t.Errorf("%s: distinct schedules = %s, want %d", r.Experiment, r.DistinctSchedules, w)
+		}
+	}
+}
+
+// TestTable2PaperSampleCycles checks the "Million Sample Cycles" column
+// against the paper for the big-slice experiments.
+func TestTable2PaperSampleCycles(t *testing.T) {
+	want := map[string]uint64{
+		"Jsb(4,2,2)":   30,
+		"Jsb(5,2,2)":   250,
+		"Jpb(10,2,2)":  250,
+		"J2pb(10,2,2)": 250,
+		"Jsb(6,3,3)":   100,
+		"Jsb(6,3,1)":   300,
+		"Jsl(6,3,1)":   100,
+		"Jsb(8,4,4)":   100,
+		"Jsb(8,4,1)":   400,
+		"Jsl(8,4,1)":   100,
+		"Jsb(12,4,4)":  150,
+		"Jsb(12,6,6)":  100,
+	}
+	for _, r := range Table2(DefaultScale()) {
+		w, ok := want[r.Experiment]
+		if !ok {
+			continue // Jsb(5,2,1): the paper's 250 is inconsistent with its own slice rules
+		}
+		if r.PaperSampleMCycles != w {
+			t.Errorf("%s: paper sample cycles = %dM, want %dM", r.Experiment, r.PaperSampleMCycles, w)
+		}
+	}
+}
+
+// TestTable1Registry checks that every Table 1 row resolves to buildable
+// jobs.
+func TestTable1Registry(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 10 {
+		t.Fatalf("Table1 returned %d rows, want 10", len(rows))
+	}
+	for _, r := range rows {
+		for _, name := range r.Jobs {
+			if _, err := workload.Lookup(name); err != nil {
+				t.Errorf("%s: %v", r.Experiments, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"symbios/internal/metrics"
+)
+
+// The worked example from the paper's Section 4: two jobs with solo IPCs 2
+// and 1 coscheduled for one million cycles. If each merely receives its
+// fair share of the machine, WS(t) = 1; if coscheduling raises utilization
+// by 20% for both, WS(t) = 1.2.
+func ExampleWeightedSpeedup() {
+	cycles := uint64(1_000_000)
+	solo := []float64{2, 1}
+
+	ws, _ := metrics.WeightedSpeedup(cycles, []uint64{1_000_000, 500_000}, solo)
+	fmt.Printf("fair share: %.1f\n", ws)
+
+	ws, _ = metrics.WeightedSpeedup(cycles, []uint64{1_200_000, 600_000}, solo)
+	fmt.Printf("with multithreading speedup: %.1f\n", ws)
+	// Output:
+	// fair share: 1.0
+	// with multithreading speedup: 1.2
+}

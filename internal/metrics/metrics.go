@@ -1,0 +1,94 @@
+// Package metrics implements the paper's progress measure, weighted
+// speedup, plus the small statistics helpers the predictors use.
+//
+// Weighted speedup over an interval t (Section 4):
+//
+//	WS(t) = Σ_i realizedIPC(job_i) / soloIPC(job_i)
+//
+// where realized IPC is the job's committed instructions divided by the
+// interval's total cycles (including cycles the job was swapped out), and
+// solo IPC is its natural offer rate running alone. WS of any fair or
+// unfair time-shared single-threaded system is 1; values above 1 measure
+// real multithreading speedup, and pathological interactions can push it
+// below 1.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// WeightedSpeedup computes WS(t) for an interval of the given length.
+// committed[i] and soloIPC[i] describe schedulable entry i. It returns an
+// error when the inputs are inconsistent or a solo IPC is non-positive,
+// which would make the metric meaningless.
+func WeightedSpeedup(cycles uint64, committed []uint64, soloIPC []float64) (float64, error) {
+	if len(committed) != len(soloIPC) {
+		return 0, fmt.Errorf("metrics: %d committed counts vs %d solo rates", len(committed), len(soloIPC))
+	}
+	if cycles == 0 {
+		return 0, fmt.Errorf("metrics: zero-length interval")
+	}
+	ws := 0.0
+	for i, c := range committed {
+		if soloIPC[i] <= 0 {
+			return 0, fmt.Errorf("metrics: job %d has non-positive solo IPC %g", i, soloIPC[i])
+		}
+		ws += float64(c) / float64(cycles) / soloIPC[i]
+	}
+	return ws, nil
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Min returns the smallest element; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestWSSoloIsOne is the paper's defining property: a single-threaded job
+// running alone — or any time-shared single-threaded system, fair or not —
+// has weighted speedup exactly 1.
+func TestWSSoloIsOne(t *testing.T) {
+	// One job alone.
+	ws, err := WeightedSpeedup(1000, []uint64{2000}, []float64{2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ws-1) > 1e-12 {
+		t.Errorf("solo WS %f, want 1", ws)
+	}
+
+	// Unfair time-sharing of two jobs on one context: job 0 gets 70% of
+	// the cycles, job 1 gets 30%; each runs at its solo rate while on CPU.
+	ws, err = WeightedSpeedup(1000, []uint64{uint64(700 * 2.0), uint64(300 * 0.5)}, []float64{2.0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ws-1) > 1e-12 {
+		t.Errorf("time-shared WS %f, want 1", ws)
+	}
+}
+
+// TestWSTimeSharedProperty generalizes the above with testing/quick: any
+// split of the interval across jobs running at solo speed yields WS = 1.
+func TestWSTimeSharedProperty(t *testing.T) {
+	f := func(split uint16, ipcA, ipcB uint8) bool {
+		cycles := uint64(10_000)
+		share := uint64(split) % cycles
+		sa := float64(ipcA%40)/10 + 0.1
+		sb := float64(ipcB%40)/10 + 0.1
+		ca := float64(share) * sa
+		cb := float64(cycles-share) * sb
+		ws, err := WeightedSpeedup(cycles, []uint64{uint64(ca), uint64(cb)}, []float64{sa, sb})
+		if err != nil {
+			return false
+		}
+		// Rounding committed counts to integers costs at most ~1/cycles.
+		return math.Abs(ws-1) < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWSPaperExample reproduces the worked example from Section 4: solo
+// IPCs 2 and 1 coscheduled for 1M cycles; fair-share progress gives WS=1,
+// a utilization gain gives WS=1.2.
+func TestWSPaperExample(t *testing.T) {
+	cycles := uint64(1_000_000)
+	solo := []float64{2, 1}
+	ws, err := WeightedSpeedup(cycles, []uint64{1_000_000, 500_000}, solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ws-1) > 1e-12 {
+		t.Errorf("fair-share WS %f, want 1", ws)
+	}
+	ws, err = WeightedSpeedup(cycles, []uint64{1_200_000, 600_000}, solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ws-1.2) > 1e-12 {
+		t.Errorf("utilization-gain WS %f, want 1.2", ws)
+	}
+}
+
+// TestWSErrors rejects inconsistent input.
+func TestWSErrors(t *testing.T) {
+	if _, err := WeightedSpeedup(0, []uint64{1}, []float64{1}); err == nil {
+		t.Error("zero-length interval accepted")
+	}
+	if _, err := WeightedSpeedup(10, []uint64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := WeightedSpeedup(10, []uint64{1}, []float64{0}); err == nil {
+		t.Error("zero solo IPC accepted")
+	}
+	if _, err := WeightedSpeedup(10, []uint64{1}, []float64{-1}); err == nil {
+		t.Error("negative solo IPC accepted")
+	}
+}
+
+// TestStats covers the helpers.
+func TestStats(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Errorf("mean %f", Mean(xs))
+	}
+	if StdDev(xs) != 2 {
+		t.Errorf("stddev %f", StdDev(xs))
+	}
+	if Min(xs) != 2 || Max(xs) != 9 {
+		t.Errorf("min/max %f/%f", Min(xs), Max(xs))
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("degenerate inputs mishandled")
+	}
+}
+
+// TestMinMaxPanics: Min/Max of nothing is a programming error.
+func TestMinMaxPanics(t *testing.T) {
+	for _, f := range []func(){func() { Min(nil) }, func() { Max(nil) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("empty-slice extremum did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,52 @@
+package schedule_test
+
+import (
+	"fmt"
+
+	"symbios/internal/rng"
+	"symbios/internal/schedule"
+)
+
+// The paper's Jsb(6,3,3) experiment: 6 jobs, 3 coscheduled at a time, all 3
+// swapped each timeslice — 10 distinct schedules.
+func ExampleCount() {
+	fmt.Println(schedule.Count(6, 3, 3))
+	fmt.Println(schedule.Count(8, 4, 1)) // rotating: (8-1)!/2
+	// Output:
+	// 10
+	// 2520
+}
+
+// Schedules print in the paper's notation: tuples separated by underbars.
+func ExampleSchedule_String() {
+	s, _ := schedule.New([]int{0, 1, 2, 3, 4, 5}, 3, 3)
+	fmt.Println(s)
+	r, _ := schedule.New([]int{0, 1, 2, 3}, 2, 1)
+	fmt.Println(r)
+	// Output:
+	// 012_345
+	// 0-1-2-3
+}
+
+// Tuples exposes the covering set of coschedules a schedule induces.
+func ExampleSchedule_Tuples() {
+	s, _ := schedule.New([]int{0, 1, 2, 3}, 2, 1)
+	for _, tuple := range s.Tuples() {
+		fmt.Println(tuple)
+	}
+	// Output:
+	// [0 1]
+	// [1 2]
+	// [2 3]
+	// [3 0]
+}
+
+// Sampling returns distinct schedules; when the space is smaller than the
+// request it returns all of them.
+func ExampleSample() {
+	r := rng.New(1)
+	scheds := schedule.Sample(r, 4, 2, 2, 10)
+	fmt.Println(len(scheds), "of", schedule.Count(4, 2, 2))
+	// Output:
+	// 3 of 3
+}

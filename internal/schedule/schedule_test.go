@@ -1,0 +1,264 @@
+package schedule
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"symbios/internal/rng"
+)
+
+// TestCountsMatchPaper verifies Count against every Table 2 entry.
+func TestCountsMatchPaper(t *testing.T) {
+	cases := []struct {
+		x, y, z int
+		want    int64
+	}{
+		{4, 2, 2, 3},
+		{5, 2, 2, 12},
+		{5, 2, 1, 12},
+		{10, 2, 2, 945},
+		{6, 3, 3, 10},
+		{6, 3, 1, 60},
+		{8, 4, 4, 35},
+		{8, 4, 1, 2520},
+		{12, 4, 4, 5775},
+		{12, 6, 6, 462},
+	}
+	for _, c := range cases {
+		got := Count(c.x, c.y, c.z)
+		if got.Cmp(big.NewInt(c.want)) != 0 {
+			t.Errorf("Count(%d,%d,%d) = %s, want %d", c.x, c.y, c.z, got, c.want)
+		}
+	}
+}
+
+// TestEnumerationMatchesCount: for every small parameter combination,
+// enumeration yields exactly Count distinct canonical forms.
+func TestEnumerationMatchesCount(t *testing.T) {
+	for _, c := range []struct{ x, y, z int }{
+		{4, 2, 2}, {6, 3, 3}, {6, 2, 2}, {8, 4, 4}, {6, 3, 1}, {5, 2, 1}, {5, 2, 2}, {7, 3, 2}, {4, 2, 1},
+	} {
+		scheds, err := Enumerate(c.x, c.y, c.z, 100_000)
+		if err != nil {
+			t.Fatalf("Enumerate(%d,%d,%d): %v", c.x, c.y, c.z, err)
+		}
+		seen := map[string]bool{}
+		for _, s := range scheds {
+			key := s.Canonical()
+			if seen[key] {
+				t.Fatalf("Enumerate(%d,%d,%d) repeated %s", c.x, c.y, c.z, key)
+			}
+			seen[key] = true
+		}
+		want := Count(c.x, c.y, c.z)
+		if int64(len(seen)) != want.Int64() {
+			t.Errorf("Enumerate(%d,%d,%d) found %d distinct, Count says %s", c.x, c.y, c.z, len(seen), want)
+		}
+	}
+}
+
+// TestCanonicalInvariance is a property test: permuting tuple order (via
+// rotation of the circular order) and reversing the order never change the
+// canonical form.
+func TestCanonicalInvariance(t *testing.T) {
+	r := rng.New(17)
+	f := func(seed uint64, xx, rot uint8) bool {
+		x := int(xx%6) + 4 // 4..9
+		y := 2 + int(seed%2)
+		z := 1
+		if seed%2 == 0 {
+			z = y // Z must divide Y; use the paper's two policies
+		}
+		s := Random(r, x, y, z)
+
+		// Rotation.
+		k := int(rot) % x
+		rotated := append(append([]int(nil), s.Order[k:]...), s.Order[:k]...)
+		// Reflection.
+		reversed := make([]int, x)
+		for i, v := range s.Order {
+			reversed[x-1-i] = v
+		}
+		s2 := Schedule{Order: rotated, Y: y, Z: z}
+		s3 := Schedule{Order: reversed, Y: y, Z: z}
+		if s.Partitioned() {
+			// For partitioned schedules only whole-tuple permutations are
+			// guaranteed invariant; rotation by a full tuple qualifies.
+			k = (k / y) * y
+			rotated = append(append([]int(nil), s.Order[k:]...), s.Order[:k]...)
+			s2 = Schedule{Order: rotated, Y: y, Z: z}
+			return s.Equal(s2)
+		}
+		return s.Equal(s2) && s.Equal(s3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTuplesCoverEvenly: over one full rotation every task appears in the
+// same number of coschedules, each tuple has exactly Y members, and the
+// rotation length matches CycleSlices.
+func TestTuplesCoverEvenly(t *testing.T) {
+	r := rng.New(23)
+	f := func(xx, yy uint8) bool {
+		x := int(xx%8) + 3 // 3..10
+		y := int(yy)%(x-1) + 2
+		if y > x {
+			y = x
+		}
+		for _, z := range divisorsOf(y) {
+			s := Random(r, x, y, z)
+			tuples := s.Tuples()
+			if len(tuples) != s.CycleSlices() {
+				return false
+			}
+			counts := make([]int, x)
+			for _, tuple := range tuples {
+				if len(tuple) != y {
+					return false
+				}
+				for _, task := range tuple {
+					counts[task]++
+				}
+			}
+			for _, c := range counts[1:] {
+				if c != counts[0] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// divisorsOf lists the divisors of y (the valid Z values).
+func divisorsOf(y int) []int {
+	var out []int
+	for z := 1; z <= y; z++ {
+		if y%z == 0 {
+			out = append(out, z)
+		}
+	}
+	return out
+}
+
+// TestPartitionedTuples: the paper's 012_345 notation round-trips.
+func TestPartitionedTuples(t *testing.T) {
+	s, err := New([]int{0, 1, 2, 3, 4, 5}, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Partitioned() {
+		t.Fatal("full swap of even groups should be partitioned")
+	}
+	if s.String() != "012_345" {
+		t.Errorf("String() = %q, want 012_345", s)
+	}
+	tuples := s.Tuples()
+	if len(tuples) != 2 {
+		t.Fatalf("%d tuples", len(tuples))
+	}
+	want := [][]int{{0, 1, 2}, {3, 4, 5}}
+	for i := range want {
+		for j := range want[i] {
+			if tuples[i][j] != want[i][j] {
+				t.Errorf("tuple %d = %v, want %v", i, tuples[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRotatingWindows: Z=1 rotation produces the expected sliding windows.
+func TestRotatingWindows(t *testing.T) {
+	s, err := New([]int{0, 1, 2, 3}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Tuples()
+	want := [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}
+	if len(got) != len(want) {
+		t.Fatalf("%d tuples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Errorf("slice %d: %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestValidateRejects covers the validation rules.
+func TestValidateRejects(t *testing.T) {
+	bad := []Schedule{
+		{Order: nil, Y: 1, Z: 1},
+		{Order: []int{0, 1}, Y: 0, Z: 1},
+		{Order: []int{0, 1}, Y: 3, Z: 1},
+		{Order: []int{0, 1}, Y: 2, Z: 0},
+		{Order: []int{0, 1}, Y: 2, Z: 3},
+		{Order: []int{0, 1, 2, 3, 4, 5}, Y: 4, Z: 3}, // Z must divide Y
+		{Order: []int{0, 0}, Y: 2, Z: 1},
+		{Order: []int{0, 2}, Y: 2, Z: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid schedule accepted: %+v", i, s)
+		}
+	}
+}
+
+// TestSampleDistinct: sampling returns distinct canonical schedules, all of
+// them when the space is small.
+func TestSampleDistinct(t *testing.T) {
+	r := rng.New(31)
+	got := Sample(r, 4, 2, 2, 10)
+	if len(got) != 3 {
+		t.Errorf("Jsb(4,2,2): sampled %d, want all 3", len(got))
+	}
+	got = Sample(r, 8, 4, 1, 10)
+	seen := map[string]bool{}
+	for _, s := range got {
+		key := s.Canonical()
+		if seen[key] {
+			t.Fatalf("duplicate sample %s", key)
+		}
+		seen[key] = true
+		if err := s.Validate(); err != nil {
+			t.Fatalf("sampled invalid schedule: %v", err)
+		}
+	}
+	if len(got) != 10 {
+		t.Errorf("sampled %d, want 10", len(got))
+	}
+}
+
+// TestEnumerateLimit: oversized spaces are refused rather than exploding.
+func TestEnumerateLimit(t *testing.T) {
+	if _, err := Enumerate(12, 4, 4, 100); err == nil {
+		t.Error("Enumerate accepted a space above its limit")
+	}
+}
+
+// TestCycleSlices checks the rotation-length formula X/gcd(X,Z).
+func TestCycleSlices(t *testing.T) {
+	cases := []struct{ x, y, z, want int }{
+		{6, 3, 3, 2},
+		{6, 3, 1, 6},
+		{5, 2, 2, 5},
+		{8, 4, 1, 8},
+		{12, 4, 4, 3},
+		{12, 6, 6, 2},
+		{4, 2, 2, 2},
+	}
+	for _, c := range cases {
+		s := Schedule{Order: make([]int, c.x), Y: c.y, Z: c.z}
+		if got := s.CycleSlices(); got != c.want {
+			t.Errorf("CycleSlices(%d,%d,%d) = %d, want %d", c.x, c.y, c.z, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"symbios/internal/trace"
+)
+
+// A stream is a pure function of (seed, sequence number): the same
+// instruction comes back no matter when or how often it is asked for,
+// which is what lets a timesliced job replay exactly.
+func ExampleStream_At() {
+	p := trace.Params{
+		LoadFrac: 0.25, StoreFrac: 0.10, BranchFrac: 0.10,
+		FPFrac: 0.50, DepShort: 0.2, MaxDep: 16,
+		WorkingSet: 64 << 10, SeqFrac: 0.5, SeqStride: 8,
+		BranchSites: 16, CodeBlocks: 64, BlockLen: 8,
+	}
+	s, err := trace.NewStream(p, 42, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	a := s.At(1000)
+	b := s.At(1000) // replay: identical
+	fmt.Println(a == b)
+	fmt.Println(a.Seq)
+	// Output:
+	// true
+	// 1000
+}

@@ -1,0 +1,331 @@
+// Package trace synthesizes the dynamic instruction streams that drive the
+// SMT simulator.
+//
+// The paper drives SMTSIM with SPEC95 and NAS Parallel Benchmark binaries.
+// Those binaries (and an Alpha ISA front end) are unavailable here, so each
+// benchmark is replaced by a parameterized synthetic stream whose resource
+// profile — instruction mix, natural ILP, memory footprint and locality,
+// branch predictability, code footprint — is set to mirror the published
+// characterization of the benchmark it stands in for (see
+// internal/workload). Symbiosis and anti-symbiosis between coscheduled jobs
+// arise from these profiles contending for the shared pipeline resources,
+// which is the phenomenon under study; the actual computation performed by
+// the instructions is irrelevant to the scheduling experiments.
+//
+// The i-th instruction of a stream is a pure function of (stream seed, i).
+// Execution can therefore be sliced across timeslices arbitrarily and a job
+// always replays identically, which is exactly the interval semantics the
+// weighted speedup metric requires ("an interval starts ... at a particular
+// point in the execution of each job").
+package trace
+
+import (
+	"fmt"
+
+	"symbios/internal/rng"
+)
+
+// Op enumerates the instruction classes the pipeline distinguishes.
+type Op uint8
+
+// Instruction classes. Loads and stores occupy load/store units and access
+// the data cache; branches occupy an integer ALU and consult the shared
+// branch predictor; the rest occupy integer ALUs or floating-point units.
+const (
+	IALU Op = iota
+	IMUL
+	FADD
+	FMUL
+	FDIV
+	LOAD
+	STORE
+	BRANCH
+	SYNC // barrier marker emitted by multithreaded jobs (see workload)
+	numOps
+)
+
+// String returns the mnemonic for the op class.
+func (o Op) String() string {
+	switch o {
+	case IALU:
+		return "IALU"
+	case IMUL:
+		return "IMUL"
+	case FADD:
+		return "FADD"
+	case FMUL:
+		return "FMUL"
+	case FDIV:
+		return "FDIV"
+	case LOAD:
+		return "LOAD"
+	case STORE:
+		return "STORE"
+	case BRANCH:
+		return "BRANCH"
+	case SYNC:
+		return "SYNC"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// IsFP reports whether the op executes on a floating-point unit.
+func (o Op) IsFP() bool { return o == FADD || o == FMUL || o == FDIV }
+
+// IsMem reports whether the op accesses the data cache.
+func (o Op) IsMem() bool { return o == LOAD || o == STORE }
+
+// Inst is one dynamic instruction.
+type Inst struct {
+	Op Op
+	// Seq is the position in the thread's dynamic stream.
+	Seq uint64
+	// Dep1 and Dep2 are distances back to producer instructions in the same
+	// stream (0 means no dependence). The consumer cannot issue before its
+	// producers complete; this is how the stream's natural ILP is encoded.
+	Dep1, Dep2 uint32
+	// Addr is the virtual byte address for LOAD/STORE.
+	Addr uint64
+	// PC is the instruction's code address (drives icache and the branch
+	// predictor index).
+	PC uint64
+	// Taken is the architectural outcome for BRANCH.
+	Taken bool
+}
+
+// Params defines a synthetic stream's statistical profile. All *Frac fields
+// are probabilities in [0,1]; fractions of the total instruction stream for
+// LoadFrac/StoreFrac/BranchFrac, and of the remaining compute slice for
+// FPFrac.
+type Params struct {
+	// Instruction mix.
+	LoadFrac   float64
+	StoreFrac  float64
+	BranchFrac float64
+	FPFrac     float64 // of non-memory, non-branch instructions
+	FPDivFrac  float64 // of FP instructions
+	IMulFrac   float64 // of integer compute instructions
+
+	// Dependencies: with probability DepShort a producer is 1–3
+	// instructions back (serial code, low ILP); otherwise uniform in
+	// [1, MaxDep] (loop-parallel code, high ILP). SecondDepFrac adds a
+	// second source dependence.
+	DepShort      float64
+	MaxDep        int
+	SecondDepFrac float64
+
+	// Data memory behaviour.
+	WorkingSet uint64  // total data footprint in bytes
+	HotSet     uint64  // hot region size in bytes
+	HotFrac    float64 // accesses that hit the hot region
+	SeqFrac    float64 // accesses that stream sequentially
+	SeqStride  uint64  // bytes between consecutive streaming accesses
+
+	// Control behaviour.
+	BranchSites   int     // static branch sites (PHT pressure)
+	BranchEntropy float64 // probability an outcome is data-dependent noise
+
+	// Code behaviour.
+	CodeBlocks  int // static basic blocks (icache pressure)
+	BlockLen    int // dynamic instructions per basic-block visit
+	JumpFarFrac float64
+}
+
+// Validate reports an error if the profile is not generatable.
+func (p Params) Validate() error {
+	sum := p.LoadFrac + p.StoreFrac + p.BranchFrac
+	switch {
+	case sum >= 1:
+		return fmt.Errorf("trace: LoadFrac+StoreFrac+BranchFrac = %.3f must be < 1", sum)
+	case p.MaxDep < 1:
+		return fmt.Errorf("trace: MaxDep must be >= 1")
+	case p.WorkingSet == 0:
+		return fmt.Errorf("trace: WorkingSet must be > 0")
+	case p.HotSet > p.WorkingSet:
+		return fmt.Errorf("trace: HotSet larger than WorkingSet")
+	case p.BranchSites < 1:
+		return fmt.Errorf("trace: BranchSites must be >= 1")
+	case p.CodeBlocks < 1 || p.BlockLen < 1:
+		return fmt.Errorf("trace: CodeBlocks and BlockLen must be >= 1")
+	case p.SeqStride == 0 && p.SeqFrac > 0:
+		return fmt.Errorf("trace: SeqStride must be > 0 when SeqFrac > 0")
+	}
+	return nil
+}
+
+// Stream generates instructions for one thread. At is a pure function of
+// the construction arguments and the sequence number; the struct carries
+// only a memo cache, so replay is exact.
+type Stream struct {
+	params   Params
+	seed     uint64
+	dataBase uint64
+	codeBase uint64
+	// accessStep approximates the instruction distance between successive
+	// memory accesses, so streaming addresses advance one SeqStride per
+	// access rather than per instruction.
+	accessStep uint64
+
+	// Single-entry memo for the basic-block lookup, which At performs for
+	// every instruction but which only changes once per block visit. Purely
+	// an evaluation cache: results are identical with or without it.
+	memoVisit uint64
+	memoBlock uint64
+	memoValid bool
+}
+
+// NewStream builds a generator for one thread of one job. seed distinguishes
+// jobs (and threads within a job); space distinguishes address spaces — the
+// data and code bases are derived from it so distinct jobs occupy distinct
+// regions while threads of one job may share a space.
+func NewStream(p Params, seed, space uint64) (*Stream, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	step := uint64(1)
+	if mf := p.LoadFrac + p.StoreFrac; mf > 0 {
+		step = uint64(1/mf + 0.5)
+		if step == 0 {
+			step = 1
+		}
+	}
+	// Separate 1 TB regions per address space keep job footprints disjoint
+	// without allocation bookkeeping. The page-aligned jitter keeps regions
+	// from being congruent modulo the cache and predictor table sizes —
+	// without it every job's footprint would collide perfectly with every
+	// other's, which real virtual-to-physical mappings never do.
+	jitter := (rng.Hash(space, 0x0ff5e7) % (1 << 24)) &^ 8191
+	return &Stream{
+		params:     p,
+		seed:       seed,
+		dataBase:   (space+1)<<40 + jitter,
+		codeBase:   (space+1)<<40 | 1<<39 + jitter>>1&^8191,
+		accessStep: step,
+	}, nil
+}
+
+// Params returns the profile the stream was built with.
+func (s *Stream) Params() Params { return s.params }
+
+// At returns instruction seq of the stream.
+func (s *Stream) At(seq uint64) Inst {
+	p := &s.params
+	// One counter-based draw per instruction; cheap derived draws for each
+	// independent decision.
+	h := rng.Hash2(s.seed, seq, 0)
+	r0 := h
+	r1 := rng.Hash(h, 1)
+	r2 := rng.Hash(h, 2)
+
+	in := Inst{Seq: seq, PC: s.pcAt(seq)}
+
+	u := rng.Float01(r0)
+	switch {
+	case u < p.LoadFrac:
+		in.Op = LOAD
+		in.Addr = s.addrAt(seq, r1)
+	case u < p.LoadFrac+p.StoreFrac:
+		in.Op = STORE
+		in.Addr = s.addrAt(seq, r1)
+	case u < p.LoadFrac+p.StoreFrac+p.BranchFrac:
+		in.Op = BRANCH
+		in.Taken = s.outcomeAt(in.PC, r1)
+	default:
+		v := rng.Float01(r1)
+		if v < p.FPFrac {
+			w := rng.Float01(rng.Hash(h, 3))
+			switch {
+			case w < p.FPDivFrac:
+				in.Op = FDIV
+			case w < p.FPDivFrac+(1-p.FPDivFrac)/2:
+				in.Op = FMUL
+			default:
+				in.Op = FADD
+			}
+		} else if rng.Float01(rng.Hash(h, 3)) < p.IMulFrac {
+			in.Op = IMUL
+		} else {
+			in.Op = IALU
+		}
+	}
+
+	in.Dep1 = s.depAt(seq, r2)
+	if p.SecondDepFrac > 0 && rng.Float01(rng.Hash(h, 4)) < p.SecondDepFrac {
+		in.Dep2 = s.depAt(seq, rng.Hash(h, 5))
+	}
+	return in
+}
+
+// depAt draws a producer distance in [1, min(seq, MaxDep)]; 0 if seq == 0.
+func (s *Stream) depAt(seq, r uint64) uint32 {
+	if seq == 0 {
+		return 0
+	}
+	p := &s.params
+	maxd := uint64(p.MaxDep)
+	if seq < maxd {
+		maxd = seq
+	}
+	if rng.Float01(r) < p.DepShort {
+		d := 1 + r%3
+		if d > maxd {
+			d = maxd
+		}
+		return uint32(d)
+	}
+	return uint32(1 + (r>>16)%maxd)
+}
+
+// addrAt draws a data address: streaming, hot-region, or uniform over the
+// working set, all aligned to 8 bytes within this job's private region.
+func (s *Stream) addrAt(seq, r uint64) uint64 {
+	p := &s.params
+	u := rng.Float01(r)
+	var off uint64
+	switch {
+	case u < p.SeqFrac:
+		off = (seq / s.accessStep * p.SeqStride) % p.WorkingSet
+	case u < p.SeqFrac+p.HotFrac && p.HotSet > 0:
+		off = (r >> 8) % p.HotSet
+	default:
+		off = (r >> 8) % p.WorkingSet
+	}
+	return s.dataBase + (off &^ 7)
+}
+
+// outcomeAt draws a branch outcome for the branch at pc. Each static branch
+// site — derived from the PC, so a pattern predictor indexed by PC sees a
+// consistent direction — has a biased direction; with probability
+// BranchEntropy the outcome is data-dependent noise instead. The predictor
+// learns the bias but not the noise, so the realized mispredict rate tracks
+// BranchEntropy plus table-interference effects.
+func (s *Stream) outcomeAt(pc, r uint64) bool {
+	p := &s.params
+	if rng.Float01(r) < p.BranchEntropy {
+		return r&1 == 0
+	}
+	site := (pc >> 2) % uint64(p.BranchSites)
+	bias := rng.Hash2(s.seed, site, 0xb1a5)
+	return bias&1 == 0
+}
+
+// pcAt maps a dynamic instruction to a code address. Execution walks basic
+// blocks; most transitions are near (sequential code), a fraction jump far
+// (calls), producing an icache footprint proportional to CodeBlocks.
+func (s *Stream) pcAt(seq uint64) uint64 {
+	p := &s.params
+	blockVisit := seq / uint64(p.BlockLen)
+	within := seq % uint64(p.BlockLen)
+	if !s.memoValid || s.memoVisit != blockVisit {
+		h := rng.Hash2(s.seed, blockVisit, 0xc0de)
+		var block uint64
+		if rng.Float01(h) < p.JumpFarFrac {
+			block = (h >> 8) % uint64(p.CodeBlocks)
+		} else {
+			// Walk nearby blocks to model loop bodies and straight-line code.
+			block = (blockVisit + (h>>8)%4) % uint64(p.CodeBlocks)
+		}
+		s.memoVisit, s.memoBlock, s.memoValid = blockVisit, block, true
+	}
+	return s.codeBase + s.memoBlock*uint64(p.BlockLen)*4 + within*4
+}

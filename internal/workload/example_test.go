@@ -1,0 +1,44 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"symbios/internal/workload"
+)
+
+// Mixes resolve the paper's Jmn(X,Y,Z) labels to jobs and machine
+// parameters.
+func ExampleMixByLabel() {
+	mix, err := workload.MixByLabel("Jsb(6,3,3)")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(mix.JobNames)
+	fmt.Println(mix.Tasks(), mix.SMTLevel, mix.Swap)
+	// Output:
+	// [FP MG WAVE GCC GCC GO]
+	// 6 3 3
+}
+
+// A parallel job contributes one schedulable task per software thread: the
+// Jpb mixes list ARRAY once, but it occupies two entries of the X=10 task
+// list, exactly as in the paper's job table.
+func ExampleMix_Tasks() {
+	mix := workload.MustMix("Jpb(10,2,2)")
+	fmt.Println(len(mix.JobNames), "jobs,", mix.Tasks(), "schedulable tasks")
+	// Output:
+	// 9 jobs, 10 schedulable tasks
+}
+
+// Barrier groups release a thread only when every sibling has arrived.
+func ExampleBarrierGroup() {
+	g := workload.NewBarrierGroup(2)
+	fmt.Println(g.TryPass(0, 0)) // thread 0 arrives at barrier 0: blocked
+	fmt.Println(g.TryPass(1, 0)) // thread 1 arrives: both released
+	fmt.Println(g.TryPass(0, 0)) // idempotent re-query after a squash
+	// Output:
+	// false
+	// true
+	// true
+}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"symbios/internal/rng"
+)
+
+// Mix is one experiment's jobmix: the jobs of Table 1 plus the scheduling
+// parameters encoded in the paper's Jmn(X,Y,Z) label:
+//
+//   - X: the number of runnable schedulable entries (a multithreaded job
+//     contributes one entry per software thread),
+//   - Y: the hardware multithreading level,
+//   - Z: how many running entries are swapped out at each timeslice expiry,
+//   - m: 's' single-threaded-only or 'p' includes parallel jobs,
+//   - n: 'b' big (5M-cycle) timeslice or 'l' little timeslice.
+type Mix struct {
+	Label string
+	// JobNames lists the jobs; a parallel job appears once and expands to
+	// Threads schedulable entries.
+	JobNames []string
+	// SMTLevel is Y.
+	SMTLevel int
+	// Swap is Z.
+	Swap int
+	// BigSlice selects the 5M-cycle timeslice ('b') versus the little one.
+	BigSlice bool
+}
+
+// Tasks returns X: the total number of schedulable entries.
+func (m Mix) Tasks() int {
+	n := 0
+	for _, name := range m.JobNames {
+		n += MustLookup(name).Threads
+	}
+	return n
+}
+
+// Build instantiates the mix's jobs with seeds derived from seed. Job IDs
+// (and hence address spaces) are assigned in list order.
+func (m Mix) Build(seed uint64) ([]*Job, error) {
+	jobs := make([]*Job, 0, len(m.JobNames))
+	for i, name := range m.JobNames {
+		spec, err := Lookup(name)
+		if err != nil {
+			return nil, fmt.Errorf("workload: mix %s: %w", m.Label, err)
+		}
+		j, err := NewJob(spec, i, rng.Hash2(seed, uint64(i), 0x3017))
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}
+
+// mixes is the registry of every throughput experiment in the paper
+// (Table 1). The Jpb mixes list ARRAY once; its two threads are the two
+// ARRAY entries the paper's job list shows.
+var mixes = map[string]Mix{
+	"Jsb(4,2,2)": {Label: "Jsb(4,2,2)", SMTLevel: 2, Swap: 2, BigSlice: true,
+		JobNames: []string{"FP", "MG", "GCC", "IS"}},
+	"Jsb(5,2,2)": {Label: "Jsb(5,2,2)", SMTLevel: 2, Swap: 2, BigSlice: true,
+		JobNames: []string{"FP", "MG", "WAVE", "GCC", "GO"}},
+	// Table 1 writes Jsl(5,2,1) and Table 2 writes Jsb(5,2,1) for the same
+	// experiment; both labels resolve here.
+	"Jsl(5,2,1)": {Label: "Jsl(5,2,1)", SMTLevel: 2, Swap: 1, BigSlice: false,
+		JobNames: []string{"FP", "MG", "WAVE", "GCC", "GO"}},
+	"Jsb(5,2,1)": {Label: "Jsb(5,2,1)", SMTLevel: 2, Swap: 1, BigSlice: true,
+		JobNames: []string{"FP", "MG", "WAVE", "GCC", "GO"}},
+	"Jpb(10,2,2)": {Label: "Jpb(10,2,2)", SMTLevel: 2, Swap: 2, BigSlice: true,
+		JobNames: []string{"FP", "MG", "WAVE", "SWIM", "SU2COR", "TURB3D", "GCC", "GCC", "ARRAY"}},
+	"J2pb(10,2,2)": {Label: "J2pb(10,2,2)", SMTLevel: 2, Swap: 2, BigSlice: true,
+		JobNames: []string{"FP", "MG", "WAVE", "SWIM", "SU2COR", "TURB3D", "GCC", "GCC", "ARRAY2"}},
+	"Jsb(6,3,3)": {Label: "Jsb(6,3,3)", SMTLevel: 3, Swap: 3, BigSlice: true,
+		JobNames: []string{"FP", "MG", "WAVE", "GCC", "GCC", "GO"}},
+	"Jsb(6,3,1)": {Label: "Jsb(6,3,1)", SMTLevel: 3, Swap: 1, BigSlice: true,
+		JobNames: []string{"FP", "MG", "WAVE", "GCC", "GCC", "GO"}},
+	"Jsl(6,3,1)": {Label: "Jsl(6,3,1)", SMTLevel: 3, Swap: 1, BigSlice: false,
+		JobNames: []string{"FP", "MG", "WAVE", "GCC", "GCC", "GO"}},
+	"Jsb(8,4,4)": {Label: "Jsb(8,4,4)", SMTLevel: 4, Swap: 4, BigSlice: true,
+		JobNames: []string{"FP", "MG", "WAVE", "SWIM", "GCC", "GCC", "GO", "IS"}},
+	"Jsb(8,4,1)": {Label: "Jsb(8,4,1)", SMTLevel: 4, Swap: 1, BigSlice: true,
+		JobNames: []string{"FP", "MG", "WAVE", "SWIM", "GCC", "GCC", "GO", "IS"}},
+	"Jsl(8,4,1)": {Label: "Jsl(8,4,1)", SMTLevel: 4, Swap: 1, BigSlice: false,
+		JobNames: []string{"FP", "MG", "WAVE", "SWIM", "GCC", "GCC", "GO", "IS"}},
+	"Jsb(12,6,6)": {Label: "Jsb(12,6,6)", SMTLevel: 6, Swap: 6, BigSlice: true,
+		JobNames: []string{"FP", "MG", "WAVE", "SWIM", "SU2COR", "TURB3D", "GCC", "GCC", "GO", "IS", "CG", "EP"}},
+	"Jsb(12,4,4)": {Label: "Jsb(12,4,4)", SMTLevel: 4, Swap: 4, BigSlice: true,
+		JobNames: []string{"FP", "MG", "WAVE", "SWIM", "SU2COR", "TURB3D", "GCC", "GCC", "GO", "IS", "CG", "EP"}},
+}
+
+// FigureMixes lists, in presentation order, the 13 jobmix / SMT-level / swap
+// combinations of Figures 1 and 3.
+var FigureMixes = []string{
+	"Jsb(4,2,2)",
+	"Jsb(5,2,2)",
+	"Jsl(5,2,1)",
+	"Jpb(10,2,2)",
+	"J2pb(10,2,2)",
+	"Jsb(6,3,3)",
+	"Jsb(6,3,1)",
+	"Jsl(6,3,1)",
+	"Jsb(8,4,4)",
+	"Jsb(8,4,1)",
+	"Jsl(8,4,1)",
+	"Jsb(12,6,6)",
+	"Jsb(12,4,4)",
+}
+
+// HierarchicalMixes gives the jobs used in the Section 7 / Figure 4
+// hierarchical-symbiosis experiments, keyed by SMT level (Table 1's last
+// four rows).
+var HierarchicalMixes = map[int][]string{
+	2: {"CG", "mt_ARRAY", "EP"},
+	3: {"FP", "MG", "WAVE", "mt_EP", "CG"},
+	4: {"FP", "MG", "WAVE", "mt_ARRAY", "EP", "CG"},
+	6: {"FP", "MG", "WAVE", "GO", "IS", "GCC", "mt_ARRAY", "EP", "CG", "FT"},
+}
+
+// MixByLabel returns the registered mix for a Jmn(X,Y,Z) label.
+func MixByLabel(label string) (Mix, error) {
+	m, ok := mixes[label]
+	if !ok {
+		return Mix{}, fmt.Errorf("workload: unknown mix %q", label)
+	}
+	return m, nil
+}
+
+// MustMix is MixByLabel for compile-time-constant labels.
+func MustMix(label string) Mix {
+	m, err := MixByLabel(label)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// MixLabels returns all registered mix labels, sorted.
+func MixLabels() []string {
+	out := make([]string, 0, len(mixes))
+	for l := range mixes {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}

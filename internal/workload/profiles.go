@@ -1,0 +1,241 @@
+// Package workload defines the jobs the scheduler runs: synthetic stand-ins
+// for the SPEC95 and NAS Parallel Benchmark applications of Table 1, the
+// parallel program ARRAY, and the jobmix registry for every experiment in
+// the paper.
+//
+// Each benchmark is a trace.Params profile tuned so that its solo behaviour
+// on the simulated core matches the published characterization of the
+// program it replaces: high-IPC floating-point scientific codes (FP=fpppp,
+// MG=mgrid, SWIM, ...) versus lower-IPC, branchy, integer codes typical of
+// workstation tasks (GCC, GO), with memory-bound outliers (IS, CG) and a
+// compute-bound one (EP). The profiles differ in which shared resource they
+// lean on — floating-point units and queue, data cache, branch predictor,
+// integer ALUs — which is what makes some coschedules symbiotic and others
+// not.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"symbios/internal/trace"
+)
+
+// Spec describes one schedulable job: a name, a stream profile, and — for
+// multithreaded jobs — a thread count and barrier interval.
+type Spec struct {
+	Name string
+	// Params is the per-thread instruction stream profile.
+	Params trace.Params
+	// Threads is the number of software threads (1 for single-threaded
+	// jobs). Each thread occupies one hardware context when scheduled.
+	Threads int
+	// SyncEvery is the number of instructions between barriers for
+	// multithreaded jobs; 0 means the threads never synchronize.
+	SyncEvery uint64
+}
+
+// WithThreads returns a copy of the spec re-compiled for n threads (the
+// paper's Section 7 assumes an MTA-like compiler that adapts the thread
+// count to the contexts the scheduler grants).
+func (s Spec) WithThreads(n int) Spec {
+	if n < 1 {
+		panic("workload: WithThreads(n < 1)")
+	}
+	s.Threads = n
+	return s
+}
+
+// profiles maps benchmark names to stream profiles. FP is fpppp and MG is
+// mgrid from SPEC95, as in the paper's Table 1.
+var profiles = map[string]Spec{
+	// fpppp: enormous basic blocks of floating-point code, small data
+	// footprint, very high natural ILP.
+	"FP": {Name: "FP", Threads: 1, Params: trace.Params{
+		LoadFrac: 0.22, StoreFrac: 0.10, BranchFrac: 0.02,
+		FPFrac: 0.85, FPDivFrac: 0.03, IMulFrac: 0.02,
+		DepShort: 0.05, MaxDep: 56, SecondDepFrac: 0.25,
+		WorkingSet: 128 << 10, HotSet: 16 << 10, HotFrac: 0.80,
+		SeqFrac: 0.15, SeqStride: 8,
+		BranchSites: 32, BranchEntropy: 0.02,
+		CodeBlocks: 1024, BlockLen: 12, JumpFarFrac: 0.05,
+	}},
+	// mgrid: multigrid stencil; streaming floating point over a large grid.
+	"MG": {Name: "MG", Threads: 1, Params: trace.Params{
+		LoadFrac: 0.30, StoreFrac: 0.09, BranchFrac: 0.03,
+		FPFrac: 0.80, FPDivFrac: 0.02, IMulFrac: 0.02,
+		DepShort: 0.05, MaxDep: 56, SecondDepFrac: 0.25,
+		WorkingSet: 384 << 10, HotSet: 16 << 10, HotFrac: 0.35,
+		SeqFrac: 0.60, SeqStride: 8,
+		BranchSites: 16, BranchEntropy: 0.02,
+		CodeBlocks: 256, BlockLen: 10, JumpFarFrac: 0.03,
+	}},
+	// wave5: plasma simulation; mixed fp with moderate locality.
+	"WAVE": {Name: "WAVE", Threads: 1, Params: trace.Params{
+		LoadFrac: 0.28, StoreFrac: 0.11, BranchFrac: 0.05,
+		FPFrac: 0.70, FPDivFrac: 0.05, IMulFrac: 0.03,
+		DepShort: 0.10, MaxDep: 48, SecondDepFrac: 0.25,
+		WorkingSet: 256 << 10, HotSet: 16 << 10, HotFrac: 0.55,
+		SeqFrac: 0.40, SeqStride: 8,
+		BranchSites: 64, BranchEntropy: 0.04,
+		CodeBlocks: 512, BlockLen: 8, JumpFarFrac: 0.08,
+	}},
+	// swim: shallow-water model; pure streaming fp, memory bandwidth bound.
+	"SWIM": {Name: "SWIM", Threads: 1, Params: trace.Params{
+		LoadFrac: 0.32, StoreFrac: 0.12, BranchFrac: 0.02,
+		FPFrac: 0.85, FPDivFrac: 0.01, IMulFrac: 0.01,
+		DepShort: 0.04, MaxDep: 60, SecondDepFrac: 0.25,
+		WorkingSet: 512 << 10, HotSet: 0, HotFrac: 0,
+		SeqFrac: 0.92, SeqStride: 8,
+		BranchSites: 8, BranchEntropy: 0.01,
+		CodeBlocks: 128, BlockLen: 12, JumpFarFrac: 0.02,
+	}},
+	// su2cor: quantum physics Monte Carlo; fp with moderate streaming.
+	"SU2COR": {Name: "SU2COR", Threads: 1, Params: trace.Params{
+		LoadFrac: 0.27, StoreFrac: 0.10, BranchFrac: 0.05,
+		FPFrac: 0.72, FPDivFrac: 0.04, IMulFrac: 0.03,
+		DepShort: 0.10, MaxDep: 48, SecondDepFrac: 0.25,
+		WorkingSet: 256 << 10, HotSet: 16 << 10, HotFrac: 0.50,
+		SeqFrac: 0.45, SeqStride: 8,
+		BranchSites: 96, BranchEntropy: 0.05,
+		CodeBlocks: 512, BlockLen: 8, JumpFarFrac: 0.08,
+	}},
+	// turb3d: turbulence simulation; fp with FFT-like strided access.
+	"TURB3D": {Name: "TURB3D", Threads: 1, Params: trace.Params{
+		LoadFrac: 0.26, StoreFrac: 0.12, BranchFrac: 0.04,
+		FPFrac: 0.68, FPDivFrac: 0.03, IMulFrac: 0.04,
+		DepShort: 0.10, MaxDep: 48, SecondDepFrac: 0.25,
+		WorkingSet: 256 << 10, HotSet: 16 << 10, HotFrac: 0.50,
+		SeqFrac: 0.45, SeqStride: 32,
+		BranchSites: 64, BranchEntropy: 0.04,
+		CodeBlocks: 512, BlockLen: 9, JumpFarFrac: 0.06,
+	}},
+	// gcc: the compiler; branchy, low-ILP integer code with a huge text
+	// segment (icache pressure) and pointer-chasing data access.
+	"GCC": {Name: "GCC", Threads: 1, Params: trace.Params{
+		LoadFrac: 0.24, StoreFrac: 0.12, BranchFrac: 0.16,
+		FPFrac: 0.02, FPDivFrac: 0, IMulFrac: 0.02,
+		DepShort: 0.65, MaxDep: 8, SecondDepFrac: 0.25,
+		WorkingSet: 128 << 10, HotSet: 16 << 10, HotFrac: 0.80,
+		SeqFrac: 0.12, SeqStride: 16,
+		BranchSites: 2048, BranchEntropy: 0.14,
+		CodeBlocks: 2048, BlockLen: 5, JumpFarFrac: 0.15,
+	}},
+	// go: game tree search; the least predictable branches in SPEC95,
+	// very low natural ILP.
+	"GO": {Name: "GO", Threads: 1, Params: trace.Params{
+		LoadFrac: 0.22, StoreFrac: 0.08, BranchFrac: 0.18,
+		FPFrac: 0.00, FPDivFrac: 0, IMulFrac: 0.02,
+		DepShort: 0.65, MaxDep: 8, SecondDepFrac: 0.30,
+		WorkingSet: 96 << 10, HotSet: 12 << 10, HotFrac: 0.82,
+		SeqFrac: 0.10, SeqStride: 16,
+		BranchSites: 4096, BranchEntropy: 0.18,
+		CodeBlocks: 1024, BlockLen: 4, JumpFarFrac: 0.15,
+	}},
+	// IS (NPB integer sort): random scatter/gather over a large key space;
+	// data-cache and TLB bound.
+	"IS": {Name: "IS", Threads: 1, Params: trace.Params{
+		LoadFrac: 0.30, StoreFrac: 0.15, BranchFrac: 0.06,
+		FPFrac: 0.02, FPDivFrac: 0, IMulFrac: 0.03,
+		DepShort: 0.15, MaxDep: 40, SecondDepFrac: 0.20,
+		WorkingSet: 512 << 10, HotSet: 16 << 10, HotFrac: 0.45,
+		SeqFrac: 0.25, SeqStride: 8,
+		BranchSites: 32, BranchEntropy: 0.05,
+		CodeBlocks: 64, BlockLen: 8, JumpFarFrac: 0.05,
+	}},
+	// CG (NPB conjugate gradient): sparse matrix-vector products; irregular
+	// fp memory access.
+	"CG": {Name: "CG", Threads: 1, Params: trace.Params{
+		LoadFrac: 0.34, StoreFrac: 0.06, BranchFrac: 0.04,
+		FPFrac: 0.60, FPDivFrac: 0.02, IMulFrac: 0.02,
+		DepShort: 0.12, MaxDep: 40, SecondDepFrac: 0.30,
+		WorkingSet: 512 << 10, HotSet: 16 << 10, HotFrac: 0.45,
+		SeqFrac: 0.30, SeqStride: 8,
+		BranchSites: 16, BranchEntropy: 0.03,
+		CodeBlocks: 128, BlockLen: 10, JumpFarFrac: 0.04,
+	}},
+	// EP (NPB embarrassingly parallel): random-number generation and
+	// transcendentals; tiny footprint, divide-heavy floating point.
+	"EP": {Name: "EP", Threads: 1, Params: trace.Params{
+		LoadFrac: 0.12, StoreFrac: 0.04, BranchFrac: 0.03,
+		FPFrac: 0.80, FPDivFrac: 0.12, IMulFrac: 0.04,
+		DepShort: 0.05, MaxDep: 56, SecondDepFrac: 0.25,
+		WorkingSet: 32 << 10, HotSet: 8 << 10, HotFrac: 0.80,
+		SeqFrac: 0.15, SeqStride: 8,
+		BranchSites: 8, BranchEntropy: 0.01,
+		CodeBlocks: 64, BlockLen: 16, JumpFarFrac: 0.02,
+	}},
+	// FT (NPB 3-D FFT): strided fp over a large array.
+	"FT": {Name: "FT", Threads: 1, Params: trace.Params{
+		LoadFrac: 0.28, StoreFrac: 0.14, BranchFrac: 0.03,
+		FPFrac: 0.78, FPDivFrac: 0.02, IMulFrac: 0.03,
+		DepShort: 0.08, MaxDep: 56, SecondDepFrac: 0.25,
+		WorkingSet: 512 << 10, HotSet: 16 << 10, HotFrac: 0.40,
+		SeqFrac: 0.45, SeqStride: 32,
+		BranchSites: 32, BranchEntropy: 0.02,
+		CodeBlocks: 256, BlockLen: 10, JumpFarFrac: 0.04,
+	}},
+	// ARRAY: the paper's parallel prefix program; two threads over a shared
+	// array with tight synchronization (a barrier every few hundred
+	// instructions), so the threads only make progress when coscheduled.
+	"ARRAY": {Name: "ARRAY", Threads: 2, SyncEvery: 400, Params: arrayParams},
+	// ARRAY2: the Section 6 variant of ARRAY "that does little
+	// synchronization"; its threads run well even when not coscheduled.
+	"ARRAY2": {Name: "ARRAY2", Threads: 2, SyncEvery: 2_000_000, Params: arrayParams},
+	// mt_ARRAY / mt_EP: multithreaded jobs whose thread count adapts to the
+	// contexts the scheduler grants (Section 7, hierarchical symbiosis).
+	"mt_ARRAY": {Name: "mt_ARRAY", Threads: 2, SyncEvery: 2000, Params: arrayParams},
+	"mt_EP":    {Name: "mt_EP", Threads: 2, SyncEvery: 100_000, Params: mtEPParams},
+}
+
+// arrayParams is the per-thread profile of the ARRAY parallel prefix
+// program: streaming mixed fp/int over a shared array.
+var arrayParams = trace.Params{
+	LoadFrac: 0.30, StoreFrac: 0.15, BranchFrac: 0.04,
+	FPFrac: 0.50, FPDivFrac: 0.01, IMulFrac: 0.02,
+	DepShort: 0.08, MaxDep: 48, SecondDepFrac: 0.25,
+	WorkingSet: 256 << 10, HotSet: 16 << 10, HotFrac: 0.30,
+	SeqFrac: 0.65, SeqStride: 8,
+	BranchSites: 16, BranchEntropy: 0.02,
+	CodeBlocks: 64, BlockLen: 10, JumpFarFrac: 0.03,
+}
+
+// mtEPParams mirrors EP per thread.
+var mtEPParams = trace.Params{
+	LoadFrac: 0.12, StoreFrac: 0.04, BranchFrac: 0.03,
+	FPFrac: 0.80, FPDivFrac: 0.12, IMulFrac: 0.04,
+	DepShort: 0.05, MaxDep: 56, SecondDepFrac: 0.25,
+	WorkingSet: 32 << 10, HotSet: 8 << 10, HotFrac: 0.80,
+	SeqFrac: 0.15, SeqStride: 8,
+	BranchSites: 8, BranchEntropy: 0.01,
+	CodeBlocks: 64, BlockLen: 16, JumpFarFrac: 0.02,
+}
+
+// Lookup returns the spec for a benchmark name.
+func Lookup(name string) (Spec, error) {
+	s, ok := profiles[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return s, nil
+}
+
+// MustLookup is Lookup for registry-driven callers where the name is a
+// compile-time constant.
+func MustLookup(name string) Spec {
+	s, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Names returns all benchmark names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(profiles))
+	for n := range profiles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,75 @@
+package workload
+
+import "symbios/internal/trace"
+
+// Antagonist workloads: synthetic stressors that each lean on exactly one
+// shared resource. They are not part of the paper's jobmixes; they exist to
+// validate that the substrate's conflict channels behave as designed (each
+// antagonist must hurt a victim through its own channel and through little
+// else) and to let users probe scheduler behaviour under adversarial
+// conditions.
+
+// Antagonists maps stressor names to specs:
+//
+//   - SWEEP_D: streams through a multi-megabyte region, sweeping the shared
+//     L1 data cache and TLB;
+//   - SWEEP_I: jumps across a huge code footprint, sweeping the shared
+//     instruction cache;
+//   - FPHOG: back-to-back long-latency floating-point divides, saturating
+//     the floating-point units and queue;
+//   - BRPOLLUTE: dense unpredictable branches, polluting the shared branch
+//     predictor tables and burning fetch slots on mispredict recovery;
+//   - NICE: a tiny, cache-resident, predictable filler that should disturb
+//     nobody.
+var Antagonists = map[string]Spec{
+	"SWEEP_D": {Name: "SWEEP_D", Threads: 1, Params: trace.Params{
+		LoadFrac: 0.45, StoreFrac: 0.15, BranchFrac: 0.02,
+		FPFrac: 0.05, DepShort: 0.05, MaxDep: 56, SecondDepFrac: 0.10,
+		WorkingSet: 8 << 20, HotSet: 0, HotFrac: 0,
+		SeqFrac: 0.95, SeqStride: 64, // one new line per access
+		BranchSites: 8, BranchEntropy: 0.01,
+		CodeBlocks: 32, BlockLen: 16, JumpFarFrac: 0.01,
+	}},
+	"SWEEP_I": {Name: "SWEEP_I", Threads: 1, Params: trace.Params{
+		LoadFrac: 0.10, StoreFrac: 0.05, BranchFrac: 0.10,
+		FPFrac: 0.02, DepShort: 0.20, MaxDep: 24, SecondDepFrac: 0.10,
+		WorkingSet: 64 << 10, HotSet: 16 << 10, HotFrac: 0.80,
+		SeqFrac: 0.10, SeqStride: 8,
+		BranchSites: 512, BranchEntropy: 0.02,
+		CodeBlocks: 16384, BlockLen: 4, JumpFarFrac: 0.60, // ~256 KB of code, wild jumps
+	}},
+	"FPHOG": {Name: "FPHOG", Threads: 1, Params: trace.Params{
+		LoadFrac: 0.08, StoreFrac: 0.04, BranchFrac: 0.02,
+		FPFrac: 0.95, FPDivFrac: 0.60, IMulFrac: 0,
+		DepShort: 0.05, MaxDep: 56, SecondDepFrac: 0.10,
+		WorkingSet: 16 << 10, HotSet: 8 << 10, HotFrac: 0.90,
+		SeqFrac: 0.05, SeqStride: 8,
+		BranchSites: 8, BranchEntropy: 0.01,
+		CodeBlocks: 32, BlockLen: 16, JumpFarFrac: 0.01,
+	}},
+	"BRPOLLUTE": {Name: "BRPOLLUTE", Threads: 1, Params: trace.Params{
+		LoadFrac: 0.10, StoreFrac: 0.05, BranchFrac: 0.30,
+		FPFrac: 0, IMulFrac: 0,
+		DepShort: 0.50, MaxDep: 8, SecondDepFrac: 0.20,
+		WorkingSet: 32 << 10, HotSet: 16 << 10, HotFrac: 0.90,
+		SeqFrac: 0.05, SeqStride: 8,
+		BranchSites: 8192, BranchEntropy: 0.45,
+		CodeBlocks: 4096, BlockLen: 3, JumpFarFrac: 0.30,
+	}},
+	"NICE": {Name: "NICE", Threads: 1, Params: trace.Params{
+		LoadFrac: 0.15, StoreFrac: 0.05, BranchFrac: 0.04,
+		FPFrac: 0.30, FPDivFrac: 0.01, IMulFrac: 0.02,
+		DepShort: 0.05, MaxDep: 56, SecondDepFrac: 0.20,
+		WorkingSet: 16 << 10, HotSet: 8 << 10, HotFrac: 0.90,
+		SeqFrac: 0.05, SeqStride: 8,
+		BranchSites: 16, BranchEntropy: 0.01,
+		CodeBlocks: 32, BlockLen: 12, JumpFarFrac: 0.01,
+	}},
+}
+
+// Antagonist returns a stressor spec by name; the boolean reports whether
+// it exists.
+func Antagonist(name string) (Spec, bool) {
+	s, ok := Antagonists[name]
+	return s, ok
+}

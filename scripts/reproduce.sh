@@ -1,0 +1,23 @@
+#!/bin/sh
+# Reproduce the full evaluation record.
+#
+#   scripts/reproduce.sh           # default scale (tens of minutes)
+#   scripts/reproduce.sh quick     # test scale (minutes)
+#   scripts/reproduce.sh paper     # the paper's cycle budgets (hours)
+#
+# Outputs:
+#   experiments_output.txt  - every table and figure, paper-formatted
+#   experiments.json        - the same results, structured
+#   test_output.txt         - full test suite log
+#   bench_output.txt        - benchmark harness log (one bench per figure)
+set -e
+SCALE="${1:-default}"
+
+go build ./...
+go vet ./...
+
+go run ./cmd/sosbench -exp all -scale "$SCALE" -seed 1 \
+    -json experiments.json | tee experiments_output.txt
+
+go test -timeout 60m ./... 2>&1 | tee test_output.txt
+go test -timeout 90m -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
