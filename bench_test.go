@@ -198,6 +198,23 @@ func BenchmarkFigure6(b *testing.B) {
 	}
 }
 
+// BenchmarkPairwise regenerates a 4x4 corner of the pairwise symbiosis
+// matrix: 4 solo calibrations plus 6 independent two-context runs, the
+// embarrassingly parallel workload the internal/parallel layer fans out
+// (wall-clock scales with core count; results are identical at any
+// worker count).
+func BenchmarkPairwise(b *testing.B) {
+	sc := benchScale()
+	names := []string{"FP", "GCC", "IS", "CG"}
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Pairwise(sc, names)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tbl.WS[0][1], "WS-FP-GCC")
+	}
+}
+
 // BenchmarkCoreCycles measures raw simulator speed: cycles per second with
 // three threads resident.
 func BenchmarkCoreCycles(b *testing.B) {

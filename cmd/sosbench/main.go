@@ -4,10 +4,13 @@
 //
 //	sosbench -exp table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|parallel|warmstart|all
 //	         [-scale quick|default|paper] [-seed N] [-mix "Jsb(6,3,3)"]
+//	         [-workers N] [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // Output is plain text formatted like the paper's tables; weighted speedups
 // are measured at the selected scale (see internal/experiments for the
-// scaling rules).
+// scaling rules). Independent simulations fan out over -workers goroutines
+// (default GOMAXPROCS) with bit-identical results at any worker count; see
+// internal/parallel for the determinism contract.
 package main
 
 import (
@@ -15,21 +18,41 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"symbios/internal/experiments"
+	"symbios/internal/parallel"
 	"symbios/internal/report"
 )
 
 func main() {
 	var (
-		expName   = flag.String("exp", "table3", "experiment to run: table1, table2, table3, fig1..fig6, parallel, warmstart, levels, coldstart, pairwise, shootout, ablation, all")
-		scaleName = flag.String("scale", "default", "cycle budget: quick, default or paper")
-		seed      = flag.Uint64("seed", 1, "root random seed")
-		mixLabel  = flag.String("mix", "", "restrict fig1/fig3 to one mix label, e.g. 'Jsb(6,3,3)'")
-		jsonPath  = flag.String("json", "", "also write structured results to this JSON file")
+		expName    = flag.String("exp", "table3", "experiment to run: table1, table2, table3, fig1..fig6, parallel, warmstart, levels, coldstart, pairwise, shootout, ablation, all")
+		scaleName  = flag.String("scale", "default", "cycle budget: quick, default or paper")
+		seed       = flag.Uint64("seed", 1, "root random seed")
+		mixLabel   = flag.String("mix", "", "restrict fig1/fig3 to one mix label, e.g. 'Jsb(6,3,3)'")
+		jsonPath   = flag.String("json", "", "also write structured results to this JSON file")
+		workers    = flag.Int("workers", 0, "worker goroutines for independent simulations (0 = GOMAXPROCS; results are identical at any count)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *workers != 0 {
+		parallel.SetDefaultWorkers(*workers)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	sc, err := scaleByName(*scaleName)
 	if err != nil {
@@ -61,6 +84,19 @@ func main() {
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(results); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *memProfile != "" {
+		runtime.GC() // report live allocations, not transient garbage
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {

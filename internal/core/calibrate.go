@@ -5,6 +5,7 @@ import (
 
 	"symbios/internal/arch"
 	"symbios/internal/cpu"
+	"symbios/internal/parallel"
 	"symbios/internal/workload"
 )
 
@@ -25,12 +26,21 @@ func SoloRates(cfg arch.Config, jobs []*workload.Job, seeds []uint64, warmup, me
 	if measure == 0 {
 		return nil, fmt.Errorf("core: zero measurement interval")
 	}
-	var rates []float64
-	for i, j := range jobs {
+	// Each calibration runs the job alone on a fresh machine, so the jobs
+	// fan out across workers; per-job rate groups are flattened in job
+	// order, identical to the serial sweep.
+	perJob, err := parallel.Map(jobs, parallel.Options{}, func(i int, j *workload.Job) ([]float64, error) {
 		solo, err := soloJob(cfg, j.Spec, j.ID, seeds[i], warmup, measure)
 		if err != nil {
 			return nil, fmt.Errorf("core: calibrating %s: %w", j.Name(), err)
 		}
+		return solo, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rates []float64
+	for _, solo := range perJob {
 		rates = append(rates, solo...)
 	}
 	return rates, nil

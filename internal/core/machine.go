@@ -148,7 +148,10 @@ func (m *Machine) RunSchedule(s schedule.Schedule, slices int) (RunResult, error
 		return RunResult{}, fmt.Errorf("core: schedule Y=%d, machine has %d contexts", s.Y, m.Core.Config().Contexts)
 	}
 
-	res := RunResult{Committed: make([]uint64, len(m.tasks))}
+	res := RunResult{
+		Committed: make([]uint64, len(m.tasks)),
+		SliceIPCs: make([]float64, 0, slices),
+	}
 	running := append([]int(nil), s.Order[:s.Y]...)
 	queue := append([]int(nil), s.Order[s.Y:]...)
 

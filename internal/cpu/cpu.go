@@ -136,6 +136,15 @@ type Core struct {
 	threads []*thread // nil when the context is idle
 	ctxGen  []uint32  // per-context attach generation; survives detach
 
+	// Recycled per-context allocations. A jobscheduler attaches and
+	// detaches a task on every timeslice; allocating a fresh window ring
+	// (and thread struct) each time dominated the simulator's allocation
+	// profile. Stale window contents are harmless: the wheel and issue
+	// queues are purged/generation-checked on detach, and dependency
+	// lookups only ever read slots occupied by live instructions.
+	winPool    [][]uop   // spare window ring per context
+	threadPool []*thread // spare thread struct per context
+
 	intQ []qent // age-ordered
 	fpQ  []qent
 
@@ -176,6 +185,8 @@ func New(cfg arch.Config) (*Core, error) {
 		bp:          branch.New(cfg.BranchPHTBits, cfg.BranchHistBits, cfg.Contexts),
 		threads:     make([]*thread, cfg.Contexts),
 		ctxGen:      make([]uint32, cfg.Contexts),
+		winPool:     make([][]uop, cfg.Contexts),
+		threadPool:  make([]*thread, cfg.Contexts),
 		intQ:        make([]qent, 0, cfg.IntQueue),
 		fpQ:         make([]qent, 0, cfg.FPQueue),
 		intRegsFree: cfg.IntRenameRegs,
@@ -184,6 +195,19 @@ func New(cfg arch.Config) (*Core, error) {
 		fpuBusy:     make([]uint64, cfg.FPUnits),
 		lsuBusy:     make([]uint64, cfg.LSUnits),
 		lineMask:    ^uint64(cfg.L1ILineBytes - 1),
+	}
+	// Pre-size the completion-wheel buckets out of one backing array so the
+	// issue stage's bucket appends never grow storage in the steady state
+	// (a bucket holds the instructions completing on one cycle; more than
+	// issue-width entries per cycle is rare, and overflow just reallocates
+	// that bucket).
+	bucketCap := cfg.IssueWidth
+	if bucketCap < 4 {
+		bucketCap = 4
+	}
+	backing := make([]qent, wheelSize*bucketCap)
+	for i := range c.wheel {
+		c.wheel[i] = backing[i*bucketCap : i*bucketCap : (i+1)*bucketCap]
 	}
 	return c, nil
 }
@@ -209,13 +233,25 @@ func (c *Core) Attach(ctx int, src Source, startSeq uint64, gate SyncGate, threa
 		panic(fmt.Sprintf("cpu: context %d already occupied", ctx))
 	}
 	c.ctxGen[ctx]++
-	t := &thread{
+	win := c.winPool[ctx]
+	if win == nil {
+		win = make([]uop, c.cfg.WindowSize)
+	} else {
+		c.winPool[ctx] = nil
+	}
+	t := c.threadPool[ctx]
+	if t == nil {
+		t = &thread{}
+	} else {
+		c.threadPool[ctx] = nil
+	}
+	*t = thread{
 		src:            src,
 		gate:           gate,
 		id:             threadID,
 		seq:            startSeq,
 		headSeq:        startSeq,
-		win:            make([]uop, c.cfg.WindowSize),
+		win:            win,
 		mask:           c.cfg.WindowSize - 1,
 		waitBranch:     noSeq,
 		blockedBarrier: noSeq,
@@ -248,6 +284,8 @@ func (c *Core) Detach(ctx int) (resumeSeq, committed uint64) {
 	c.intQ = purge(c.intQ, ctx)
 	c.fpQ = purge(c.fpQ, ctx)
 	resume, n := t.headSeq, t.committed
+	c.winPool[ctx], c.threadPool[ctx] = t.win, t
+	t.src, t.gate, t.win = nil, nil, nil // drop references until reuse
 	c.threads[ctx] = nil
 	return resume, n
 }
@@ -298,9 +336,7 @@ func (c *Core) Run(n uint64) {
 // step advances the core by one cycle.
 func (c *Core) step() {
 	c.cycle++
-	for r := range c.conf {
-		c.conf[r] = false
-	}
+	c.conf = [counters.NumResources]bool{}
 
 	c.complete()
 	c.retire()

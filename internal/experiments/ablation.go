@@ -6,6 +6,7 @@ import (
 	"symbios/internal/arch"
 	"symbios/internal/core"
 	"symbios/internal/metrics"
+	"symbios/internal/parallel"
 	"symbios/internal/schedule"
 	"symbios/internal/workload"
 )
@@ -36,25 +37,24 @@ func AblationSampleCount(label string, sc Scale, counts []int) ([]SampleCountRow
 	if counts == nil {
 		counts = []int{2, 5, 10, 20}
 	}
-	var rows []SampleCountRow
-	for _, n := range counts {
+	// EvalMix bypasses the process cache, so each count is an independent
+	// work item (its sample draw depends only on the Scale).
+	return parallel.Map(counts, parallel.Options{}, func(_ int, n int) (SampleCountRow, error) {
 		s := sc
 		s.MaxSamples = n
-		ClearEvalCache()
 		ev, err := EvalMix(label, s)
 		if err != nil {
-			return nil, err
+			return SampleCountRow{}, err
 		}
 		chosen := ev.PredictorWS(core.PredScore)
-		rows = append(rows, SampleCountRow{
+		return SampleCountRow{
 			Samples:  len(ev.Scheds),
 			ChosenWS: chosen,
 			BestWS:   ev.Best(),
 			AvgWS:    ev.Avg(),
 			Regret:   (ev.Best() - chosen) / ev.Best(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // SeedRow reports one random-sample draw's outcome.
@@ -73,24 +73,21 @@ func AblationSeeds(label string, sc Scale, seeds []uint64) ([]SeedRow, error) {
 	if seeds == nil {
 		seeds = []uint64{1, 2, 3, 4, 5}
 	}
-	var rows []SeedRow
-	for _, seed := range seeds {
+	return parallel.Map(seeds, parallel.Options{}, func(_ int, seed uint64) (SeedRow, error) {
 		s := sc
 		s.Seed = seed
-		ClearEvalCache()
 		ev, err := EvalMix(label, s)
 		if err != nil {
-			return nil, err
+			return SeedRow{}, err
 		}
 		chosen := ev.PredictorWS(core.PredScore)
-		rows = append(rows, SeedRow{
+		return SeedRow{
 			Seed:     seed,
 			ChosenWS: chosen,
 			AvgWS:    ev.Avg(),
 			GainPct:  100 * (chosen - ev.Avg()) / ev.Avg(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // FetchPolicyRow compares the substrate under ICOUNT versus round-robin
@@ -113,54 +110,59 @@ func AblationFetchPolicy(sc Scale) ([]FetchPolicyRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []FetchPolicyRow
-	for _, policy := range []arch.FetchPolicy{arch.FetchICOUNT, arch.FetchRoundRobin} {
+	policies := []arch.FetchPolicy{arch.FetchICOUNT, arch.FetchRoundRobin}
+	return parallel.Map(policies, parallel.Options{}, func(_ int, policy arch.FetchPolicy) (FetchPolicyRow, error) {
 		cfg := arch.Default21264(mix.SMTLevel)
 		cfg.FetchPolicy = policy
 
 		jobs, seeds, err := buildJobs(mix, sc.Seed)
 		if err != nil {
-			return nil, err
+			return FetchPolicyRow{}, err
 		}
 		solo, err := core.SoloRates(cfg, jobs, seeds, sc.CalibWarmup, sc.CalibMeasure)
 		if err != nil {
-			return nil, err
+			return FetchPolicyRow{}, err
 		}
 
-		var wss []float64
-		var ipcs []float64
-		for _, s := range scheds {
+		type run struct{ ws, ipc float64 }
+		runs, err := parallel.Map(scheds, parallel.Options{}, func(_ int, s schedule.Schedule) (run, error) {
 			jobs, _, err := buildJobs(mix, sc.Seed)
 			if err != nil {
-				return nil, err
+				return run{}, err
 			}
 			m, err := core.NewMachine(cfg, jobs, sc.Slice)
 			if err != nil {
-				return nil, err
+				return run{}, err
 			}
 			if err := warm(m, s, sc.WarmupCycles); err != nil {
-				return nil, err
+				return run{}, err
 			}
 			res, err := m.RunSchedule(s, sc.symbiosSlices(sc.Slice, s.CycleSlices()))
 			if err != nil {
-				return nil, err
+				return run{}, err
 			}
 			ws, err := metrics.WeightedSpeedup(res.Cycles, res.Committed, solo)
 			if err != nil {
-				return nil, err
+				return run{}, err
 			}
-			wss = append(wss, ws)
-			ipcs = append(ipcs, res.Counters.IPC())
+			return run{ws: ws, ipc: res.Counters.IPC()}, nil
+		})
+		if err != nil {
+			return FetchPolicyRow{}, err
 		}
-		rows = append(rows, FetchPolicyRow{
+		wss := make([]float64, len(runs))
+		ipcs := make([]float64, len(runs))
+		for i, r := range runs {
+			wss[i], ipcs[i] = r.ws, r.ipc
+		}
+		return FetchPolicyRow{
 			Policy:       policy.String(),
 			IPC:          metrics.Mean(ipcs),
 			WS:           metrics.Mean(wss),
 			SpreadBestWS: metrics.Max(wss),
 			SpreadWorst:  metrics.Min(wss),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // String renders a fetch-policy row for reports.

@@ -5,11 +5,25 @@ import (
 	"sync"
 )
 
-// evalCache memoizes MixEval results within a process. Figures 1 and 3 and
-// the warmstart study are different views of the same underlying
-// experiments (as in the paper), so the harness evaluates each (mix, scale)
-// pair once. Entries are deterministic functions of their key.
-var evalCache sync.Map // string -> *MixEval
+// evalFlight is one memoized (and possibly in-flight) mix evaluation.
+// Waiters block on done; ev/err are written exactly once, before done is
+// closed.
+type evalFlight struct {
+	done chan struct{}
+	ev   *MixEval
+	err  error
+}
+
+// evalCache memoizes MixEval results within a process, with singleflight
+// semantics: Figures 1 and 3 and the warmstart study are different views of
+// the same underlying experiments (as in the paper), and the parallel
+// drivers fan their mixes out concurrently — concurrent misses on one key
+// must compute the evaluation exactly once, not race to store. Entries are
+// deterministic functions of their key.
+var (
+	evalMu    sync.Mutex
+	evalCache = map[string]*evalFlight{}
+)
 
 // cacheKey identifies an evaluation.
 func cacheKey(label string, sc Scale) string {
@@ -19,25 +33,40 @@ func cacheKey(label string, sc Scale) string {
 }
 
 // EvalMixCached returns the memoized evaluation of a mix, computing it on
-// first use.
+// first use. A concurrent second caller of the same key blocks until the
+// first finishes and shares its result rather than recomputing.
 func EvalMixCached(label string, sc Scale) (*MixEval, error) {
 	key := cacheKey(label, sc)
-	if v, ok := evalCache.Load(key); ok {
-		return v.(*MixEval), nil
+	evalMu.Lock()
+	if f, ok := evalCache[key]; ok {
+		evalMu.Unlock()
+		<-f.done
+		return f.ev, f.err
 	}
-	ev, err := EvalMix(label, sc)
-	if err != nil {
-		return nil, err
+	f := &evalFlight{done: make(chan struct{})}
+	evalCache[key] = f
+	evalMu.Unlock()
+
+	f.ev, f.err = EvalMix(label, sc)
+	close(f.done)
+	if f.err != nil {
+		// Do not cache failures: a later caller may run under conditions
+		// that succeed (and joined waiters already got this attempt's
+		// error).
+		evalMu.Lock()
+		if evalCache[key] == f {
+			delete(evalCache, key)
+		}
+		evalMu.Unlock()
 	}
-	evalCache.Store(key, ev)
-	return ev, nil
+	return f.ev, f.err
 }
 
 // ClearEvalCache discards all memoized evaluations (tests use this to force
-// recomputation).
+// recomputation). In-flight computations are not interrupted; their waiters
+// still share the in-flight result, but new callers recompute.
 func ClearEvalCache() {
-	evalCache.Range(func(k, _ any) bool {
-		evalCache.Delete(k)
-		return true
-	})
+	evalMu.Lock()
+	evalCache = map[string]*evalFlight{}
+	evalMu.Unlock()
 }

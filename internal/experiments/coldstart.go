@@ -4,6 +4,7 @@ import (
 	"symbios/internal/arch"
 	"symbios/internal/core"
 	"symbios/internal/metrics"
+	"symbios/internal/parallel"
 	"symbios/internal/schedule"
 	"symbios/internal/workload"
 )
@@ -39,33 +40,31 @@ func ColdstartStudy(sc Scale, slices []uint64) ([]ColdstartRow, error) {
 	}
 	s := schedule.Schedule{Order: []int{0, 1, 2, 3, 4, 5}, Y: mix.SMTLevel, Z: mix.Swap}
 
-	var rows []ColdstartRow
-	for _, slice := range slices {
+	return parallel.Map(slices, parallel.Options{}, func(_ int, slice uint64) (ColdstartRow, error) {
 		jobs, _, err := buildJobs(mix, sc.Seed)
 		if err != nil {
-			return nil, err
+			return ColdstartRow{}, err
 		}
 		m, err := core.NewMachine(cfg, jobs, slice)
 		if err != nil {
-			return nil, err
+			return ColdstartRow{}, err
 		}
 		if err := warm(m, s, sc.WarmupCycles); err != nil {
-			return nil, err
+			return ColdstartRow{}, err
 		}
 		res, err := m.RunSchedule(s, sc.symbiosSlices(slice, s.CycleSlices()))
 		if err != nil {
-			return nil, err
+			return ColdstartRow{}, err
 		}
 		ws, err := metrics.WeightedSpeedup(res.Cycles, res.Committed, solo)
 		if err != nil {
-			return nil, err
+			return ColdstartRow{}, err
 		}
-		rows = append(rows, ColdstartRow{
+		return ColdstartRow{
 			SliceCycles: slice,
 			WS:          ws,
 			IPC:         res.Counters.IPC(),
 			L1DHitPct:   100 * res.Counters.L1DHitRate(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }

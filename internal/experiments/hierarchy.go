@@ -6,6 +6,7 @@ import (
 
 	"symbios/internal/arch"
 	"symbios/internal/core"
+	"symbios/internal/parallel"
 	"symbios/internal/rng"
 	"symbios/internal/schedule"
 	"symbios/internal/workload"
@@ -108,16 +109,12 @@ func jobWS(jobs []*workload.Job, committed []uint64, cycles uint64, soloAgg []fl
 }
 
 // Figure4 evaluates hierarchical symbiosis at SMT levels 2, 3, 4 and 6.
+// Each level's rng stream derives from (seed, level), so the levels are
+// independent work items.
 func Figure4(sc Scale) ([]Figure4Row, error) {
-	var rows []Figure4Row
-	for _, level := range []int{2, 3, 4, 6} {
-		row, err := hierLevel(level, sc)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return parallel.Map([]int{2, 3, 4, 6}, parallel.Options{}, func(_ int, level int) (Figure4Row, error) {
+		return hierLevel(level, sc)
+	})
 }
 
 // hierLevel runs one SMT level's hierarchical study.
@@ -133,8 +130,16 @@ func hierLevel(level int, sc Scale) (Figure4Row, error) {
 	}
 	r := rng.New(rng.Hash2(sc.Seed, uint64(level), 0xf164))
 
-	var cands []hierCandidate
-	usedConfigs := 0
+	// Phase 1 (serial): walk the configurations in order, drawing each
+	// feasible configuration's schedule sample from the shared rng stream.
+	// Only this walk touches r, so the draw sequence — and therefore every
+	// downstream number — is identical at any worker count.
+	type hierWork struct {
+		specs  []workload.Spec
+		desc   string
+		scheds []schedule.Schedule
+	}
+	var work []hierWork
 	for ci, specs := range configs {
 		x := 0
 		for _, s := range specs {
@@ -143,16 +148,28 @@ func hierLevel(level int, sc Scale) (Figure4Row, error) {
 		if x < level {
 			continue // cannot fill the running set
 		}
-		usedConfigs++
+		// A handful of schedules per configuration.
+		const perConfig = 4
+		work = append(work, hierWork{
+			specs:  specs,
+			desc:   descs[ci],
+			scheds: schedule.Sample(r, x, level, level, perConfig),
+		})
+	}
+	usedConfigs := len(work)
 
+	// Phase 2 (parallel): evaluate each configuration — solo calibration
+	// plus its schedule runs, every run on freshly built jobs — and flatten
+	// the per-configuration candidate groups in configuration order.
+	groups, err := parallel.Map(work, parallel.Options{}, func(_ int, w hierWork) ([]hierCandidate, error) {
 		// Per-job solo aggregate rates for this configuration.
-		jobs, seeds, err := buildSpecJobs(specs, sc.Seed)
+		jobs, seeds, err := buildSpecJobs(w.specs, sc.Seed)
 		if err != nil {
-			return Figure4Row{}, err
+			return nil, err
 		}
 		soloTask, err := core.SoloRates(cfg, jobs, seeds, sc.CalibWarmup, sc.CalibMeasure)
 		if err != nil {
-			return Figure4Row{}, err
+			return nil, err
 		}
 		soloAgg := make([]float64, len(jobs))
 		ti := 0
@@ -163,34 +180,37 @@ func hierLevel(level int, sc Scale) (Figure4Row, error) {
 			}
 		}
 
-		// A handful of schedules per configuration.
-		const perConfig = 4
-		scheds := schedule.Sample(r, x, level, level, perConfig)
-
-		for _, s := range scheds {
-			jobs, _, err := buildSpecJobs(specs, sc.Seed)
+		return parallel.Map(w.scheds, parallel.Options{}, func(_ int, s schedule.Schedule) (hierCandidate, error) {
+			jobs, _, err := buildSpecJobs(w.specs, sc.Seed)
 			if err != nil {
-				return Figure4Row{}, err
+				return hierCandidate{}, err
 			}
 			m, err := core.NewMachine(cfg, jobs, sc.Slice)
 			if err != nil {
-				return Figure4Row{}, err
+				return hierCandidate{}, err
 			}
 			if err := warm(m, s, sc.WarmupCycles); err != nil {
-				return Figure4Row{}, err
+				return hierCandidate{}, err
 			}
 			res, err := m.RunSchedule(s, sc.symbiosSlices(sc.Slice, s.CycleSlices()))
 			if err != nil {
-				return Figure4Row{}, err
+				return hierCandidate{}, err
 			}
-			cands = append(cands, hierCandidate{
-				specs:  specs,
-				desc:   descs[ci],
+			return hierCandidate{
+				specs:  w.specs,
+				desc:   w.desc,
 				sched:  s,
 				sample: core.NewSample(s, res),
 				ws:     jobWS(jobs, res.Committed, res.Cycles, soloAgg),
-			})
-		}
+			}, nil
+		})
+	})
+	if err != nil {
+		return Figure4Row{}, err
+	}
+	var cands []hierCandidate
+	for _, g := range groups {
+		cands = append(cands, g...)
 	}
 	if len(cands) == 0 {
 		return Figure4Row{}, fmt.Errorf("experiments: SMT level %d: no feasible configurations", level)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"symbios/internal/core"
+	"symbios/internal/parallel"
 	"symbios/internal/rng"
 	"symbios/internal/schedule"
 	"symbios/internal/workload"
@@ -33,10 +34,11 @@ func ThroughputVsLevel(sc Scale, levels []int) ([]LevelRow, error) {
 	if levels == nil {
 		levels = []int{2, 3, 4, 6}
 	}
-	var rows []LevelRow
-	for _, level := range levels {
+	// Each level derives its own rng stream from (seed, level), so the
+	// levels are independent work items.
+	return parallel.Map(levels, parallel.Options{}, func(_ int, level int) (LevelRow, error) {
 		if 12%level != 0 {
-			return nil, fmt.Errorf("experiments: level %d does not divide 12 jobs evenly", level)
+			return LevelRow{}, fmt.Errorf("experiments: level %d does not divide 12 jobs evenly", level)
 		}
 		mix := workload.Mix{
 			Label:    fmt.Sprintf("Jsb(12,%d,%d)", level, level),
@@ -49,7 +51,7 @@ func ThroughputVsLevel(sc Scale, levels []int) ([]LevelRow, error) {
 		scheds := schedule.Sample(r, mix.Tasks(), level, level, sc.MaxSamples)
 		ev, err := EvalMixSchedules(mix, scheds, sc)
 		if err != nil {
-			return nil, err
+			return LevelRow{}, err
 		}
 		row := LevelRow{
 			SMTLevel: level,
@@ -60,7 +62,6 @@ func ThroughputVsLevel(sc Scale, levels []int) ([]LevelRow, error) {
 		}
 		row.SpreadPct = 100 * (row.Best - row.Worst) / row.Worst
 		row.ScoreGainPct = 100 * (row.ScoreWS - row.Avg) / row.Avg
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }

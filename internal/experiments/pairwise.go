@@ -5,6 +5,7 @@ import (
 
 	"symbios/internal/arch"
 	"symbios/internal/cpu"
+	"symbios/internal/parallel"
 	"symbios/internal/rng"
 	"symbios/internal/workload"
 )
@@ -30,23 +31,22 @@ func Pairwise(sc Scale, names []string) (*PairTable, error) {
 	}
 	cfg := arch.Default21264(2)
 
-	// Solo rates, one calibration per benchmark.
-	solo := make([]float64, len(names))
-	for i, name := range names {
+	// Solo rates, one calibration per benchmark; each runs on its own
+	// machine, so the calibrations fan out.
+	solo, err := parallel.Map(names, parallel.Options{}, func(i int, name string) (float64, error) {
 		spec, err := workload.Lookup(name)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		spec.Threads, spec.SyncEvery = 1, 0
 		job, err := workload.NewJob(spec, i, rng.Hash2(sc.Seed, uint64(i), 0x9a1))
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		rates, err := soloOnly(cfg, job, sc)
-		if err != nil {
-			return nil, err
-		}
-		solo[i] = rates
+		return soloOnly(cfg, job, sc)
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	t := &PairTable{Names: names, WS: make([][]float64, len(names))}
@@ -54,14 +54,23 @@ func Pairwise(sc Scale, names []string) (*PairTable, error) {
 		t.WS[i] = make([]float64, len(names))
 		t.WS[i][i] = 1
 	}
+	// The upper-triangle cells are independent two-context simulations —
+	// the embarrassingly parallel heart of the matrix.
+	type cell struct{ i, j int }
+	var cells []cell
 	for i := 0; i < len(names); i++ {
 		for j := i + 1; j < len(names); j++ {
-			ws, err := pairWS(cfg, names[i], names[j], solo[i], solo[j], sc)
-			if err != nil {
-				return nil, err
-			}
-			t.WS[i][j], t.WS[j][i] = ws, ws
+			cells = append(cells, cell{i, j})
 		}
+	}
+	wss, err := parallel.Map(cells, parallel.Options{}, func(_ int, c cell) (float64, error) {
+		return pairWS(cfg, names[c.i], names[c.j], solo[c.i], solo[c.j], sc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, c := range cells {
+		t.WS[c.i][c.j], t.WS[c.j][c.i] = wss[k], wss[k]
 	}
 	return t, nil
 }

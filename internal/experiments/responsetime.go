@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"symbios/internal/arch"
+	"symbios/internal/parallel"
 	"symbios/internal/queueing"
 	"symbios/internal/rng"
 )
@@ -113,17 +114,13 @@ func ResponseCompare(level int, qs QueueScale, lambdaFactor float64) (ResponseRo
 	return row, nil
 }
 
-// Figure5 compares response time for SMT levels 2, 3, 4 and 6.
+// Figure5 compares response time for SMT levels 2, 3, 4 and 6. Each level
+// is a self-contained scripted system (its arrival script derives from the
+// (seed, level) hash), so the levels fan out across workers.
 func Figure5(qs QueueScale) ([]ResponseRow, error) {
-	var rows []ResponseRow
-	for _, level := range []int{2, 3, 4, 6} {
-		row, err := ResponseCompare(level, qs, 1.0)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return parallel.Map([]int{2, 3, 4, 6}, parallel.Options{}, func(_ int, level int) (ResponseRow, error) {
+		return ResponseCompare(level, qs, 1.0)
+	})
 }
 
 // Figure6 sweeps the arrival rate at SMT level 3. Factors above 1 load the
@@ -132,13 +129,7 @@ func Figure6(qs QueueScale, factors []float64) ([]ResponseRow, error) {
 	if factors == nil {
 		factors = []float64{0.6, 0.8, 1.0, 1.2}
 	}
-	var rows []ResponseRow
-	for _, f := range factors {
-		row, err := ResponseCompare(3, qs, f)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return parallel.Map(factors, parallel.Options{}, func(_ int, f float64) (ResponseRow, error) {
+		return ResponseCompare(3, qs, f)
+	})
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"symbios/internal/core"
+	"symbios/internal/parallel"
 )
 
 // ShootoutRow scores one predictor (paper or experimental) across mixes.
@@ -26,13 +27,11 @@ func PredictorShootout(sc Scale, labels []string) ([]ShootoutRow, error) {
 	if labels == nil {
 		labels = []string{"Jsb(6,3,3)", "Jsb(8,4,4)", "Jsb(5,2,2)"}
 	}
-	evs := make([]*MixEval, 0, len(labels))
-	for _, l := range labels {
-		ev, err := EvalMixCached(l, sc)
-		if err != nil {
-			return nil, err
-		}
-		evs = append(evs, ev)
+	evs, err := parallel.Map(labels, parallel.Options{}, func(_ int, l string) (*MixEval, error) {
+		return EvalMixCached(l, sc)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return shootoutFrom(evs), nil
 }

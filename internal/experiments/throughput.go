@@ -6,6 +6,7 @@ import (
 	"symbios/internal/arch"
 	"symbios/internal/core"
 	"symbios/internal/metrics"
+	"symbios/internal/parallel"
 	"symbios/internal/rng"
 	"symbios/internal/schedule"
 	"symbios/internal/workload"
@@ -90,13 +91,14 @@ func EvalMixSchedules(mix workload.Mix, scheds []schedule.Schedule, sc Scale) (*
 	}
 
 	// Symbios validation: run each sampled schedule from an identical
-	// starting state and record its weighted speedup.
-	for _, s := range scheds {
-		ws, err := symbiosWS(mix, cfg, slice, sc, s, solo)
-		if err != nil {
-			return nil, err
-		}
-		ev.WS = append(ev.WS, ws)
+	// starting state and record its weighted speedup. Each run builds its
+	// own jobs and machine from the same seed, so the runs are independent
+	// and fan out across workers with bit-identical results.
+	ev.WS, err = parallel.Map(scheds, parallel.Options{}, func(_ int, s schedule.Schedule) (float64, error) {
+		return symbiosWS(mix, cfg, slice, sc, s, solo)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return ev, nil
 }
@@ -175,13 +177,12 @@ func Figure1(sc Scale, labels []string) ([]Figure1Row, error) {
 	if labels == nil {
 		labels = workload.FigureMixes
 	}
-	var rows []Figure1Row
-	for _, l := range labels {
+	return parallel.Map(labels, parallel.Options{}, func(_ int, l string) (Figure1Row, error) {
 		ev, err := EvalMixCached(l, sc)
 		if err != nil {
-			return nil, err
+			return Figure1Row{}, err
 		}
-		rows = append(rows, Figure1Row{
+		return Figure1Row{
 			Mix:          l,
 			Worst:        ev.Worst(),
 			Best:         ev.Best(),
@@ -189,9 +190,8 @@ func Figure1(sc Scale, labels []string) ([]Figure1Row, error) {
 			SpreadPct:    100 * (ev.Best() - ev.Worst()) / ev.Worst(),
 			OverAvgPct:   100 * (ev.Best() - ev.Avg()) / ev.Avg(),
 			NumSchedules: len(ev.Scheds),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Table3Row is one row of Table 3: the predictor quantities a schedule
@@ -277,13 +277,11 @@ func Figure3(sc Scale, labels []string) ([]Figure3Row, error) {
 	if labels == nil {
 		labels = workload.FigureMixes
 	}
-	var rows []Figure3Row
-	for _, l := range labels {
+	return parallel.Map(labels, parallel.Options{}, func(_ int, l string) (Figure3Row, error) {
 		ev, err := EvalMixCached(l, sc)
 		if err != nil {
-			return nil, err
+			return Figure3Row{}, err
 		}
-		rows = append(rows, Figure3Row{Mix: l, Bars: Figure2Bars(ev)})
-	}
-	return rows, nil
+		return Figure3Row{Mix: l, Bars: Figure2Bars(ev)}, nil
+	})
 }

@@ -1,5 +1,7 @@
 package experiments
 
+import "symbios/internal/parallel"
+
 // WarmstartRow is one Section 8 comparison: a jobmix run with full swap
 // (Z = Y) versus swapping only one job per timeslice, at both the big and
 // the little timeslice.
@@ -30,15 +32,12 @@ var warmstartTriples = [][3]string{
 // reduces per-switch pressure on the memory subsystem; the little-timeslice
 // variant isolates the second effect.
 func WarmstartStudy(sc Scale) ([]WarmstartRow, error) {
-	var rows []WarmstartRow
-	for _, tr := range warmstartTriples {
-		evs := make([]*MixEval, 3)
-		for i, label := range tr {
-			ev, err := EvalMixCached(label, sc)
-			if err != nil {
-				return nil, err
-			}
-			evs[i] = ev
+	return parallel.Map(warmstartTriples[:], parallel.Options{}, func(_ int, tr [3]string) (WarmstartRow, error) {
+		evs, err := parallel.Map(tr[:], parallel.Options{}, func(_ int, label string) (*MixEval, error) {
+			return EvalMixCached(label, sc)
+		})
+		if err != nil {
+			return WarmstartRow{}, err
 		}
 		row := WarmstartRow{
 			FullSwap:       tr[0],
@@ -53,7 +52,6 @@ func WarmstartStudy(sc Scale) ([]WarmstartRow, error) {
 		}
 		row.WarmBigGainPct = 100 * (row.WarmBigAvg - row.FullSwapAvg) / row.FullSwapAvg
 		row.WarmLittleGainPct = 100 * (row.WarmLittleAvg - row.FullSwapAvg) / row.FullSwapAvg
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }

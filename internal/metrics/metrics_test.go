@@ -44,8 +44,10 @@ func TestWSTimeSharedProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		// Rounding committed counts to integers costs at most ~1/cycles.
-		return math.Abs(ws-1) < 1e-3
+		// Truncating a committed count to an integer costs each job up to
+		// 1/(cycles*solo) of WS; with solo as low as 0.1 that is 1e-3 per
+		// job, so two jobs can reach (and previously hit exactly) 2e-3.
+		return math.Abs(ws-1) <= 2e-3
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

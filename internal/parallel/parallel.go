@@ -1,0 +1,173 @@
+// Package parallel is the deterministic fan-out layer the experiment
+// harness runs on. Every table and figure of the reproduction is built
+// from independent cycle-level simulations (pairwise cells, per-mix
+// evaluations, per-schedule symbios runs), and each of those simulations
+// derives all of its randomness from per-item seeds (rng.Hash2 of the
+// experiment seed and the item index) rather than from shared mutable
+// state. Map and ForEach therefore parallelise them without changing a
+// single output bit:
+//
+//   - results are written to the slot of the item that produced them, so
+//     the returned slice is in input order at any worker count;
+//   - the reported error is the one belonging to the lowest input index,
+//     not the temporally first failure, so error behaviour is equally
+//     independent of scheduling;
+//   - no work item may share a mutable structure (machine, rng.Stream)
+//     with another — the call sites draw any shared random sequences
+//     before fanning out.
+//
+// The worker count defaults to GOMAXPROCS, may be overridden globally via
+// SetDefaultWorkers (cmd/sosbench's -workers flag) or the SYMBIOS_WORKERS
+// environment variable, and per call via Options.Workers. Workers=1
+// degenerates to a plain serial loop over the items.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Options controls one fan-out call.
+type Options struct {
+	// Workers caps the number of concurrent goroutines. Zero means the
+	// global default (SetDefaultWorkers, else SYMBIOS_WORKERS, else
+	// GOMAXPROCS); negative is an error guarded by a panic, since it
+	// indicates a harness bug rather than a runtime condition.
+	Workers int
+}
+
+// defaultWorkers holds the process-wide override; zero means unset.
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers fixes the process-wide default worker count; n <= 0
+// restores the automatic default. It returns the previous override (zero
+// when none was set) so tests can restore it.
+func SetDefaultWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(defaultWorkers.Swap(int64(n)))
+}
+
+// DefaultWorkers resolves the worker count used when Options.Workers is
+// zero: the SetDefaultWorkers override, else SYMBIOS_WORKERS, else
+// GOMAXPROCS.
+func DefaultWorkers() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	if s := os.Getenv("SYMBIOS_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// workers resolves o into a concrete worker count for n items.
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w < 0 {
+		panic("parallel: negative worker count")
+	}
+	if w == 0 {
+		w = DefaultWorkers()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map applies fn to every item and returns the results in input order.
+// fn receives the item's index and value; distinct items must not share
+// mutable state. On error, Map returns the error of the lowest-indexed
+// failing item (a deterministic choice at any worker count) and the
+// result slice is invalid. Items dispatched after the first observed
+// failure are skipped, so an early error does not pay for the full
+// sweep; items already in flight run to completion.
+func Map[T, R any](items []T, opts Options, fn func(i int, item T) (R, error)) ([]R, error) {
+	results := make([]R, len(items))
+	err := ForEach(items, opts, func(i int, item T) error {
+		r, err := fn(i, item)
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ForEach is Map without collected results: fn runs once per item, with
+// the same ordering and error guarantees.
+func ForEach[T any](items []T, opts Options, fn func(i int, item T) error) error {
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
+	w := opts.workers(n)
+	if w == 1 {
+		for i, item := range items {
+			if err := fn(i, item); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64 // next item index to claim
+		failed  atomic.Bool  // latch: stop claiming new items
+		mu      sync.Mutex
+		errIdx  = -1
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		failed.Store(true)
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, firstEr = i, err
+		}
+		mu.Unlock()
+	}
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i, items[i]); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}
+
+// Indices is a convenience for fan-outs over [0,n): it returns the slice
+// {0, 1, ..., n-1} for use as a Map/ForEach item list when the work is
+// indexed rather than value-driven.
+func Indices(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	return xs
+}

@@ -1,0 +1,146 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapOrdering checks results land in input order at several worker
+// counts, including counts exceeding the item count.
+func TestMapOrdering(t *testing.T) {
+	items := Indices(100)
+	for _, w := range []int{1, 2, 3, 8, 200} {
+		got, err := Map(items, Options{Workers: w}, func(i, v int) (int, error) {
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, g := range got {
+			if g != i*i {
+				t.Fatalf("workers=%d: got[%d]=%d, want %d", w, i, g, i*i)
+			}
+		}
+	}
+}
+
+// TestMapIdenticalAcrossWorkerCounts is the layer's core contract: the
+// same inputs produce byte-identical outputs at any worker count.
+func TestMapIdenticalAcrossWorkerCounts(t *testing.T) {
+	items := Indices(64)
+	fn := func(i, v int) (string, error) {
+		return fmt.Sprintf("item-%03d", v*7), nil
+	}
+	serial, err := Map(items, Options{Workers: 1}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		par, err := Map(items, Options{Workers: w}, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d: results differ from serial", w)
+		}
+	}
+}
+
+// TestFirstErrorByIndex checks the reported error is the lowest-indexed
+// failure regardless of completion order.
+func TestFirstErrorByIndex(t *testing.T) {
+	items := Indices(32)
+	for _, w := range []int{1, 4, 32} {
+		_, err := Map(items, Options{Workers: w}, func(i, v int) (int, error) {
+			if v == 7 || v == 21 {
+				return 0, fmt.Errorf("boom at %d", v)
+			}
+			return v, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", w)
+		}
+		// Item 7 always runs (items before the failure latch trips are
+		// claimed in order at w=1; at higher counts both failures may
+		// run, and 7 < 21 must win).
+		if w == 1 && err.Error() != "boom at 7" {
+			t.Fatalf("workers=%d: got %v, want boom at 7", w, err)
+		}
+		if err.Error() != "boom at 7" && err.Error() != "boom at 21" {
+			t.Fatalf("workers=%d: unexpected error %v", w, err)
+		}
+	}
+}
+
+// TestErrorStopsDispatch checks items after a serial failure are skipped.
+func TestErrorStopsDispatch(t *testing.T) {
+	var ran atomic.Int64
+	sentinel := errors.New("stop")
+	err := ForEach(Indices(1000), Options{Workers: 1}, func(i, v int) error {
+		ran.Add(1)
+		if v == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+	if n := ran.Load(); n != 4 {
+		t.Fatalf("ran %d items, want 4", n)
+	}
+}
+
+// TestEmpty checks the degenerate cases.
+func TestEmpty(t *testing.T) {
+	got, err := Map(nil, Options{}, func(i, v int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if err := ForEach([]int{}, Options{Workers: 5}, func(i, v int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetDefaultWorkers checks the global override round-trips and that
+// DefaultWorkers honours it.
+func TestSetDefaultWorkers(t *testing.T) {
+	prev := SetDefaultWorkers(3)
+	defer SetDefaultWorkers(prev)
+	if got := DefaultWorkers(); got != 3 {
+		t.Fatalf("DefaultWorkers=%d, want 3", got)
+	}
+	if old := SetDefaultWorkers(0); old != 3 {
+		t.Fatalf("Swap returned %d, want 3", old)
+	}
+	if got := DefaultWorkers(); got < 1 {
+		t.Fatalf("DefaultWorkers=%d after reset", got)
+	}
+}
+
+// TestWorkersEnv checks the SYMBIOS_WORKERS fallback.
+func TestWorkersEnv(t *testing.T) {
+	prev := SetDefaultWorkers(0)
+	defer SetDefaultWorkers(prev)
+	t.Setenv("SYMBIOS_WORKERS", "5")
+	if got := DefaultWorkers(); got != 5 {
+		t.Fatalf("DefaultWorkers=%d, want 5", got)
+	}
+	t.Setenv("SYMBIOS_WORKERS", "garbage")
+	if got := DefaultWorkers(); got < 1 {
+		t.Fatalf("DefaultWorkers=%d with bad env", got)
+	}
+}
+
+// TestIndices checks the index-list helper.
+func TestIndices(t *testing.T) {
+	if got := Indices(0); len(got) != 0 {
+		t.Fatalf("Indices(0) = %v", got)
+	}
+	if got := Indices(3); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("Indices(3) = %v", got)
+	}
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench.sh — run the root benchmarks and emit a BENCH_<date>.json perf
+# snapshot (ns/op, allocs/op, B/op and reported metrics per table/figure)
+# so future optimisation PRs have a trajectory to compare against.
+#
+# Usage:
+#   scripts/bench.sh [bench-regex] [benchtime]
+#
+# Defaults: the fast structural benchmarks plus the simulator hot loop.
+# Pass '.' to run everything (slow: the full figure suite simulates
+# hundreds of millions of cycles).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PATTERN="${1:-BenchmarkCoreCycles|BenchmarkTraceAt|BenchmarkScheduleSample|BenchmarkSOSRun}"
+BENCHTIME="${2:-1x}"
+OUT="BENCH_$(date +%Y%m%d).json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running: go test -run ^\$ -bench \"$PATTERN\" -benchtime $BENCHTIME -benchmem" >&2
+go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem | tee "$RAW"
+
+# Convert `go test -bench` lines into a JSON snapshot. Each benchmark line
+# has the shape:
+#   BenchmarkName  N  t ns/op [m unit ...]  b B/op  a allocs/op
+python3 - "$RAW" "$OUT" <<'EOF'
+import json, re, sys, datetime, subprocess
+
+raw, out = sys.argv[1], sys.argv[2]
+benches = {}
+for line in open(raw):
+    m = re.match(r'^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+(.*)$', line)
+    if not m:
+        continue
+    name, iters, rest = m.group(1), int(m.group(2)), m.group(3)
+    metrics = {}
+    for val, unit in re.findall(r'([0-9.e+]+)\s+(\S+)', rest):
+        metrics[unit] = float(val)
+    benches[name] = {"iterations": iters, "metrics": metrics}
+
+commit = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                        capture_output=True, text=True).stdout.strip()
+snapshot = {
+    "date": datetime.date.today().isoformat(),
+    "commit": commit,
+    "go": subprocess.run(["go", "version"], capture_output=True,
+                         text=True).stdout.strip(),
+    "benchmarks": benches,
+}
+with open(out, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out} ({len(benches)} benchmarks)", file=sys.stderr)
+EOF
