@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	sosbench -exp table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|parallel|warmstart|all
+//	sosbench -exp table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|parallel|warmstart|robustness|all
 //	         [-scale quick|default|paper] [-seed N] [-mix "Jsb(6,3,3)"]
 //	         [-workers N] [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
@@ -22,6 +22,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"symbios/internal/core"
 	"symbios/internal/experiments"
 	"symbios/internal/parallel"
 	"symbios/internal/report"
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		expName    = flag.String("exp", "table3", "experiment to run: table1, table2, table3, fig1..fig6, parallel, warmstart, levels, coldstart, pairwise, shootout, ablation, all")
+		expName    = flag.String("exp", "table3", "experiment to run: table1, table2, table3, fig1..fig6, parallel, warmstart, levels, coldstart, pairwise, shootout, ablation, robustness, all")
 		scaleName  = flag.String("scale", "default", "cycle budget: quick, default or paper")
 		seed       = flag.Uint64("seed", 1, "root random seed")
 		mixLabel   = flag.String("mix", "", "restrict fig1/fig3 to one mix label, e.g. 'Jsb(6,3,3)'")
@@ -325,10 +326,40 @@ func run(exp string, sc experiments.Scale, qs experiments.QueueScale, labels []s
 			fmt.Printf("  seed %d: chosen WS %.3f  avg %.3f  gain %+.1f%%\n", r.Seed, r.ChosenWS, r.AvgWS, r.GainPct)
 		}
 
+	case "robustness":
+		fmt.Println("== Robustness: predictor degradation vs counter faults, with churned adaptive SOS ==")
+		var mixes []string
+		if len(labels) > 0 {
+			mixes = labels
+		}
+		rows, err := experiments.Robustness(sc, mixes, nil, nil)
+		if err != nil {
+			return err
+		}
+		results["robustness"] = rows
+		printRobustness(rows)
+
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	return nil
+}
+
+func printRobustness(rows []experiments.RobustnessRow) {
+	preds := core.Predictors()
+	fmt.Printf("%-12s %-28s %7s", "Mix", "Fault", "Naive")
+	for _, p := range preds {
+		fmt.Printf(" %9s", p)
+	}
+	fmt.Printf(" | %8s %4s %4s %4s %4s\n", "Adaptive", "rsmp", "rtry", "fbk", "lost")
+	for _, r := range rows {
+		fmt.Printf("%-12s %-28s %7.3f", r.Mix, r.Fault, r.NaiveWS)
+		for _, p := range preds {
+			fmt.Printf(" %9.3f", r.PredWS[p.String()])
+		}
+		fmt.Printf(" | %8.3f %4d %4d %4d %4d\n",
+			r.AdaptiveWS, r.Resamples, r.Retries, r.FallbackSlices, r.LostWindows)
+	}
 }
 
 func printBars(bars []experiments.Figure2Bar) {

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"symbios/internal/arch"
+	"symbios/internal/counters"
+	"symbios/internal/parallel"
+	"symbios/internal/rng"
+	"symbios/internal/workload"
+)
+
+// archFor is the default machine config for a mix's SMT level.
+func archFor(m workload.Mix) arch.Config { return arch.Default21264(m.SMTLevel) }
+
+// flakyReader fails every nth Observe with ErrCounterRead and passes the
+// rest through — the minimal transient-failure model for the retry path.
+type flakyReader struct {
+	n     int
+	reads int
+}
+
+func (r *flakyReader) Observe(d counters.Set) (counters.Set, error) {
+	r.reads++
+	if r.n > 0 && r.reads%r.n == 0 {
+		return counters.Set{}, ErrCounterRead
+	}
+	return d, nil
+}
+
+// zeroReader reports every event counter as zero (a wholly dead PMU); only
+// the timebase survives.
+type zeroReader struct{}
+
+func (zeroReader) Observe(d counters.Set) (counters.Set, error) {
+	return counters.Set{Cycles: d.Cycles}, nil
+}
+
+// adaptiveSetup builds a machine plus solo rates for a mix at test scale.
+func adaptiveSetup(t *testing.T, label string, seed uint64) (*Machine, workload.Mix, []float64) {
+	t.Helper()
+	mix := workload.MustMix(label)
+	jobs, err := mix.Build(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := make([]uint64, len(jobs))
+	for i := range seeds {
+		seeds[i] = rng.Hash2(seed, uint64(i), 0x3017)
+	}
+	cfg := archFor(mix)
+	solo, err := SoloRates(cfg, jobs, seeds, 200_000, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(cfg, jobs, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, mix, solo
+}
+
+// TestRunAdaptiveClean: with no faults the hardened pipeline behaves like
+// plain SOS — no retries, no fallback, no resamples — and reports a
+// positive weighted speedup.
+func TestRunAdaptiveClean(t *testing.T) {
+	m, mix, solo := adaptiveSetup(t, "Jsb(4,2,2)", 3)
+	res, err := RunAdaptive(m, mix.SMTLevel, mix.Swap, solo, AdaptiveOptions{
+		Samples: 6, Predictor: PredScore, SymbiosSlices: 64,
+		WarmupCycles: 200_000, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WeightedSpeedup <= 0 {
+		t.Errorf("WS %.3f, want > 0", res.WeightedSpeedup)
+	}
+	if res.Retries != 0 || res.FallbackSlices != 0 || res.Resamples != 0 || res.SkippedSamples != 0 {
+		t.Errorf("clean run reported degraded-mode activity: %+v", res)
+	}
+	if res.Cycles == 0 {
+		t.Error("no cycles measured")
+	}
+}
+
+// TestRunAdaptiveRetriesTransientFailures: periodic counter-read failures
+// are retried with backoff and the run still completes with a usable WS.
+func TestRunAdaptiveRetriesTransientFailures(t *testing.T) {
+	m, mix, solo := adaptiveSetup(t, "Jsb(4,2,2)", 3)
+	m.SetCounterReader(&flakyReader{n: 7})
+	res, err := RunAdaptive(m, mix.SMTLevel, mix.Swap, solo, AdaptiveOptions{
+		Samples: 6, Predictor: PredScore, SymbiosSlices: 64,
+		WarmupCycles: 200_000, Seed: 9, MaxSampleRetries: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries == 0 && res.LostWindows == 0 {
+		t.Error("flaky reader triggered no retries or lost windows")
+	}
+	if res.WeightedSpeedup <= 0 {
+		t.Errorf("WS %.3f, want > 0 despite transient failures", res.WeightedSpeedup)
+	}
+}
+
+// TestRunAdaptiveFallsBackOnDegenerateSamples: an all-zero counter view is
+// degenerate input, so the scheduler must degrade to round-robin rather
+// than trust a predictor over garbage — and must error instead when the
+// fallback is ablated.
+func TestRunAdaptiveFallsBackOnDegenerateSamples(t *testing.T) {
+	m, mix, solo := adaptiveSetup(t, "Jsb(4,2,2)", 3)
+	m.SetCounterReader(zeroReader{})
+	res, err := RunAdaptive(m, mix.SMTLevel, mix.Swap, solo, AdaptiveOptions{
+		Samples: 6, Predictor: PredScore, SymbiosSlices: 32, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FallbackSlices != 32 {
+		t.Errorf("FallbackSlices %d, want the whole symbios phase (32)", res.FallbackSlices)
+	}
+	if res.WeightedSpeedup <= 0 {
+		t.Errorf("WS %.3f, want > 0 under round-robin fallback", res.WeightedSpeedup)
+	}
+	found := false
+	for _, e := range res.Events {
+		if strings.Contains(e, "fallback to round-robin") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no fallback event logged: %v", res.Events)
+	}
+
+	m2, mix2, solo2 := adaptiveSetup(t, "Jsb(4,2,2)", 3)
+	m2.SetCounterReader(zeroReader{})
+	_, err = RunAdaptive(m2, mix2.SMTLevel, mix2.Swap, solo2, AdaptiveOptions{
+		Samples: 6, Predictor: PredScore, SymbiosSlices: 32, Seed: 9,
+		DisableFallback: true,
+	})
+	if err == nil {
+		t.Error("DisableFallback accepted degenerate samples")
+	}
+}
+
+// TestRunAdaptiveChurn: a scripted departure and arrival mid-run changes
+// the task set, triggers a resample, and the WS accounting follows the
+// live mix.
+func TestRunAdaptiveChurn(t *testing.T) {
+	m, mix, solo := adaptiveSetup(t, "Jsb(5,2,2)", 3)
+
+	spec := workload.MustLookup("IS")
+	spec.Threads, spec.SyncEvery = 1, 0
+	arrival := workload.MustNewJob(spec, 100, 77)
+	arrSolo, err := SoloRates(archFor(mix), []*workload.Job{arrival}, []uint64{77}, 200_000, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrival = workload.MustNewJob(spec, 100, 77) // fresh progress after calibration probe
+
+	res, err := RunAdaptive(m, mix.SMTLevel, mix.Swap, solo, AdaptiveOptions{
+		Samples: 5, Predictor: PredScore, SymbiosSlices: 60,
+		WarmupCycles: 100_000, Seed: 11,
+		Churn: []ChurnEvent{{
+			AtSlice:    20,
+			Depart:     []int{0},
+			Arrive:     []*workload.Job{arrival},
+			ArriveSolo: [][]float64{arrSolo},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resamples == 0 && res.FallbackSlices == 0 {
+		t.Error("churn triggered neither resample nor fallback")
+	}
+	names := map[string]bool{}
+	for _, tk := range m.Tasks() {
+		names[tk.Job.Name()] = true
+	}
+	if !names["IS"] {
+		t.Errorf("arrival missing from final task set: %v", names)
+	}
+	if res.WeightedSpeedup <= 0 {
+		t.Errorf("WS %.3f, want > 0 across churn", res.WeightedSpeedup)
+	}
+	churnLogged := false
+	for _, e := range res.Events {
+		if strings.Contains(e, "churn at slice") {
+			churnLogged = true
+		}
+	}
+	if !churnLogged {
+		t.Errorf("no churn event logged: %v", res.Events)
+	}
+}
+
+// TestRunAdaptiveAbort: a pre-fired cancel token aborts the run promptly
+// with ErrCancelled.
+func TestRunAdaptiveAbort(t *testing.T) {
+	m, mix, solo := adaptiveSetup(t, "Jsb(4,2,2)", 3)
+	var c parallel.Cancel
+	c.Cancel()
+	_, err := RunAdaptive(m, mix.SMTLevel, mix.Swap, solo, AdaptiveOptions{
+		Samples: 6, Predictor: PredScore, SymbiosSlices: 64, Seed: 9,
+		Abort: &c,
+	})
+	if !errors.Is(err, parallel.ErrCancelled) {
+		t.Fatalf("err=%v, want ErrCancelled", err)
+	}
+}
+
+// TestRunScheduleErrors covers the hardening of the execution layer: a
+// running set larger than the SMT level is a returned error, not a panic,
+// and NewMachine validates its inputs.
+func TestRunScheduleErrors(t *testing.T) {
+	if _, err := NewMachine(archFor(workload.MustMix("Jsb(4,2,2)")), nil, 20_000); err == nil {
+		t.Error("NewMachine accepted an empty jobmix")
+	}
+	mix := workload.MustMix("Jsb(4,2,2)")
+	jobs, err := mix.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMachine(archFor(mix), jobs, 0); err == nil {
+		t.Error("NewMachine accepted a zero timeslice")
+	}
+}

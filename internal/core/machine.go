@@ -13,6 +13,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"symbios/internal/arch"
@@ -21,6 +22,27 @@ import (
 	"symbios/internal/schedule"
 	"symbios/internal/workload"
 )
+
+// CounterReader interposes between the hardware performance counters and
+// what the jobscheduler sees. Observe receives the true interval delta after
+// each timeslice and returns the delta as the scheduler observes it —
+// possibly noisy, stale, clipped or stuck (internal/faults implements the
+// fault models). Returning an error wrapping ErrCounterRead marks the read
+// transiently failed; RunSchedule drops that interval's observation, tallies
+// it in RunResult.ReadFailures and keeps executing, so a hardened driver can
+// decide whether the run's measurement is still trustworthy.
+//
+// The reader corrupts only the scheduler's view: task progress, committed
+// instruction accounting and the weighted-speedup inputs always use the true
+// machine state.
+type CounterReader interface {
+	Observe(delta counters.Set) (counters.Set, error)
+}
+
+// ErrCounterRead marks a transient counter read failure injected by a
+// CounterReader. RunSchedule matches it with errors.Is to distinguish a lost
+// observation (tolerated, counted) from a reader bug (aborts the run).
+var ErrCounterRead = errors.New("core: transient counter read failure")
 
 // Task is one schedulable entry: a software thread of a job. On an SMT
 // machine each scheduled task occupies one hardware context. A
@@ -52,6 +74,10 @@ type Machine struct {
 
 	// taskCtx[i] is the hardware context task i occupies, or -1.
 	taskCtx []int
+
+	// reader, when non-nil, interposes on every counter read the scheduler
+	// performs (fault injection); nil reads the counters directly.
+	reader CounterReader
 }
 
 // NewMachine constructs a machine for cfg over the given jobs. Tasks are
@@ -62,27 +88,71 @@ func NewMachine(cfg arch.Config, jobs []*workload.Job, sliceCycles uint64) (*Mac
 	if err != nil {
 		return nil, err
 	}
-	if sliceCycles == 0 {
-		return nil, fmt.Errorf("core: zero timeslice")
+	if sliceCycles < 1 {
+		return nil, fmt.Errorf("core: timeslice must be >= 1 cycle, got %d", sliceCycles)
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("core: no jobs; a machine needs a non-empty jobmix")
 	}
 	m := &Machine{Core: c, SliceCycles: sliceCycles}
-	for _, j := range jobs {
-		for t := 0; t < j.Threads(); t++ {
-			m.tasks = append(m.tasks, Task{Job: j, Thread: t})
-		}
-	}
-	if len(m.tasks) < cfg.Contexts {
-		return nil, fmt.Errorf("core: %d tasks for %d contexts; the running set cannot be filled", len(m.tasks), cfg.Contexts)
-	}
-	m.taskCtx = make([]int, len(m.tasks))
-	for i := range m.taskCtx {
-		m.taskCtx[i] = -1
+	if err := m.SetTasks(jobs); err != nil {
+		return nil, err
 	}
 	return m, nil
 }
 
+// SetTasks rebinds the machine to a new job list — the jobmix-churn entry
+// point. Any resident tasks are detached first (progress saved); jobs
+// retained across the call keep their cache and predictor state, since the
+// memory system tags lines by job address space. Task indices are
+// renumbered in job-list order, so any previously drawn schedule is
+// invalidated and the caller must resample.
+func (m *Machine) SetTasks(jobs []*workload.Job) error {
+	if len(jobs) == 0 {
+		return fmt.Errorf("core: no jobs; a machine needs a non-empty jobmix")
+	}
+	if m.taskCtx != nil {
+		m.DetachAll()
+	}
+	var tasks []Task
+	for _, j := range jobs {
+		for t := 0; t < j.Threads(); t++ {
+			tasks = append(tasks, Task{Job: j, Thread: t})
+		}
+	}
+	if len(tasks) < m.Core.Config().Contexts {
+		return fmt.Errorf("core: %d tasks for %d contexts; the running set cannot be filled", len(tasks), m.Core.Config().Contexts)
+	}
+	m.tasks = tasks
+	m.taskCtx = make([]int, len(tasks))
+	for i := range m.taskCtx {
+		m.taskCtx[i] = -1
+	}
+	return nil
+}
+
+// SetCounterReader interposes r on every subsequent counter read (nil
+// restores direct reads). Give each machine its own reader: readers are
+// stateful and the determinism contract requires the read sequence be a
+// function of this machine's activity alone.
+func (m *Machine) SetCounterReader(r CounterReader) { m.reader = r }
+
 // Tasks returns the schedulable entries in index order.
 func (m *Machine) Tasks() []Task { return m.tasks }
+
+// Jobs returns the machine's current job list, each job once, in task
+// order (the list SetTasks was last given).
+func (m *Machine) Jobs() []*workload.Job {
+	var out []*workload.Job
+	var last *workload.Job
+	for _, t := range m.tasks {
+		if t.Job != last {
+			out = append(out, t.Job)
+			last = t.Job
+		}
+	}
+	return out
+}
 
 // NumTasks returns X, the number of schedulable entries.
 func (m *Machine) NumTasks() int { return len(m.tasks) }
@@ -96,24 +166,34 @@ type RunResult struct {
 	// Counters is the counter delta over the run.
 	Counters counters.Set
 	// SliceIPCs is the machine IPC of each timeslice, in order (the
-	// Balance predictor's input).
+	// Balance predictor's input). Under an interposed CounterReader these
+	// are the observed values; slices whose read failed outright are
+	// absent.
 	SliceIPCs []float64
+	// ReadFailures counts timeslices whose counter read failed transiently
+	// (ErrCounterRead from the interposed reader). The machine kept
+	// running — progress accounting below is always true — but Counters
+	// and SliceIPCs are missing those intervals, so a driver that needs a
+	// trustworthy sample must retry when this is nonzero.
+	ReadFailures int
 }
 
-// attach puts task ti on a free context.
-func (m *Machine) attach(ti int) {
+// attach puts task ti on a free context. It reports an error — rather than
+// crashing — when no context is free, so malformed (possibly fault-injected)
+// schedules surface as diagnosable failures from RunSchedule.
+func (m *Machine) attach(ti int) error {
 	if m.taskCtx[ti] >= 0 {
-		return
+		return nil
 	}
 	for ctx := 0; ctx < m.Core.Config().Contexts; ctx++ {
 		if !m.Core.Occupied(ctx) {
 			t := m.tasks[ti]
 			m.Core.Attach(ctx, t.Job.Source(t.Thread), t.Job.Progress[t.Thread], t.Job.Gate(), t.Thread)
 			m.taskCtx[ti] = ctx
-			return
+			return nil
 		}
 	}
-	panic("core: no free context; running set exceeds SMT level")
+	return fmt.Errorf("core: no free context for task %s; running set exceeds SMT level %d", m.tasks[ti].Name(), m.Core.Config().Contexts)
 }
 
 // detach removes task ti, saving its progress, and credits committed
@@ -159,13 +239,37 @@ func (m *Machine) RunSchedule(s schedule.Schedule, slices int) (RunResult, error
 	prev := start
 	for slice := 0; slice < slices; slice++ {
 		for _, ti := range running {
-			m.attach(ti)
+			if err := m.attach(ti); err != nil {
+				m.DetachAll()
+				return RunResult{}, err
+			}
 		}
 		m.Core.Run(m.SliceCycles)
 
 		snap := m.Core.Snapshot()
 		d := snap.Sub(prev)
-		res.SliceIPCs = append(res.SliceIPCs, d.IPC())
+		if m.reader != nil {
+			// The scheduler reads the counters through the interposed
+			// (possibly faulty) reader; progress accounting below stays
+			// true regardless. A transient read failure loses only the
+			// observation — the hardware does not stop because the PMU
+			// misbehaved — and is tallied for the caller to judge; any
+			// other reader error is a harness bug and aborts.
+			obs, err := m.reader.Observe(d)
+			switch {
+			case err == nil:
+				d = obs
+				res.Counters = res.Counters.Add(d)
+				res.SliceIPCs = append(res.SliceIPCs, d.IPC())
+			case errors.Is(err, ErrCounterRead):
+				res.ReadFailures++
+			default:
+				m.DetachAll()
+				return RunResult{}, fmt.Errorf("core: slice %d: %w", slice, err)
+			}
+		} else {
+			res.SliceIPCs = append(res.SliceIPCs, d.IPC())
+		}
 		prev = snap
 
 		// Rotate: swap out the Z longest-resident running tasks FIFO,
@@ -183,8 +287,12 @@ func (m *Machine) RunSchedule(s schedule.Schedule, slices int) (RunResult, error
 		m.detach(ti, res.Committed)
 	}
 	end := m.Core.Snapshot()
-	res.Counters = end.Sub(start)
-	res.Cycles = res.Counters.Cycles
+	if m.reader == nil {
+		res.Counters = end.Sub(start)
+	}
+	// Cycles is the timebase, always true even under an interposed reader:
+	// the weighted-speedup metric measures real machine time.
+	res.Cycles = end.Sub(start).Cycles
 	return res, nil
 }
 

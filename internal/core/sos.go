@@ -74,8 +74,17 @@ func Run(m *Machine, y, z int, soloIPC []float64, opt Options) (Result, error) {
 	if opt.SymbiosSlices < 1 {
 		return Result{}, fmt.Errorf("core: SymbiosSlices must be >= 1")
 	}
+	if soloIPC != nil && len(soloIPC) != m.NumTasks() {
+		return Result{}, fmt.Errorf("core: %d solo rates for %d tasks", len(soloIPC), m.NumTasks())
+	}
 	r := rng.New(opt.Seed)
 	scheds := schedule.Sample(r, m.NumTasks(), y, z, opt.Samples)
+	// Sample may return fewer schedules than requested (small spaces are
+	// enumerated instead); the warmup below indexes scheds[0], so an empty
+	// draw must fail here rather than crash.
+	if len(scheds) == 0 {
+		return Result{}, fmt.Errorf("core: schedule sampling produced no candidates for X=%d Y=%d Z=%d", m.NumTasks(), y, z)
+	}
 
 	if opt.WarmupCycles > 0 {
 		rot := scheds[0].CycleSlices()

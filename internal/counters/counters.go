@@ -83,32 +83,75 @@ type Set struct {
 	TLBHits, TLBMisses uint64
 }
 
-// Sub returns the interval counters s - prev.
+// sub64 is saturating subtraction: a stale or reordered snapshot (prev read
+// after s, or a counter that was externally reset) yields 0 rather than a
+// near-2^64 wraparound that would feed garbage to the predictors.
+func sub64(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// Sub returns the interval counters s - prev. Each field saturates at zero,
+// so subtracting a stale or reordered snapshot is defined (the interval reads
+// as empty) instead of producing wraparound garbage.
 func (s Set) Sub(prev Set) Set {
 	d := Set{
-		Cycles:            s.Cycles - prev.Cycles,
-		Committed:         s.Committed - prev.Committed,
-		IntCommitted:      s.IntCommitted - prev.IntCommitted,
-		FPCommitted:       s.FPCommitted - prev.FPCommitted,
-		LoadCommitted:     s.LoadCommitted - prev.LoadCommitted,
-		StoreCommitted:    s.StoreCommitted - prev.StoreCommitted,
-		BranchCommitted:   s.BranchCommitted - prev.BranchCommitted,
-		Fetched:           s.Fetched - prev.Fetched,
-		BranchPredicts:    s.BranchPredicts - prev.BranchPredicts,
-		BranchMispredicts: s.BranchMispredicts - prev.BranchMispredicts,
-		L1DHits:           s.L1DHits - prev.L1DHits,
-		L1DMisses:         s.L1DMisses - prev.L1DMisses,
-		L1IHits:           s.L1IHits - prev.L1IHits,
-		L1IMisses:         s.L1IMisses - prev.L1IMisses,
-		L2Hits:            s.L2Hits - prev.L2Hits,
-		L2Misses:          s.L2Misses - prev.L2Misses,
-		TLBHits:           s.TLBHits - prev.TLBHits,
-		TLBMisses:         s.TLBMisses - prev.TLBMisses,
+		Cycles:            sub64(s.Cycles, prev.Cycles),
+		Committed:         sub64(s.Committed, prev.Committed),
+		IntCommitted:      sub64(s.IntCommitted, prev.IntCommitted),
+		FPCommitted:       sub64(s.FPCommitted, prev.FPCommitted),
+		LoadCommitted:     sub64(s.LoadCommitted, prev.LoadCommitted),
+		StoreCommitted:    sub64(s.StoreCommitted, prev.StoreCommitted),
+		BranchCommitted:   sub64(s.BranchCommitted, prev.BranchCommitted),
+		Fetched:           sub64(s.Fetched, prev.Fetched),
+		BranchPredicts:    sub64(s.BranchPredicts, prev.BranchPredicts),
+		BranchMispredicts: sub64(s.BranchMispredicts, prev.BranchMispredicts),
+		L1DHits:           sub64(s.L1DHits, prev.L1DHits),
+		L1DMisses:         sub64(s.L1DMisses, prev.L1DMisses),
+		L1IHits:           sub64(s.L1IHits, prev.L1IHits),
+		L1IMisses:         sub64(s.L1IMisses, prev.L1IMisses),
+		L2Hits:            sub64(s.L2Hits, prev.L2Hits),
+		L2Misses:          sub64(s.L2Misses, prev.L2Misses),
+		TLBHits:           sub64(s.TLBHits, prev.TLBHits),
+		TLBMisses:         sub64(s.TLBMisses, prev.TLBMisses),
 	}
 	for r := Resource(0); r < NumResources; r++ {
-		d.ConflictCycles[r] = s.ConflictCycles[r] - prev.ConflictCycles[r]
+		d.ConflictCycles[r] = sub64(s.ConflictCycles[r], prev.ConflictCycles[r])
 	}
 	return d
+}
+
+// Add returns the per-field sum s + o, for accumulating interval deltas.
+func (s Set) Add(o Set) Set {
+	sum := s
+	sp, op := sum.EventFields(), o.EventFields()
+	for i := range sp {
+		*sp[i] += *op[i]
+	}
+	sum.Cycles += o.Cycles
+	return sum
+}
+
+// EventFields returns pointers to every PMU event counter of s, in a fixed
+// order. Cycles is excluded: it comes from the timebase, not a multiplexed
+// counter, so the fault injector and any per-counter sweep leave it alone.
+func (s *Set) EventFields() []*uint64 {
+	fs := []*uint64{
+		&s.Committed, &s.IntCommitted, &s.FPCommitted,
+		&s.LoadCommitted, &s.StoreCommitted, &s.BranchCommitted,
+		&s.Fetched,
+		&s.BranchPredicts, &s.BranchMispredicts,
+		&s.L1DHits, &s.L1DMisses,
+		&s.L1IHits, &s.L1IMisses,
+		&s.L2Hits, &s.L2Misses,
+		&s.TLBHits, &s.TLBMisses,
+	}
+	for r := Resource(0); r < NumResources; r++ {
+		fs = append(fs, &s.ConflictCycles[r])
+	}
+	return fs
 }
 
 // IPC returns committed instructions per cycle for the interval.

@@ -2,6 +2,7 @@ package counters
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -141,5 +142,73 @@ func TestAllConflictMayExceed100(t *testing.T) {
 	}
 	if got := s.AllConflictPct(); math.Abs(got-400) > 1e-9 {
 		t.Errorf("AllConf %f, want 400", got)
+	}
+}
+
+// TestSubUnderflowSaturates checks that subtracting a stale or reordered
+// snapshot (prev > s on some field) yields zero interval counts, not
+// wraparound garbage: a corrupted read must stay a defined, bounded input
+// for the predictors.
+func TestSubUnderflowSaturates(t *testing.T) {
+	fresh := Set{Cycles: 100, Committed: 50, L1DHits: 10}
+	stale := Set{Cycles: 200, Committed: 90, L1DHits: 40, TLBMisses: 7}
+	stale.ConflictCycles[IQ] = 3
+	d := fresh.Sub(stale)
+	for i, p := range d.EventFields() {
+		if *p != 0 {
+			t.Errorf("field %d underflowed to %d, want 0", i, *p)
+		}
+	}
+	if d.Cycles != 0 {
+		t.Errorf("Cycles underflowed to %d, want 0", d.Cycles)
+	}
+	if ipc := d.IPC(); ipc != 0 {
+		t.Errorf("IPC of underflowed interval = %f, want 0", ipc)
+	}
+	// The healthy direction is unchanged by the saturation.
+	d = stale.Sub(fresh)
+	if d.Cycles != 100 || d.Committed != 40 || d.L1DHits != 30 || d.TLBMisses != 7 {
+		t.Errorf("healthy Sub wrong: %+v", d)
+	}
+}
+
+// TestAddAccumulates checks that summing interval deltas reproduces the
+// end-to-end delta (the accumulation RunSchedule performs when a counter
+// reader interposes on per-slice reads).
+func TestAddAccumulates(t *testing.T) {
+	a := Set{Cycles: 10, Committed: 5, FPCommitted: 2, L2Misses: 1}
+	a.ConflictCycles[FQ] = 4
+	b := Set{Cycles: 20, Committed: 7, FPCommitted: 1, L2Misses: 3}
+	b.ConflictCycles[FQ] = 2
+	sum := a.Add(b)
+	if sum.Cycles != 30 || sum.Committed != 12 || sum.FPCommitted != 3 ||
+		sum.L2Misses != 4 || sum.ConflictCycles[FQ] != 6 {
+		t.Errorf("Add wrong: %+v", sum)
+	}
+	// Add must not alias its operands.
+	if a.Committed != 5 || b.Committed != 7 {
+		t.Errorf("Add mutated an operand: a=%+v b=%+v", a, b)
+	}
+}
+
+// TestEventFieldsCoverage pins EventFields to the full counter set: every
+// uint64 of Set must be enumerated exactly once, except Cycles (the
+// timebase). Adding a counter without extending EventFields fails here.
+func TestEventFieldsCoverage(t *testing.T) {
+	var s Set
+	total := reflect.TypeOf(s).NumField() - 2 + int(NumResources) // fields - ConflictCycles - Cycles + array elems
+	fs := s.EventFields()
+	if len(fs) != total {
+		t.Fatalf("EventFields enumerates %d counters, struct holds %d (excluding Cycles)", len(fs), total)
+	}
+	seen := map[*uint64]bool{}
+	for _, p := range fs {
+		if p == &s.Cycles {
+			t.Fatal("EventFields includes Cycles")
+		}
+		if seen[p] {
+			t.Fatal("EventFields enumerates a counter twice")
+		}
+		seen[p] = true
 	}
 }

@@ -1,0 +1,404 @@
+package experiments
+
+import (
+	"fmt"
+
+	"symbios/internal/arch"
+	"symbios/internal/core"
+	"symbios/internal/faults"
+	"symbios/internal/parallel"
+	"symbios/internal/rng"
+	"symbios/internal/schedule"
+	"symbios/internal/workload"
+)
+
+// RobustnessRow is one cell row of the robustness sweep: a jobmix under one
+// fault configuration, with the weighted speedup of (a) the oblivious
+// round-robin baseline, (b) the static SOS pipeline per predictor — whose
+// sample phase sees the corrupted counters and whose pick is then measured on
+// the clean machine, isolating how much each predictor's *choice* degrades —
+// and (c) the hardened adaptive pipeline running through the same faults plus
+// the churn script, with its degraded-mode activity counts.
+type RobustnessRow struct {
+	Mix   string
+	Fault string
+
+	// NaiveWS is the round-robin baseline over the symbios budget, following
+	// the same churn script (it reads no counters, so counter faults cannot
+	// touch it).
+	NaiveWS float64
+
+	// PredWS maps predictor name to the realized WS of the schedule that
+	// predictor picks from the fault-injected sample phase.
+	PredWS map[string]float64
+
+	// AdaptiveWS is the hardened pipeline's WS under the same faults and
+	// churn; the counters below summarize its degraded-mode decisions.
+	AdaptiveWS     float64
+	Resamples      int
+	Retries        int
+	SkippedSamples int
+	FallbackSlices int
+	LostWindows    int
+}
+
+// Salt labels for the per-cell seed streams.
+const (
+	saltRobustCell  = 0x0b57
+	saltRobustFault = 0x0fa7
+	saltRobustSched = 0x5a33
+	saltRobustArr   = 0x0a44
+)
+
+// DefaultFaultLevels is the sweep's noise ladder: clean, rising Gaussian
+// noise, and one harsh combined configuration (noise + drops + a sticky
+// counter + transient read failures).
+func DefaultFaultLevels() []faults.Config {
+	return []faults.Config{
+		{},
+		{NoiseSigma: 0.05},
+		{NoiseSigma: 0.10},
+		{NoiseSigma: 0.20},
+		{NoiseSigma: 0.40},
+		{NoiseSigma: 0.20, DropRate: 0.10, StickyRate: 0.02, FailRate: 0.05},
+	}
+}
+
+// DefaultRobustnessMixes keeps the sweep affordable: one small and one
+// medium mix, both with fully enumerable or near-enumerable schedule spaces.
+func DefaultRobustnessMixes() []string {
+	return []string{"Jsb(4,2,2)", "Jsb(6,3,3)"}
+}
+
+// DefaultChurn is the single-job churn script: at the symbios midpoint the
+// mix's first job departs and an IS instance arrives.
+func DefaultChurn() []faults.ChurnSpec {
+	return []faults.ChurnSpec{{AtFraction: 0.5, DepartJob: 0, ArriveBench: "IS"}}
+}
+
+// Robustness runs the full sweep: every mix label under every fault level.
+// Cells are independent simulations seeded from (sc.Seed, cell index) and fan
+// out across workers with bit-identical results at any worker count; a cell
+// failure fires a shared cancel token so in-flight adaptive runs abort
+// instead of finishing work the sweep will discard.
+func Robustness(sc Scale, labels []string, levels []faults.Config, churn []faults.ChurnSpec) ([]RobustnessRow, error) {
+	if labels == nil {
+		labels = DefaultRobustnessMixes()
+	}
+	if levels == nil {
+		levels = DefaultFaultLevels()
+	}
+	if churn == nil {
+		churn = DefaultChurn()
+	}
+	type cell struct {
+		label string
+		fc    faults.Config
+	}
+	var cells []cell
+	for _, l := range labels {
+		for _, fc := range levels {
+			cells = append(cells, cell{l, fc})
+		}
+	}
+	var abort parallel.Cancel
+	return parallel.Map(cells, parallel.Options{Cancel: &abort}, func(i int, c cell) (RobustnessRow, error) {
+		return robustnessCell(c.label, c.fc, churn, sc, rng.Hash2(sc.Seed, uint64(i), saltRobustCell), &abort)
+	})
+}
+
+// robustnessCell evaluates one (mix, fault level) pair.
+func robustnessCell(label string, fc faults.Config, churn []faults.ChurnSpec, sc Scale, cellSeed uint64, abort *parallel.Cancel) (RobustnessRow, error) {
+	mix, err := workload.MixByLabel(label)
+	if err != nil {
+		return RobustnessRow{}, err
+	}
+	cfg := arch.Default21264(mix.SMTLevel)
+	slice := sc.sliceFor(mix)
+	symSlices := int(sc.SymbiosCycles / slice)
+	if symSlices < 1 {
+		symSlices = 1
+	}
+
+	// Solo rates are calibrated on the clean machine — the experimenter's
+	// metric must not depend on the fault level under test.
+	calJobs, seeds, err := buildJobs(mix, sc.Seed)
+	if err != nil {
+		return RobustnessRow{}, err
+	}
+	solo, err := core.SoloRates(cfg, calJobs, seeds, sc.CalibWarmup, sc.CalibMeasure)
+	if err != nil {
+		return RobustnessRow{}, fmt.Errorf("experiments: %s: %w", label, err)
+	}
+
+	row := RobustnessRow{Mix: label, Fault: fc.String()}
+
+	naiveChurn, err := resolveChurn(churn, cfg, sc, symSlices, cellSeed)
+	if err != nil {
+		return RobustnessRow{}, err
+	}
+	row.NaiveWS, err = naiveChurnWS(mix, cfg, slice, sc, symSlices, naiveChurn, solo)
+	if err != nil {
+		return RobustnessRow{}, err
+	}
+
+	row.PredWS, err = staticPredictorWS(mix, cfg, slice, sc, fc, solo, cellSeed)
+	if err != nil {
+		return RobustnessRow{}, err
+	}
+
+	jobs, _, err := buildJobs(mix, sc.Seed)
+	if err != nil {
+		return RobustnessRow{}, err
+	}
+	m, err := core.NewMachine(cfg, jobs, slice)
+	if err != nil {
+		return RobustnessRow{}, err
+	}
+	afc := fc
+	afc.Seed = rng.Hash2(cellSeed, 3, saltRobustFault)
+	if afc.Active() {
+		m.SetCounterReader(faults.New(afc))
+	}
+	adChurn, err := resolveChurn(churn, cfg, sc, symSlices, cellSeed)
+	if err != nil {
+		return RobustnessRow{}, err
+	}
+	res, err := core.RunAdaptive(m, mix.SMTLevel, mix.Swap, solo, core.AdaptiveOptions{
+		Samples:       sc.MaxSamples,
+		Predictor:     core.PredScore,
+		SymbiosSlices: symSlices,
+		WarmupCycles:  sc.WarmupCycles,
+		Seed:          rng.Hash2(cellSeed, 4, saltRobustSched),
+		Churn:         adChurn,
+		Abort:         abort,
+	})
+	if err != nil {
+		return RobustnessRow{}, fmt.Errorf("experiments: %s under %s: %w", label, fc, err)
+	}
+	row.AdaptiveWS = res.WeightedSpeedup
+	row.Resamples = res.Resamples
+	row.Retries = res.Retries
+	row.SkippedSamples = res.SkippedSamples
+	row.FallbackSlices = res.FallbackSlices
+	row.LostWindows = res.LostWindows
+	return row, nil
+}
+
+// staticPredictorWS runs the static (non-adaptive) SOS sample phase through
+// the fault injector and returns each predictor's realized symbios WS — the
+// pick is made from corrupted samples, then measured on the clean machine, so
+// the column shows pure prediction degradation. The static pipeline has no
+// retry path: evaluations that lose counter reads are silently partial,
+// exactly as a scheduler that never checks for PMU trouble would see them.
+func staticPredictorWS(mix workload.Mix, cfg arch.Config, slice uint64, sc Scale, fc faults.Config, solo []float64, cellSeed uint64) (map[string]float64, error) {
+	jobs, _, err := buildJobs(mix, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewMachine(cfg, jobs, slice)
+	if err != nil {
+		return nil, err
+	}
+	sfc := fc
+	sfc.Seed = rng.Hash2(cellSeed, 1, saltRobustFault)
+	if sfc.Active() {
+		m.SetCounterReader(faults.New(sfc))
+	}
+
+	r := rng.New(rng.Hash2(cellSeed, 2, saltRobustSched))
+	scheds := schedule.Sample(r, m.NumTasks(), mix.SMTLevel, mix.Swap, sc.MaxSamples)
+	if len(scheds) == 0 {
+		return nil, fmt.Errorf("experiments: no schedules for %s", mix.Label)
+	}
+	if err := warm(m, scheds[0], sc.WarmupCycles); err != nil {
+		return nil, err
+	}
+	samples := make([]core.Sample, 0, len(scheds))
+	for _, s := range scheds {
+		run, err := m.RunSchedule(s, s.CycleSlices()*sc.SampleRounds)
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, core.NewSample(s, run))
+	}
+
+	out := make(map[string]float64, len(core.Predictors()))
+	wsBySched := map[string]float64{}
+	for _, p := range core.Predictors() {
+		pick := samples[core.Pick(samples, p)].Sched
+		key := pick.String()
+		ws, ok := wsBySched[key]
+		if !ok {
+			ws, err = symbiosWS(mix, cfg, slice, sc, pick, solo)
+			if err != nil {
+				return nil, err
+			}
+			wsBySched[key] = ws
+		}
+		out[p.String()] = ws
+	}
+	return out, nil
+}
+
+// resolveChurn converts fault-layer churn specs into concrete core events:
+// slice ordinals from budget fractions, and freshly instantiated, solo-
+// calibrated arrival jobs. Each call builds new job instances (jobs are
+// stateful), from the same seeds, so the naive and adaptive runs of a cell
+// see identical arrivals.
+func resolveChurn(specs []faults.ChurnSpec, cfg arch.Config, sc Scale, symSlices int, cellSeed uint64) ([]core.ChurnEvent, error) {
+	var evs []core.ChurnEvent
+	for i, spec := range specs {
+		if spec.AtFraction <= 0 || spec.AtFraction >= 1 {
+			return nil, fmt.Errorf("experiments: churn fraction %.2f outside (0, 1)", spec.AtFraction)
+		}
+		ev := core.ChurnEvent{AtSlice: int(spec.AtFraction * float64(symSlices))}
+		if ev.AtSlice < 1 {
+			ev.AtSlice = 1
+		}
+		if spec.DepartJob >= 0 {
+			ev.Depart = []int{spec.DepartJob}
+		}
+		if spec.ArriveBench != "" {
+			jspec, err := workload.Lookup(spec.ArriveBench)
+			if err != nil {
+				return nil, err
+			}
+			// Arrivals are single-threaded so a one-for-one swap keeps the
+			// task count (and hence the schedule space shape) stable.
+			jspec.Threads, jspec.SyncEvery = 1, 0
+			id := 1000 + i // distinct from mix-assigned IDs (list ordinals)
+			jseed := rng.Hash2(cellSeed, uint64(i), saltRobustArr)
+			cal, err := workload.NewJob(jspec, id, jseed)
+			if err != nil {
+				return nil, err
+			}
+			soloArr, err := core.SoloRates(cfg, []*workload.Job{cal}, []uint64{jseed}, sc.CalibWarmup, sc.CalibMeasure)
+			if err != nil {
+				return nil, err
+			}
+			arr, err := workload.NewJob(jspec, id, jseed) // fresh progress after the calibration probe
+			if err != nil {
+				return nil, err
+			}
+			ev.Arrive = []*workload.Job{arr}
+			ev.ArriveSolo = [][]float64{soloArr}
+		}
+		evs = append(evs, ev)
+	}
+	return evs, nil
+}
+
+// naiveChurnWS measures the oblivious round-robin baseline over the symbios
+// budget, applying the same churn script and the same cycle-weighted WS
+// accounting RunAdaptive uses. Round-robin reads no counters, so counter
+// faults cannot affect it — it is the floor an adaptive scheduler must not
+// sink below.
+func naiveChurnWS(mix workload.Mix, cfg arch.Config, slice uint64, sc Scale, symSlices int, churn []core.ChurnEvent, solo []float64) (float64, error) {
+	jobs, _, err := buildJobs(mix, sc.Seed)
+	if err != nil {
+		return 0, err
+	}
+	m, err := core.NewMachine(cfg, jobs, slice)
+	if err != nil {
+		return 0, err
+	}
+	rr, err := core.RoundRobin(m.NumTasks(), mix.SMTLevel)
+	if err != nil {
+		return 0, err
+	}
+	if err := warm(m, rr, sc.WarmupCycles); err != nil {
+		return 0, err
+	}
+	jobSolo, err := splitByJob(jobs, solo)
+	if err != nil {
+		return 0, err
+	}
+
+	var (
+		num  float64
+		den  uint64
+		done int
+		next int
+	)
+	for done < symSlices {
+		w := symSlices - done
+		if next < len(churn) && churn[next].AtSlice-done < w {
+			w = churn[next].AtSlice - done
+		}
+		if w < 1 {
+			w = 1
+		}
+		run, err := m.RunSchedule(rr, w)
+		if err != nil {
+			return 0, err
+		}
+		soloTask := flattenByJob(jobSolo)
+		for i, c := range run.Committed {
+			num += float64(c) / soloTask[i]
+		}
+		den += run.Cycles
+		done += w
+
+		if next < len(churn) && done >= churn[next].AtSlice {
+			ev := churn[next]
+			next++
+			for _, id := range ev.Depart {
+				found := false
+				for i, j := range jobs {
+					if j.ID == id {
+						jobs = append(jobs[:i], jobs[i+1:]...)
+						jobSolo = append(jobSolo[:i], jobSolo[i+1:]...)
+						found = true
+						break
+					}
+				}
+				if !found {
+					return 0, fmt.Errorf("experiments: churn departs unknown job %d", id)
+				}
+			}
+			for i, j := range ev.Arrive {
+				jobs = append(jobs, j)
+				jobSolo = append(jobSolo, ev.ArriveSolo[i])
+			}
+			if err := m.SetTasks(jobs); err != nil {
+				return 0, err
+			}
+			rr, err = core.RoundRobin(m.NumTasks(), mix.SMTLevel)
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("experiments: naive baseline measured no cycles")
+	}
+	return num / float64(den), nil
+}
+
+// splitByJob groups a per-task solo-rate vector by job.
+func splitByJob(jobs []*workload.Job, solo []float64) ([][]float64, error) {
+	total := 0
+	for _, j := range jobs {
+		total += j.Threads()
+	}
+	if len(solo) != total {
+		return nil, fmt.Errorf("experiments: %d solo rates for %d tasks", len(solo), total)
+	}
+	out := make([][]float64, len(jobs))
+	k := 0
+	for i, j := range jobs {
+		out[i] = append([]float64(nil), solo[k:k+j.Threads()]...)
+		k += j.Threads()
+	}
+	return out, nil
+}
+
+// flattenByJob is the inverse of splitByJob for the current job list.
+func flattenByJob(jobSolo [][]float64) []float64 {
+	var out []float64
+	for _, s := range jobSolo {
+		out = append(out, s...)
+	}
+	return out
+}

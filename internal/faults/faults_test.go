@@ -1,0 +1,248 @@
+package faults
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"symbios/internal/core"
+	"symbios/internal/counters"
+)
+
+// sample builds a counter delta with every event field distinct and nonzero,
+// so any corruption of any field is visible.
+func sample(ord uint64) counters.Set {
+	var s counters.Set
+	s.Cycles = 10_000 + ord
+	for i, p := range s.EventFields() {
+		*p = 1_000*uint64(i+1) + ord
+	}
+	return s
+}
+
+func TestInactiveConfigPassesThrough(t *testing.T) {
+	in := New(Config{Seed: 1})
+	for ord := uint64(0); ord < 10; ord++ {
+		d := sample(ord)
+		got, err := in.Observe(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, d) {
+			t.Fatalf("read %d: inactive injector altered the sample: %+v != %+v", ord, got, d)
+		}
+	}
+	if st := in.Stats(); st.Reads != 10 || st.Drops+st.Failures+st.Clipped != 0 || st.Stuck != 0 {
+		t.Errorf("inactive injector reported faults: %+v", st)
+	}
+}
+
+func TestNoisePerturbsEventsNotCycles(t *testing.T) {
+	in := New(Config{Seed: 7, NoiseSigma: 0.2})
+	changed := false
+	for ord := uint64(0); ord < 20; ord++ {
+		d := sample(ord)
+		got, err := in.Observe(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cycles != d.Cycles {
+			t.Fatalf("read %d: noise touched the timebase: %d != %d", ord, got.Cycles, d.Cycles)
+		}
+		tf, of := d.EventFields(), got.EventFields()
+		for i := range tf {
+			if *of[i] != *tf[i] {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Error("σ=0.2 noise never perturbed any event counter over 20 reads")
+	}
+}
+
+func TestDropReplaysStaleSample(t *testing.T) {
+	in := New(Config{Seed: 3, DropRate: 1})
+	d0 := sample(0)
+	got, err := in.Observe(d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every read drops; the first has nothing to replay, so all events read
+	// zero while the timebase stays live.
+	if got.Cycles != d0.Cycles {
+		t.Errorf("dropped read lost the timebase: %d != %d", got.Cycles, d0.Cycles)
+	}
+	for i, p := range got.EventFields() {
+		if *p != 0 {
+			t.Errorf("first drop, field %d: got %d, want 0 (no stale sample yet)", i, *p)
+		}
+	}
+	if st := in.Stats(); st.Drops != 1 {
+		t.Errorf("Drops = %d, want 1", st.Drops)
+	}
+
+	// With drops only part of the time, a dropped read replays the last
+	// sample that did arrive.
+	in2 := New(Config{Seed: 3, DropRate: 0.5})
+	var lastDelivered counters.Set
+	sawReplay := false
+	for ord := uint64(0); ord < 50; ord++ {
+		d := sample(ord)
+		before := in2.Stats().Drops
+		got, err := in2.Observe(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in2.Stats().Drops > before {
+			want := lastDelivered
+			want.Cycles = d.Cycles
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("read %d: drop did not replay the previous sample", ord)
+			}
+			sawReplay = true
+		} else {
+			lastDelivered = got
+		}
+	}
+	if !sawReplay {
+		t.Error("DropRate=0.5 produced no drop in 50 reads")
+	}
+}
+
+func TestStickyCountersReadZero(t *testing.T) {
+	in := New(Config{Seed: 11, StickyRate: 1})
+	var got counters.Set
+	var err error
+	for ord := uint64(0); ord < 30; ord++ {
+		got, err = in.Observe(sample(ord))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := in.Stats()
+	if st.Stuck == 0 {
+		t.Fatal("StickyRate=1 stuck no counter in 30 reads")
+	}
+	zeros := 0
+	for _, p := range got.EventFields() {
+		if *p == 0 {
+			zeros++
+		}
+	}
+	if zeros < st.Stuck {
+		t.Errorf("%d counters stuck but only %d read zero", st.Stuck, zeros)
+	}
+	if got.Cycles == 0 {
+		t.Error("sticky fault zeroed the timebase")
+	}
+}
+
+func TestSaturationClips(t *testing.T) {
+	const ceil = 1_500
+	in := New(Config{Seed: 5, SaturateAt: ceil})
+	got, err := in.Observe(sample(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range got.EventFields() {
+		if *p > ceil {
+			t.Errorf("field %d: %d exceeds the %d ceiling", i, *p, ceil)
+		}
+	}
+	if in.Stats().Clipped == 0 {
+		t.Error("no clips recorded despite values above the ceiling")
+	}
+	if got.Cycles != sample(0).Cycles {
+		t.Error("clipping touched the timebase")
+	}
+}
+
+func TestFailSurfacesErrCounterRead(t *testing.T) {
+	in := New(Config{Seed: 9, FailRate: 1})
+	_, err := in.Observe(sample(0))
+	if !errors.Is(err, core.ErrCounterRead) {
+		t.Fatalf("err = %v, want ErrCounterRead", err)
+	}
+	if st := in.Stats(); st.Failures != 1 {
+		t.Errorf("Failures = %d, want 1", st.Failures)
+	}
+
+	in2 := New(Config{Seed: 9, FailRate: 0.3})
+	fails := 0
+	for ord := uint64(0); ord < 100; ord++ {
+		if _, err := in2.Observe(sample(ord)); err != nil {
+			if !errors.Is(err, core.ErrCounterRead) {
+				t.Fatalf("read %d: err = %v, want ErrCounterRead", ord, err)
+			}
+			fails++
+		}
+	}
+	if fails == 0 || fails == 100 {
+		t.Errorf("FailRate=0.3 delivered %d/100 failures; want a strict subset", fails)
+	}
+}
+
+// TestEveryFaultModeDeterministic: two injectors with equal configs fed the
+// same read sequence produce bit-identical observations, errors and stats —
+// the property the parallel determinism contract rests on. Each mode is
+// exercised alone and all together.
+func TestEveryFaultModeDeterministic(t *testing.T) {
+	cfgs := map[string]Config{
+		"noise":  {Seed: 21, NoiseSigma: 0.3},
+		"drop":   {Seed: 21, DropRate: 0.4},
+		"sticky": {Seed: 21, StickyRate: 0.2},
+		"clip":   {Seed: 21, SaturateAt: 5_000},
+		"fail":   {Seed: 21, FailRate: 0.2},
+		"all": {Seed: 21, NoiseSigma: 0.3, DropRate: 0.2, StickyRate: 0.1,
+			SaturateAt: 20_000, FailRate: 0.1},
+	}
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			a, b := New(cfg), New(cfg)
+			for ord := uint64(0); ord < 200; ord++ {
+				d := sample(ord)
+				ga, ea := a.Observe(d)
+				gb, eb := b.Observe(d)
+				if (ea == nil) != (eb == nil) {
+					t.Fatalf("read %d: error divergence: %v vs %v", ord, ea, eb)
+				}
+				if !reflect.DeepEqual(ga, gb) {
+					t.Fatalf("read %d: observation divergence", ord)
+				}
+			}
+			if !reflect.DeepEqual(a.Stats(), b.Stats()) {
+				t.Fatalf("stats divergence: %+v vs %+v", a.Stats(), b.Stats())
+			}
+		})
+	}
+}
+
+// TestSeedChangesPattern: different seeds must produce different fault
+// patterns, or every cell of a sweep would see the same corruption.
+func TestSeedChangesPattern(t *testing.T) {
+	a := New(Config{Seed: 1, NoiseSigma: 0.3})
+	b := New(Config{Seed: 2, NoiseSigma: 0.3})
+	same := true
+	for ord := uint64(0); ord < 20; ord++ {
+		d := sample(ord)
+		ga, _ := a.Observe(d)
+		gb, _ := b.Observe(d)
+		if !reflect.DeepEqual(ga, gb) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical noise over 20 reads")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	if s := (Config{}).String(); s != "clean" {
+		t.Errorf("zero config renders %q, want \"clean\"", s)
+	}
+	c := Config{NoiseSigma: 0.25, FailRate: 0.1}
+	if s := c.String(); s != "σ=0.25 fail=0.10" {
+		t.Errorf("config renders %q", s)
+	}
+}

@@ -23,8 +23,11 @@
 package parallel
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -37,6 +40,49 @@ type Options struct {
 	// GOMAXPROCS); negative is an error guarded by a panic, since it
 	// indicates a harness bug rather than a runtime condition.
 	Workers int
+
+	// Cancel, when non-nil, aborts the fan-out cooperatively: no new items
+	// are claimed once the token fires, and the token is also triggered by
+	// the first item failure so that work items which poll it (long
+	// simulations, adaptive resample rounds) can abort mid-flight. When the
+	// call ends with no item error but a fired token, ForEach/Map report
+	// ErrCancelled.
+	Cancel *Cancel
+}
+
+// Cancel is a cooperative cancellation token shared between a fan-out call
+// and its work items. The zero value is ready to use.
+type Cancel struct {
+	fired atomic.Bool
+}
+
+// Cancel fires the token. It is safe to call from any goroutine, repeatedly.
+func (c *Cancel) Cancel() { c.fired.Store(true) }
+
+// Cancelled reports whether the token has fired. Work items running long
+// computations should poll it at natural checkpoints and return ErrCancelled.
+func (c *Cancel) Cancelled() bool { return c.fired.Load() }
+
+// ErrCancelled is returned by ForEach/Map when the fan-out was aborted via
+// Options.Cancel without any item reporting its own error, and should be
+// returned by work items that observe a fired token.
+var ErrCancelled = errors.New("parallel: cancelled")
+
+// PanicError is a worker panic re-raised on the calling goroutine, annotated
+// with the input index of the item whose function panicked (the original
+// stack is preserved in Stack).
+type PanicError struct {
+	// Index is the input index of the panicking item.
+	Index int
+	// Value is the value the worker passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error renders the panic with its item index and original stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: item %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
 }
 
 // defaultWorkers holds the process-wide override; zero means unset.
@@ -109,16 +155,39 @@ func Map[T, R any](items []T, opts Options, fn func(i int, item T) (R, error)) (
 }
 
 // ForEach is Map without collected results: fn runs once per item, with
-// the same ordering and error guarantees.
+// the same ordering and error guarantees. A panic inside fn is recovered and
+// re-raised on the caller as a *PanicError carrying the failing item's input
+// index (the lowest-indexed panic when several workers panic); without the
+// recovery a worker panic would kill the process with no indication of which
+// item died.
 func ForEach[T any](items []T, opts Options, fn func(i int, item T) error) error {
 	n := len(items)
 	if n == 0 {
 		return nil
 	}
+	// call runs one item, converting a panic into a *PanicError.
+	call := func(i int) (err error, pe *PanicError) {
+		defer func() {
+			if v := recover(); v != nil {
+				pe = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+			}
+		}()
+		return fn(i, items[i]), nil
+	}
 	w := opts.workers(n)
 	if w == 1 {
-		for i, item := range items {
-			if err := fn(i, item); err != nil {
+		for i := range items {
+			if opts.Cancel != nil && opts.Cancel.Cancelled() {
+				return ErrCancelled
+			}
+			err, pe := call(i)
+			if pe != nil {
+				panic(pe)
+			}
+			if err != nil {
+				if opts.Cancel != nil {
+					opts.Cancel.Cancel()
+				}
 				return err
 			}
 		}
@@ -126,17 +195,32 @@ func ForEach[T any](items []T, opts Options, fn func(i int, item T) error) error
 	}
 
 	var (
-		next    atomic.Int64 // next item index to claim
-		failed  atomic.Bool  // latch: stop claiming new items
-		mu      sync.Mutex
-		errIdx  = -1
-		firstEr error
-		wg      sync.WaitGroup
+		next     atomic.Int64 // next item index to claim
+		failed   atomic.Bool  // latch: stop claiming new items
+		mu       sync.Mutex
+		errIdx   = -1
+		firstEr  error
+		panicked *PanicError
+		wg       sync.WaitGroup
 	)
 	record := func(i int, err error) {
 		failed.Store(true)
+		if opts.Cancel != nil {
+			opts.Cancel.Cancel()
+		}
 		mu.Lock()
-		if errIdx < 0 || i < errIdx {
+		// A cancellation error is a side effect of some other item's
+		// failure, never the root cause: any real error displaces a
+		// recorded ErrCancelled regardless of index, and among errors of
+		// the same kind the lowest input index wins, so the reported
+		// error stays deterministic.
+		better := errIdx < 0
+		if !better {
+			haveCancel := errors.Is(firstEr, ErrCancelled)
+			newCancel := errors.Is(err, ErrCancelled)
+			better = (haveCancel && !newCancel) || (haveCancel == newCancel && i < errIdx)
+		}
+		if better {
 			errIdx, firstEr = i, err
 		}
 		mu.Unlock()
@@ -150,7 +234,23 @@ func ForEach[T any](items []T, opts Options, fn func(i int, item T) error) error
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := fn(i, items[i]); err != nil {
+				if opts.Cancel != nil && opts.Cancel.Cancelled() {
+					return
+				}
+				err, pe := call(i)
+				if pe != nil {
+					failed.Store(true)
+					if opts.Cancel != nil {
+						opts.Cancel.Cancel()
+					}
+					mu.Lock()
+					if panicked == nil || pe.Index < panicked.Index {
+						panicked = pe
+					}
+					mu.Unlock()
+					return
+				}
+				if err != nil {
 					record(i, err)
 					return
 				}
@@ -158,7 +258,16 @@ func ForEach[T any](items []T, opts Options, fn func(i int, item T) error) error
 		}()
 	}
 	wg.Wait()
-	return firstEr
+	if panicked != nil {
+		panic(panicked)
+	}
+	if firstEr != nil {
+		return firstEr
+	}
+	if opts.Cancel != nil && opts.Cancel.Cancelled() {
+		return ErrCancelled
+	}
+	return nil
 }
 
 // Indices is a convenience for fan-outs over [0,n): it returns the slice

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -142,5 +143,130 @@ func TestIndices(t *testing.T) {
 	}
 	if got := Indices(3); !reflect.DeepEqual(got, []int{0, 1, 2}) {
 		t.Fatalf("Indices(3) = %v", got)
+	}
+}
+
+// TestForEachRecoversWorkerPanic checks that a panic inside a worker
+// goroutine is re-raised on the caller as a *PanicError naming the failing
+// item, instead of killing the process anonymously.
+func TestForEachRecoversWorkerPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				v := recover()
+				pe, ok := v.(*PanicError)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T (%v), want *PanicError", workers, v, v)
+				}
+				if pe.Index != 3 {
+					t.Errorf("workers=%d: PanicError.Index=%d, want 3", workers, pe.Index)
+				}
+				if pe.Value != "boom" {
+					t.Errorf("workers=%d: PanicError.Value=%v, want boom", workers, pe.Value)
+				}
+				if len(pe.Stack) == 0 {
+					t.Errorf("workers=%d: PanicError carries no stack", workers)
+				}
+			}()
+			_ = ForEach(Indices(8), Options{Workers: workers}, func(i, _ int) error {
+				if i == 3 {
+					panic("boom")
+				}
+				return nil
+			})
+			t.Fatalf("workers=%d: ForEach returned instead of panicking", workers)
+		}()
+	}
+}
+
+// TestForEachPanicLowestIndexWins checks the determinism rule for
+// concurrent panics: the re-raised PanicError is the lowest-indexed one.
+func TestForEachPanicLowestIndexWins(t *testing.T) {
+	items := Indices(4)
+	for trial := 0; trial < 20; trial++ {
+		func() {
+			defer func() {
+				pe, ok := recover().(*PanicError)
+				if !ok || pe.Index >= 2 {
+					t.Fatalf("recovered %v, want PanicError with index < 2", pe)
+				}
+			}()
+			var gate sync.WaitGroup
+			gate.Add(2)
+			_ = ForEach(items, Options{Workers: 2}, func(i, _ int) error {
+				if i < 2 {
+					// Both workers panic together, so either order is
+					// possible at the recover site without the index rule.
+					gate.Done()
+					gate.Wait()
+					panic(i)
+				}
+				return nil
+			})
+		}()
+	}
+}
+
+// TestCancelStopsFanout checks the cooperative token: once fired, no new
+// items are claimed and the call reports ErrCancelled.
+func TestCancelStopsFanout(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var c Cancel
+		var ran atomic.Int64
+		err := ForEach(Indices(100), Options{Workers: workers, Cancel: &c}, func(i, _ int) error {
+			ran.Add(1)
+			if ran.Load() >= 3 {
+				c.Cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, ErrCancelled) {
+			t.Fatalf("workers=%d: err=%v, want ErrCancelled", workers, err)
+		}
+		if n := ran.Load(); n >= 100 {
+			t.Fatalf("workers=%d: all %d items ran despite cancellation", workers, n)
+		}
+	}
+}
+
+// TestErrorFiresCancelToken checks that the first item failure triggers the
+// supplied token (so in-flight long-running items can abort), and that the
+// reported error is the real failure, not a secondary ErrCancelled even
+// from a lower index.
+func TestErrorFiresCancelToken(t *testing.T) {
+	boom := errors.New("boom")
+	var c Cancel
+	started := make(chan struct{})
+	err := ForEach(Indices(2), Options{Workers: 2, Cancel: &c}, func(i, _ int) error {
+		if i == 0 {
+			// Item 0 waits for item 1's failure to fire the token, then
+			// reports the cancellation — the side effect, not the cause.
+			<-started
+			for !c.Cancelled() {
+			}
+			return ErrCancelled
+		}
+		close(started)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v, want the root-cause error", err)
+	}
+	if !c.Cancelled() {
+		t.Fatal("item failure did not fire the cancel token")
+	}
+}
+
+// TestSerialPathCancelAndPanic covers the workers=1 degenerate loop: a
+// pre-fired token short-circuits, and panics still carry the item index.
+func TestSerialPathCancelAndPanic(t *testing.T) {
+	var c Cancel
+	c.Cancel()
+	err := ForEach(Indices(5), Options{Workers: 1, Cancel: &c}, func(i, _ int) error {
+		t.Fatal("item ran under a pre-fired token")
+		return nil
+	})
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err=%v, want ErrCancelled", err)
 	}
 }

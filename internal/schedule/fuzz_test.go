@@ -1,0 +1,106 @@
+package schedule
+
+import (
+	"reflect"
+	"testing"
+
+	"symbios/internal/rng"
+)
+
+// FuzzValidate throws arbitrary orders and parameters at Validate and checks
+// that acceptance implies the documented invariants — and that every accessor
+// is total (no panics) on a schedule Validate accepted. Fault injection can
+// hand the scheduler malformed schedules, and the execution layer's guards
+// (RunSchedule, attach) assume Validate is the single gatekeeper.
+func FuzzValidate(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, 2, 2)
+	f.Add([]byte{0, 1, 2, 3, 4, 5}, 3, 1)
+	f.Add([]byte{3, 1, 2, 0}, 4, 2)
+	f.Add([]byte{0, 0}, 1, 1)
+	f.Add([]byte{}, 1, 1)
+	f.Fuzz(func(t *testing.T, raw []byte, y, z int) {
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		order := make([]int, len(raw))
+		for i, b := range raw {
+			// Signed so negative entries are exercised too.
+			order[i] = int(int8(b))
+		}
+		s := Schedule{Order: order, Y: y, Z: z}
+		if err := s.Validate(); err != nil {
+			return
+		}
+		x := len(order)
+		if x == 0 || y < 1 || y > x || z < 1 || z > y || y%z != 0 {
+			t.Fatalf("Validate accepted out-of-range params: X=%d Y=%d Z=%d", x, y, z)
+		}
+		seen := make([]bool, x)
+		for _, j := range order {
+			if j < 0 || j >= x || seen[j] {
+				t.Fatalf("Validate accepted non-permutation %v", order)
+			}
+			seen[j] = true
+		}
+		// Accessors must be total on accepted schedules.
+		if rot := s.CycleSlices(); rot < 1 || rot > x {
+			t.Fatalf("CycleSlices() = %d for X=%d", rot, x)
+		}
+		if tuples := s.Tuples(); len(tuples) != s.CycleSlices() {
+			t.Fatalf("Tuples() returned %d coschedules, want %d", len(tuples), s.CycleSlices())
+		}
+		_ = s.Canonical()
+		_ = s.String()
+		if !s.Equal(s) {
+			t.Fatal("schedule not Equal to itself")
+		}
+	})
+}
+
+// FuzzSample checks the sampler over the whole valid parameter space: every
+// draw validates, draws are pairwise distinct, the count never exceeds the
+// request or the space, and the same seed reproduces the same draw (the
+// determinism contract every parallel experiment rests on).
+func FuzzSample(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(2), uint8(2), uint8(10))
+	f.Add(uint64(7), uint8(6), uint8(3), uint8(3), uint8(5))
+	f.Add(uint64(9), uint8(8), uint8(4), uint8(1), uint8(12))
+	f.Fuzz(func(t *testing.T, seed uint64, xr, yr, zr, nr uint8) {
+		// Fold the raw bytes into valid (X, Y, Z): the sampler's documented
+		// precondition is parameters a round-robin schedule would validate.
+		x := 1 + int(xr)%8
+		y := 1 + int(yr)%x
+		z := 1 + int(zr)%y
+		if y%z != 0 {
+			t.Skip()
+		}
+		n := int(nr) % 12
+
+		out := Sample(rng.New(seed), x, y, z, n)
+		if len(out) > n && n > 0 {
+			t.Fatalf("Sample returned %d schedules for n=%d", len(out), n)
+		}
+		total := Count(x, y, z)
+		if total.IsInt64() && int64(len(out)) > total.Int64() {
+			t.Fatalf("Sample returned %d schedules, space holds %s", len(out), total)
+		}
+		seen := map[string]bool{}
+		for _, s := range out {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("sampled schedule invalid: %v", err)
+			}
+			if s.X() != x || s.Y != y || s.Z != z {
+				t.Fatalf("sampled schedule has params X=%d Y=%d Z=%d, want %d/%d/%d", s.X(), s.Y, s.Z, x, y, z)
+			}
+			key := s.Canonical()
+			if seen[key] {
+				t.Fatalf("duplicate schedule %s in sample", s)
+			}
+			seen[key] = true
+		}
+		again := Sample(rng.New(seed), x, y, z, n)
+		if !reflect.DeepEqual(out, again) {
+			t.Fatal("same seed produced a different sample")
+		}
+	})
+}
