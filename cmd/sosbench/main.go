@@ -5,32 +5,72 @@
 //	sosbench -exp table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|parallel|warmstart|robustness|all
 //	         [-scale quick|default|paper] [-seed N] [-mix "Jsb(6,3,3)"]
 //	         [-workers N] [-cpuprofile out.pprof] [-memprofile out.pprof]
+//	         [-checkpoint snap.ckpt] [-resume snap.ckpt] [-checkpoint-every N]
+//	         [-deadline 30m] [-stall-factor 8] [-stall-floor 30s]
 //
 // Output is plain text formatted like the paper's tables; weighted speedups
 // are measured at the selected scale (see internal/experiments for the
 // scaling rules). Independent simulations fan out over -workers goroutines
 // (default GOMAXPROCS) with bit-identical results at any worker count; see
 // internal/parallel for the determinism contract.
+//
+// Long runs are crash-safe: -checkpoint records completed experiment shards
+// to a snapshot file, -resume replays a snapshot (recomputing only what the
+// crash interrupted, byte-identically), and -deadline bounds the run's wall
+// time, flushing a resumable snapshot before exiting. A stall watchdog
+// aborts (and checkpoints) when one simulation window exceeds -stall-factor
+// times the median window wall-time. See internal/checkpoint.
+//
+// Exit codes: 0 success, 1 internal error, 2 usage error, 3 deadline
+// exceeded (resumable), 4 stall detected (resumable).
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
+	"symbios/internal/checkpoint"
 	"symbios/internal/core"
 	"symbios/internal/experiments"
 	"symbios/internal/parallel"
 	"symbios/internal/report"
 )
 
+// Exit codes. Scripts driving long sweeps branch on these: 3 and 4 mean "a
+// valid snapshot was flushed; rerun with -resume", 2 means the invocation
+// itself was wrong, 1 everything else.
+const (
+	exitOK       = 0
+	exitInternal = 1
+	exitUsage    = 2
+	exitDeadline = 3
+	exitStalled  = 4
+)
+
+// knownExperiments is the validated -exp vocabulary, in display order.
+var knownExperiments = []string{
+	"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+	"parallel", "warmstart", "levels", "coldstart", "pairwise", "shootout",
+	"ablation", "robustness", "all",
+}
+
 func main() {
+	// All teardown (profiles, watchdog) runs via defers inside realMain;
+	// os.Exit must stay out here where nothing is pending.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
-		expName    = flag.String("exp", "table3", "experiment to run: table1, table2, table3, fig1..fig6, parallel, warmstart, levels, coldstart, pairwise, shootout, ablation, robustness, all")
+		expName    = flag.String("exp", "table3", "experiment(s) to run, comma-separated: "+strings.Join(knownExperiments, ", "))
 		scaleName  = flag.String("scale", "default", "cycle budget: quick, default or paper")
 		seed       = flag.Uint64("seed", 1, "root random seed")
 		mixLabel   = flag.String("mix", "", "restrict fig1/fig3 to one mix label, e.g. 'Jsb(6,3,3)'")
@@ -38,8 +78,32 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker goroutines for independent simulations (0 = GOMAXPROCS; results are identical at any count)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		ckptPath   = flag.String("checkpoint", "", "record completed experiment shards to this snapshot file")
+		resumePath = flag.String("resume", "", "resume from this snapshot file (continues recording there unless -checkpoint names another)")
+		ckptEvery  = flag.Int("checkpoint-every", 1, "flush the snapshot every N completed shards")
+		deadline   = flag.Duration("deadline", 0, "abort (with a resumable snapshot) after this wall time, e.g. 30m")
+		stallFct   = flag.Float64("stall-factor", 8, "flag a stall when one window exceeds this multiple of the median window wall-time (0 disables)")
+		stallFlr   = flag.Duration("stall-floor", 30*time.Second, "never flag a stall before a window is at least this old")
 	)
 	flag.Parse()
+
+	exps := strings.Split(*expName, ",")
+	for _, e := range exps {
+		if !knownExperiment(e) {
+			fmt.Fprintf(os.Stderr, "sosbench: unknown experiment %q\nvalid experiments: %s\n",
+				e, strings.Join(knownExperiments, ", "))
+			return exitUsage
+		}
+	}
+	sc, err := scaleByName(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sosbench:", err)
+		return exitUsage
+	}
+	if *deadline < 0 {
+		fmt.Fprintln(os.Stderr, "sosbench: -deadline must be positive")
+		return exitUsage
+	}
 
 	if *workers != 0 {
 		parallel.SetDefaultWorkers(*workers)
@@ -47,18 +111,16 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "sosbench:", err)
+			return exitInternal
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "sosbench:", err)
+			return exitInternal
 		}
 		defer pprof.StopCPUProfile()
 	}
 
-	sc, err := scaleByName(*scaleName)
-	if err != nil {
-		fatal(err)
-	}
 	sc.Seed = *seed
 	qs := experiments.DefaultQueueScale()
 	if *scaleName == "quick" {
@@ -71,39 +133,140 @@ func main() {
 		labels = []string{*mixLabel}
 	}
 
+	// The context carries the run's whole robustness apparatus: the deadline
+	// budget, the cancel-with-cause channel the watchdog fires into, the
+	// shard recorder and the watchdog itself.
+	ctx := context.Background()
+	if *deadline > 0 {
+		var stop context.CancelFunc
+		ctx, stop = context.WithTimeout(ctx, *deadline)
+		defer stop()
+	}
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	// The snapshot meta pins the flags that determine every shard's value;
+	// resuming under different flags is refused rather than silently mixing
+	// two runs' numbers.
+	meta := checkpoint.Meta{Exp: *expName, Scale: *scaleName, Seed: *seed, Mix: *mixLabel}
+	var rec *checkpoint.Recorder
+	switch {
+	case *resumePath != "":
+		rec, err = checkpoint.Resume(*resumePath, *ckptPath, meta, *ckptEvery)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sosbench:", err)
+			if errors.Is(err, checkpoint.ErrMetaMismatch) {
+				return exitUsage
+			}
+			return exitInternal
+		}
+		fmt.Fprintf(os.Stderr, "sosbench: resuming from %s (%d shards recorded)\n", *resumePath, rec.Shards())
+	case *ckptPath != "":
+		rec = checkpoint.NewRecorder(*ckptPath, meta, *ckptEvery)
+	}
+	if rec != nil {
+		ctx = checkpoint.WithRecorder(ctx, rec)
+	}
+
+	if *stallFct > 0 && (rec != nil || *deadline > 0) {
+		wd := checkpoint.NewWatchdog(checkpoint.WatchdogConfig{
+			Factor: *stallFct,
+			Floor:  *stallFlr,
+			OnStall: func(e *checkpoint.StallError) {
+				// Checkpoint, then abort: the snapshot covers every shard
+				// completed before the stall, so the rerun loses only the
+				// stuck window.
+				_ = rec.Flush()
+				cancel(e)
+			},
+		})
+		defer wd.Stop()
+		ctx = checkpoint.WithWatchdog(ctx, wd)
+	}
+
 	results := map[string]any{}
-	for _, exp := range strings.Split(*expName, ",") {
-		if err := run(exp, sc, qs, labels, results); err != nil {
-			fatal(err)
+	var runErr error
+	for _, exp := range exps {
+		if runErr = run(ctx, exp, sc, qs, labels, results); runErr != nil {
+			break
 		}
 	}
+	// Whatever happened, persist completed shards: the snapshot is the whole
+	// point of a budgeted run.
+	if rec != nil {
+		if ferr := rec.Flush(); ferr != nil && runErr == nil {
+			runErr = ferr
+		}
+		if rec.Hits() > 0 {
+			fmt.Fprintf(os.Stderr, "sosbench: resume replayed %d shards without recomputation\n", rec.Hits())
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "sosbench:", runErr)
+		cause := context.Cause(ctx)
+		switch {
+		case errors.Is(runErr, checkpoint.ErrStalled) || errors.Is(cause, checkpoint.ErrStalled):
+			resumeHint(rec)
+			return exitStalled
+		case errors.Is(runErr, context.DeadlineExceeded) || errors.Is(cause, context.DeadlineExceeded):
+			resumeHint(rec)
+			return exitDeadline
+		default:
+			return exitInternal
+		}
+	}
+
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "sosbench:", err)
+			return exitInternal
 		}
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(results); err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "sosbench:", err)
+			return exitInternal
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "sosbench:", err)
+			return exitInternal
 		}
 	}
 	if *memProfile != "" {
 		runtime.GC() // report live allocations, not transient garbage
 		f, err := os.Create(*memProfile)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "sosbench:", err)
+			return exitInternal
 		}
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "sosbench:", err)
+			return exitInternal
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "sosbench:", err)
+			return exitInternal
 		}
 	}
+	return exitOK
+}
+
+// resumeHint tells the operator how to pick the run back up.
+func resumeHint(rec *checkpoint.Recorder) {
+	if rec != nil && rec.Shards() > 0 {
+		fmt.Fprintf(os.Stderr, "sosbench: %d shards saved; rerun with -resume %s to continue\n",
+			rec.Shards(), rec.Path())
+	}
+}
+
+func knownExperiment(name string) bool {
+	for _, k := range knownExperiments {
+		if name == k {
+			return true
+		}
+	}
+	return false
 }
 
 func scaleByName(name string) (experiments.Scale, error) {
@@ -115,14 +278,14 @@ func scaleByName(name string) (experiments.Scale, error) {
 	case "paper":
 		return experiments.PaperScale(), nil
 	}
-	return experiments.Scale{}, fmt.Errorf("unknown scale %q", name)
+	return experiments.Scale{}, fmt.Errorf("unknown scale %q (valid: quick, default, paper)", name)
 }
 
-func run(exp string, sc experiments.Scale, qs experiments.QueueScale, labels []string, results map[string]any) error {
+func run(ctx context.Context, exp string, sc experiments.Scale, qs experiments.QueueScale, labels []string, results map[string]any) error {
 	switch exp {
 	case "all":
 		for _, e := range []string{"table1", "table2", "table3", "fig1", "fig2", "fig3", "parallel", "fig4", "warmstart", "fig5", "fig6"} {
-			if err := run(e, sc, qs, labels, results); err != nil {
+			if err := run(ctx, e, sc, qs, labels, results); err != nil {
 				return err
 			}
 		}
@@ -145,7 +308,7 @@ func run(exp string, sc experiments.Scale, qs experiments.QueueScale, labels []s
 
 	case "table3":
 		fmt.Println("== Table 3: Jsb(6,3,3) predictor detail ==")
-		rows, ev, err := experiments.Table3(sc)
+		rows, ev, err := experiments.Table3Ctx(ctx, sc)
 		if err != nil {
 			return err
 		}
@@ -160,7 +323,7 @@ func run(exp string, sc experiments.Scale, qs experiments.QueueScale, labels []s
 
 	case "fig1":
 		fmt.Println("== Figure 1: worst and best weighted speedup per jobmix ==")
-		rows, err := experiments.Figure1(sc, labels)
+		rows, err := experiments.Figure1Ctx(ctx, sc, labels)
 		if err != nil {
 			return err
 		}
@@ -173,7 +336,7 @@ func run(exp string, sc experiments.Scale, qs experiments.QueueScale, labels []s
 
 	case "fig2":
 		fmt.Println("== Figure 2: weighted speedup by predictor, Jsb(6,3,3) ==")
-		bars, err := experiments.Figure2(sc)
+		bars, err := experiments.Figure2Ctx(ctx, sc)
 		if err != nil {
 			return err
 		}
@@ -182,7 +345,7 @@ func run(exp string, sc experiments.Scale, qs experiments.QueueScale, labels []s
 
 	case "fig3":
 		fmt.Println("== Figure 3: weighted speedup by predictor, all jobmixes ==")
-		rows, err := experiments.Figure3(sc, labels)
+		rows, err := experiments.Figure3Ctx(ctx, sc, labels)
 		if err != nil {
 			return err
 		}
@@ -196,7 +359,7 @@ func run(exp string, sc experiments.Scale, qs experiments.QueueScale, labels []s
 		fmt.Println("== Section 6: parallel workload scheduling ==")
 		var parallelRows []experiments.ParallelRow
 		for _, label := range []string{"Jpb(10,2,2)", "J2pb(10,2,2)"} {
-			row, err := experiments.ParallelStudy(sc, label)
+			row, err := experiments.ParallelStudyCtx(ctx, sc, label)
 			if err != nil {
 				return err
 			}
@@ -208,7 +371,7 @@ func run(exp string, sc experiments.Scale, qs experiments.QueueScale, labels []s
 
 	case "fig4":
 		fmt.Println("== Figure 4: hierarchical symbiosis ==")
-		rows, err := experiments.Figure4(sc)
+		rows, err := experiments.Figure4Ctx(ctx, sc)
 		if err != nil {
 			return err
 		}
@@ -221,7 +384,7 @@ func run(exp string, sc experiments.Scale, qs experiments.QueueScale, labels []s
 
 	case "warmstart":
 		fmt.Println("== Section 8: warmstart scheduling ==")
-		rows, err := experiments.WarmstartStudy(sc)
+		rows, err := experiments.WarmstartStudyCtx(ctx, sc)
 		if err != nil {
 			return err
 		}
@@ -234,7 +397,7 @@ func run(exp string, sc experiments.Scale, qs experiments.QueueScale, labels []s
 
 	case "fig5":
 		fmt.Println("== Figure 5: response time improvement vs SMT level ==")
-		rows, err := experiments.Figure5(qs)
+		rows, err := experiments.Figure5Ctx(ctx, qs)
 		if err != nil {
 			return err
 		}
@@ -243,7 +406,7 @@ func run(exp string, sc experiments.Scale, qs experiments.QueueScale, labels []s
 
 	case "fig6":
 		fmt.Println("== Figure 6: response time improvement vs arrival rate (SMT=3) ==")
-		rows, err := experiments.Figure6(qs, nil)
+		rows, err := experiments.Figure6Ctx(ctx, qs, nil)
 		if err != nil {
 			return err
 		}
@@ -252,7 +415,7 @@ func run(exp string, sc experiments.Scale, qs experiments.QueueScale, labels []s
 
 	case "shootout":
 		fmt.Println("== Extension: predictor shootout (paper's ten + experimental variants) ==")
-		rows, err := experiments.PredictorShootout(sc, nil)
+		rows, err := experiments.PredictorShootoutCtx(ctx, sc, nil)
 		if err != nil {
 			return err
 		}
@@ -264,7 +427,7 @@ func run(exp string, sc experiments.Scale, qs experiments.QueueScale, labels []s
 
 	case "pairwise":
 		fmt.Println("== Extension: pairwise symbiosis matrix (WS of each pair on a 2-context machine) ==")
-		tbl, err := experiments.Pairwise(sc, nil)
+		tbl, err := experiments.PairwiseCtx(ctx, sc, nil)
 		if err != nil {
 			return err
 		}
@@ -275,7 +438,7 @@ func run(exp string, sc experiments.Scale, qs experiments.QueueScale, labels []s
 
 	case "coldstart":
 		fmt.Println("== Section 8 extension: coldstart amortization vs timeslice length (Jsb(6,3,3), schedule 012_345) ==")
-		rows, err := experiments.ColdstartStudy(sc, nil)
+		rows, err := experiments.ColdstartStudyCtx(ctx, sc, nil)
 		if err != nil {
 			return err
 		}
@@ -287,7 +450,7 @@ func run(exp string, sc experiments.Scale, qs experiments.QueueScale, labels []s
 
 	case "levels":
 		fmt.Println("== Extension: throughput and schedule sensitivity vs SMT level (12-job mix) ==")
-		rows, err := experiments.ThroughputVsLevel(sc, nil)
+		rows, err := experiments.ThroughputVsLevelCtx(ctx, sc, nil)
 		if err != nil {
 			return err
 		}
@@ -300,7 +463,7 @@ func run(exp string, sc experiments.Scale, qs experiments.QueueScale, labels []s
 
 	case "ablation":
 		fmt.Println("== Ablation: fetch policy (Jsb(6,3,3)) ==")
-		fps, err := experiments.AblationFetchPolicy(sc)
+		fps, err := experiments.AblationFetchPolicyCtx(ctx, sc)
 		if err != nil {
 			return err
 		}
@@ -309,7 +472,7 @@ func run(exp string, sc experiments.Scale, qs experiments.QueueScale, labels []s
 			fmt.Println(" ", r)
 		}
 		fmt.Println("== Ablation: sample count (Jsb(8,4,1)) ==")
-		scs, err := experiments.AblationSampleCount("Jsb(8,4,1)", sc, nil)
+		scs, err := experiments.AblationSampleCountCtx(ctx, "Jsb(8,4,1)", sc, nil)
 		if err != nil {
 			return err
 		}
@@ -318,7 +481,7 @@ func run(exp string, sc experiments.Scale, qs experiments.QueueScale, labels []s
 				r.Samples, r.ChosenWS, r.BestWS, r.AvgWS, 100*r.Regret)
 		}
 		fmt.Println("== Ablation: sampling-seed robustness (Jsb(6,3,3)) ==")
-		srs, err := experiments.AblationSeeds("Jsb(6,3,3)", sc, nil)
+		srs, err := experiments.AblationSeedsCtx(ctx, "Jsb(6,3,3)", sc, nil)
 		if err != nil {
 			return err
 		}
@@ -332,7 +495,7 @@ func run(exp string, sc experiments.Scale, qs experiments.QueueScale, labels []s
 		if len(labels) > 0 {
 			mixes = labels
 		}
-		rows, err := experiments.Robustness(sc, mixes, nil, nil)
+		rows, err := experiments.RobustnessCtx(ctx, sc, mixes, nil, nil)
 		if err != nil {
 			return err
 		}
@@ -374,9 +537,4 @@ func printResponse(rows []experiments.ResponseRow) {
 		fmt.Printf("%-10d %14.0f %12.0f %12.0f %12.1f %8.1f\n",
 			r.SMTLevel, r.Lambda, r.NaiveResponse, r.SOSResponse, r.ImprovementPct, r.MeanJobsInSystem)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sosbench:", err)
-	os.Exit(1)
 }

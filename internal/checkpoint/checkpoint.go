@@ -1,0 +1,201 @@
+// Package checkpoint makes long experiment sweeps crash-safe.
+//
+// The SOS experiment harness is naturally phased: every sweep is a fan-out
+// of independent, deterministically seeded shards (a robustness cell, a
+// per-mix evaluation, a pairwise matrix entry). A checkpoint therefore
+// records *shard completion* — the JSON-encoded result of every finished
+// shard — rather than raw simulator state: a resumed run replays finished
+// shards from the snapshot byte-for-byte and recomputes only the shards
+// that were in flight when the process died, which the per-shard seeds make
+// bit-identical to an uninterrupted run. Machine/SOS state inside a shard
+// (per-thread progress, RNG cursors) is a pure function of the shard's seed
+// and is reconstructed by deterministic replay, so the invariant holds at
+// any kill point and any worker count.
+//
+// The snapshot format is versioned and CRC-checksummed:
+//
+//	symbios-checkpoint v<version> crc32 <8 hex digits> len <payload bytes>\n
+//	<payload: deterministic JSON>
+//
+// The payload is a single JSON object holding the run's identity (Meta) and
+// the completed shards. encoding/json sorts map keys, so encoding the same
+// snapshot always yields the same bytes; the checksum covers the payload
+// and the version is in the header, so truncated, corrupted or
+// version-skewed files are rejected with an error — never a panic.
+//
+// Writes are atomic: the snapshot is written to a temporary file in the
+// destination directory, fsynced, renamed over the destination, and the
+// directory is fsynced. A crash mid-write leaves either the old snapshot or
+// the new one, never a torn file.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Version is the current snapshot format version.
+const Version = 1
+
+// magic is the first header token of every snapshot file.
+const magic = "symbios-checkpoint"
+
+// Sentinel errors for snapshot validation. Decode wraps them with detail;
+// match with errors.Is.
+var (
+	// ErrCorrupt marks a snapshot whose header is malformed, whose payload
+	// is truncated, or whose checksum does not match.
+	ErrCorrupt = errors.New("checkpoint: corrupt snapshot")
+	// ErrVersion marks a snapshot written by an unsupported format version.
+	ErrVersion = errors.New("checkpoint: unsupported snapshot version")
+	// ErrMetaMismatch marks a resume attempt against a snapshot recorded
+	// under a different run configuration.
+	ErrMetaMismatch = errors.New("checkpoint: snapshot belongs to a different run")
+)
+
+// Meta identifies the run a snapshot belongs to. Resuming requires an exact
+// match: a snapshot taken under one experiment list, scale, seed or mix
+// filter must not seed a run under another, or the replayed shards would
+// not correspond to the shards the resumed run skips.
+type Meta struct {
+	// Exp is the experiment list, exactly as given to the driver
+	// (e.g. "robustness" or "table3,fig1").
+	Exp string `json:"exp"`
+	// Scale names the cycle-budget preset ("quick", "default", "paper").
+	Scale string `json:"scale"`
+	// Seed is the root random seed.
+	Seed uint64 `json:"seed"`
+	// Mix is the optional mix-label filter ("" when unrestricted).
+	Mix string `json:"mix,omitempty"`
+}
+
+// Snapshot is the decoded form of a checkpoint file: the run identity plus
+// every completed shard's JSON-encoded result, keyed "<experiment>/<index>".
+type Snapshot struct {
+	Meta   Meta                       `json:"meta"`
+	Shards map[string]json.RawMessage `json:"shards"`
+}
+
+// Encode renders the snapshot in the versioned, checksummed file format.
+// Encoding is deterministic: the same snapshot always yields the same bytes.
+func Encode(s *Snapshot) ([]byte, error) {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encoding payload: %w", err)
+	}
+	sum := crc32.ChecksumIEEE(payload)
+	header := fmt.Sprintf("%s v%d crc32 %08x len %d\n", magic, Version, sum, len(payload))
+	return append([]byte(header), payload...), nil
+}
+
+// Decode parses and validates an encoded snapshot. Malformed input of any
+// kind — truncated header or payload, checksum mismatch, unsupported
+// version, invalid JSON — returns an error wrapping ErrCorrupt or
+// ErrVersion; Decode never panics.
+func Decode(data []byte) (*Snapshot, error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("%w: no header line", ErrCorrupt)
+	}
+	fields := strings.Fields(string(data[:nl]))
+	if len(fields) != 6 || fields[0] != magic || fields[2] != "crc32" || fields[4] != "len" {
+		return nil, fmt.Errorf("%w: malformed header", ErrCorrupt)
+	}
+	if !strings.HasPrefix(fields[1], "v") {
+		return nil, fmt.Errorf("%w: malformed version %q", ErrCorrupt, fields[1])
+	}
+	version, err := strconv.Atoi(fields[1][1:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: malformed version %q", ErrCorrupt, fields[1])
+	}
+	if version != Version {
+		return nil, fmt.Errorf("%w: snapshot is v%d, this build reads v%d", ErrVersion, version, Version)
+	}
+	wantSum, err := strconv.ParseUint(fields[3], 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("%w: malformed checksum %q", ErrCorrupt, fields[3])
+	}
+	wantLen, err := strconv.Atoi(fields[5])
+	if err != nil || wantLen < 0 {
+		return nil, fmt.Errorf("%w: malformed length %q", ErrCorrupt, fields[5])
+	}
+	payload := data[nl+1:]
+	if len(payload) != wantLen {
+		return nil, fmt.Errorf("%w: payload is %d bytes, header says %d", ErrCorrupt, len(payload), wantLen)
+	}
+	if sum := crc32.ChecksumIEEE(payload); uint32(wantSum) != sum {
+		return nil, fmt.Errorf("%w: checksum %08x, header says %08x", ErrCorrupt, sum, uint32(wantSum))
+	}
+	var s Snapshot
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+	}
+	if s.Shards == nil {
+		s.Shards = map[string]json.RawMessage{}
+	}
+	return &s, nil
+}
+
+// Write atomically replaces path with the encoded snapshot: temp file in
+// the same directory, fsync, rename, directory fsync. A crash at any point
+// leaves either the previous file or the complete new one.
+func Write(path string, s *Snapshot) error {
+	data, err := Encode(s)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	// On any failure past this point the temp file is removed so aborted
+	// writes do not accumulate.
+	fail := func(step string, err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %s: %w", step, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail("writing temp file", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail("syncing temp file", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail("closing temp file", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: renaming into place: %w", err)
+	}
+	// Sync the directory so the rename itself survives a crash. Some
+	// filesystems refuse to fsync directories; that only weakens the
+	// durability window, so it is not fatal.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Load reads and validates the snapshot at path.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading snapshot: %w", err)
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return s, nil
+}

@@ -1,0 +1,243 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testMeta is the run identity used across these tests.
+var testMeta = Meta{Exp: "robustness", Scale: "quick", Seed: 1}
+
+// testSnapshot builds a snapshot with n shards of deterministic content.
+func testSnapshot(n int) *Snapshot {
+	s := &Snapshot{Meta: testMeta, Shards: map[string]json.RawMessage{}}
+	for i := 0; i < n; i++ {
+		s.Shards[fmt.Sprintf("robustness/%05d", i)] = json.RawMessage(
+			fmt.Sprintf(`{"Mix":"Jsb(4,2,2)","WS":%d.125}`, i))
+	}
+	return s
+}
+
+// TestEncodeDecodeRoundTrip checks the identity Decode(Encode(s)) == s and
+// that encoding is deterministic.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := testSnapshot(3)
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Fatal("Encode is not deterministic")
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != s.Meta {
+		t.Fatalf("meta round-trip: got %+v, want %+v", got.Meta, s.Meta)
+	}
+	if len(got.Shards) != len(s.Shards) {
+		t.Fatalf("shards round-trip: got %d, want %d", len(got.Shards), len(s.Shards))
+	}
+	for k, v := range s.Shards {
+		if string(got.Shards[k]) != string(v) {
+			t.Fatalf("shard %q: got %s, want %s", k, got.Shards[k], v)
+		}
+	}
+}
+
+// TestDecodeRejectsCorruption flips, truncates and mangles an encoded
+// snapshot and requires an ErrCorrupt-class error from every variant.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data, err := Encode(testSnapshot(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":             {},
+		"no newline":        []byte("symbios-checkpoint v1 crc32 00000000 len 5"),
+		"garbage header":    append([]byte("not a checkpoint\n"), data...),
+		"truncated payload": data[:len(data)-3],
+		"extra payload":     append(append([]byte{}, data...), '!'),
+		"flipped byte": func() []byte {
+			d := append([]byte{}, data...)
+			d[len(d)-5] ^= 0x40
+			return d
+		}(),
+		"bad checksum field": []byte("symbios-checkpoint v1 crc32 zzzzzzzz len 2\n{}"),
+		"bad length field":   []byte("symbios-checkpoint v1 crc32 00000000 len -1\n{}"),
+		"invalid json": func() []byte {
+			// Valid header and checksum over a non-JSON payload.
+			payload := []byte("{{{{")
+			hdr := fmt.Sprintf("symbios-checkpoint v1 crc32 %08x len %d\n", crc32.ChecksumIEEE(payload), len(payload))
+			return append([]byte(hdr), payload...)
+		}(),
+	}
+	for name, d := range cases {
+		if _, err := Decode(d); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err=%v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+// TestDecodeRejectsVersionSkew checks an unsupported version errors with
+// ErrVersion, not ErrCorrupt and not a silent misparse.
+func TestDecodeRejectsVersionSkew(t *testing.T) {
+	payload := []byte(`{"meta":{"exp":"x","scale":"quick","seed":1},"shards":{}}`)
+	hdr := fmt.Sprintf("symbios-checkpoint v2 crc32 %08x len %d\n", crc32.ChecksumIEEE(payload), len(payload))
+	_, err := Decode(append([]byte(hdr), payload...))
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("err=%v, want ErrVersion", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version skew misclassified as corruption: %v", err)
+	}
+}
+
+// TestWriteLoadAtomic checks Write/Load round-trips via the filesystem and
+// leaves no temp droppings.
+func TestWriteLoadAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	s := testSnapshot(4)
+	if err := Write(path, s); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a larger snapshot: the rename must fully replace.
+	s2 := testSnapshot(9)
+	if err := Write(path, s2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Shards) != 9 {
+		t.Fatalf("loaded %d shards, want 9", len(got.Shards))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// TestRecorderRoundTrip drives the Recorder through record → flush → resume
+// → lookup and checks the hit accounting.
+func TestRecorderRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	type row struct {
+		Mix string
+		WS  float64
+	}
+	r := NewRecorder(path, testMeta, 2)
+	if err := r.Record("robustness/00000", row{"Jsb(4,2,2)", 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	// Interval is 2: nothing on disk yet.
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("snapshot written before the interval elapsed: %v", err)
+	}
+	if err := r.Record("robustness/00001", row{"Jsb(4,2,2)", 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("snapshot missing after interval elapsed: %v", err)
+	}
+	if err := r.Record("robustness/00002", row{"Jsb(6,3,3)", 3.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Resume(path, "", testMeta, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards() != 3 {
+		t.Fatalf("resumed %d shards, want 3", got.Shards())
+	}
+	var v row
+	ok, err := got.Lookup("robustness/00001", &v)
+	if err != nil || !ok {
+		t.Fatalf("Lookup: ok=%v err=%v", ok, err)
+	}
+	if v.WS != 2.5 {
+		t.Fatalf("Lookup value %+v", v)
+	}
+	if ok, _ := got.Lookup("robustness/99999", &v); ok {
+		t.Fatal("Lookup hit a shard that was never recorded")
+	}
+	if got.Hits() != 1 {
+		t.Fatalf("Hits=%d, want 1", got.Hits())
+	}
+}
+
+// TestRecorderMetaMismatch checks Resume refuses a snapshot from a
+// different run configuration.
+func TestRecorderMetaMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := NewRecorder(path, testMeta, 1).Record("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	other := testMeta
+	other.Seed = 2
+	if _, err := Resume(path, "", other, 1); !errors.Is(err, ErrMetaMismatch) {
+		t.Fatalf("err=%v, want ErrMetaMismatch", err)
+	}
+}
+
+// TestRecorderDetectsNondeterministicRecompute checks re-recording a key
+// with different bytes fails loudly: that is the invariant's tripwire.
+func TestRecorderDetectsNondeterministicRecompute(t *testing.T) {
+	r := NewRecorder(filepath.Join(t.TempDir(), "run.ckpt"), testMeta, 100)
+	if err := r.Record("k", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record("k", 1.0); err != nil {
+		t.Fatalf("byte-identical re-record must be accepted: %v", err)
+	}
+	if err := r.Record("k", 2.0); err == nil {
+		t.Fatal("divergent re-record accepted silently")
+	}
+}
+
+// TestNilRecorderAndWatchdog checks the nil no-op contract the experiment
+// layer relies on.
+func TestNilRecorderAndWatchdog(t *testing.T) {
+	var r *Recorder
+	if err := r.Record("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	var v int
+	if ok, err := r.Lookup("k", &v); ok || err != nil {
+		t.Fatalf("nil Lookup: ok=%v err=%v", ok, err)
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Shards() != 0 || r.Hits() != 0 || r.Path() != "" {
+		t.Fatal("nil recorder accessors not zero")
+	}
+	var w *Watchdog
+	w.Begin("k")()
+	w.Stop()
+	if w.Stalled() {
+		t.Fatal("nil watchdog stalled")
+	}
+}

@@ -1,0 +1,58 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzDecodeCheckpoint is the satellite fuzz target: Decode must return an
+// error — never panic, never misread — on arbitrary input. Valid encodings
+// that decode are additionally required to re-encode to the same bytes
+// (the determinism the resume invariant leans on).
+func FuzzDecodeCheckpoint(f *testing.F) {
+	// Seed corpus: a valid snapshot plus the interesting malformations.
+	valid, err := Encode(&Snapshot{
+		Meta: Meta{Exp: "robustness", Scale: "quick", Seed: 1, Mix: "Jsb(4,2,2)"},
+		Shards: map[string]json.RawMessage{
+			"robustness/00000": json.RawMessage(`{"WS":1.25}`),
+			"robustness/00001": json.RawMessage(`{"WS":0.75}`),
+		},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("symbios-checkpoint"))
+	f.Add([]byte("symbios-checkpoint v1 crc32 00000000 len 0\n"))
+	f.Add([]byte("symbios-checkpoint v99 crc32 00000000 len 2\n{}"))
+	f.Add(valid[:len(valid)/2])
+	f.Add(append(append([]byte{}, valid...), "trailing"...))
+	f.Add([]byte(fmt.Sprintf("symbios-checkpoint v1 crc32 %08x len 4\nnull", crc32.ChecksumIEEE([]byte("null")))))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			if s != nil {
+				t.Fatal("Decode returned a snapshot alongside an error")
+			}
+			return
+		}
+		// A successfully decoded snapshot must survive a re-encode/decode
+		// cycle unchanged — otherwise a resumed run would see different
+		// shards than the crashed run recorded.
+		out, err := Encode(s)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded snapshot failed: %v", err)
+		}
+		s2, err := Decode(out)
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded snapshot failed: %v", err)
+		}
+		if s.Meta != s2.Meta || len(s.Shards) != len(s2.Shards) {
+			t.Fatalf("snapshot drifted across re-encode: %+v vs %+v", s, s2)
+		}
+	})
+}

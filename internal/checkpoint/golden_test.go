@@ -1,0 +1,63 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden checkpoint file")
+
+// goldenSnapshot is the fixture behind testdata/v1.ckpt. Do not change it:
+// the golden file pins the v1 wire format, and the test below fails if a
+// format change silently alters the bytes or breaks decoding of old
+// snapshots.
+func goldenSnapshot() *Snapshot {
+	return &Snapshot{
+		Meta: Meta{Exp: "robustness", Scale: "quick", Seed: 7, Mix: "Jsb(4,2,2)"},
+		Shards: map[string]json.RawMessage{
+			"robustness/00000": json.RawMessage(`{"Mix":"Jsb(4,2,2)","Fault":"clean","NaiveWS":1.912,"AdaptiveWS":2.004}`),
+			"robustness/00001": json.RawMessage(`{"Mix":"Jsb(4,2,2)","Fault":"noise sigma=0.10","NaiveWS":1.912,"AdaptiveWS":1.988}`),
+		},
+	}
+}
+
+// TestGoldenVersionCompatibility is the satellite version-compatibility
+// test: a committed v1 snapshot must keep decoding, and the current encoder
+// must keep producing exactly those bytes for the same snapshot. Breaking
+// either means old checkpoints on disk stop resuming — which requires a
+// version bump, a migration path in Decode, and a new golden file.
+func TestGoldenVersionCompatibility(t *testing.T) {
+	path := filepath.Join("testdata", "v1.ckpt")
+	want, err := Encode(goldenSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/checkpoint -run Golden -update` once to create it)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("encoder output diverged from the committed v1 golden file; old snapshots would no longer resume byte-identically")
+	}
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Meta != goldenSnapshot().Meta {
+		t.Fatalf("golden meta decoded as %+v", s.Meta)
+	}
+	if len(s.Shards) != 2 {
+		t.Fatalf("golden decoded %d shards, want 2", len(s.Shards))
+	}
+}

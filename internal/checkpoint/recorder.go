@@ -1,0 +1,197 @@
+package checkpoint
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Recorder accumulates completed shard results and persists them to a
+// snapshot file at a configurable interval. It is safe for concurrent use
+// by fan-out workers, and a nil *Recorder is a valid no-op (lookups miss,
+// records are dropped), so call sites need no nil guards.
+//
+// Shard keys must be stable across runs and worker counts — the experiment
+// layer derives them from the experiment name and the item's input index,
+// never from scheduling order.
+type Recorder struct {
+	mu      sync.Mutex
+	path    string
+	every   int
+	snap    *Snapshot
+	pending int // shards recorded since the last successful write
+	hits    int // lookups served from the snapshot
+}
+
+// NewRecorder starts a fresh recording to path (overwriting any previous
+// snapshot there on first flush). every is the flush interval in completed
+// shards; values below 1 flush after every shard.
+func NewRecorder(path string, meta Meta, every int) *Recorder {
+	if every < 1 {
+		every = 1
+	}
+	return &Recorder{
+		path:  path,
+		every: every,
+		snap:  &Snapshot{Meta: meta, Shards: map[string]json.RawMessage{}},
+	}
+}
+
+// Resume loads the snapshot at loadPath and continues recording to
+// writePath ("" keeps writing to loadPath). The snapshot's Meta must match
+// meta exactly; a mismatch returns an error wrapping ErrMetaMismatch rather
+// than silently replaying shards from a different run.
+func Resume(loadPath, writePath string, meta Meta, every int) (*Recorder, error) {
+	snap, err := Load(loadPath)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Meta != meta {
+		return nil, fmt.Errorf("%w: snapshot %+v, run %+v", ErrMetaMismatch, snap.Meta, meta)
+	}
+	if writePath == "" {
+		writePath = loadPath
+	}
+	if every < 1 {
+		every = 1
+	}
+	return &Recorder{path: writePath, every: every, snap: snap}, nil
+}
+
+// Lookup decodes the recorded result for key into v and reports whether the
+// shard was found. A decode failure is an error: the snapshot passed its
+// checksum, so a type mismatch means the caller's shard keying is wrong.
+func (r *Recorder) Lookup(key string, v any) (bool, error) {
+	if r == nil {
+		return false, nil
+	}
+	r.mu.Lock()
+	raw, ok := r.snap.Shards[key]
+	if ok {
+		r.hits++
+	}
+	r.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return false, fmt.Errorf("checkpoint: shard %q does not decode into %T: %w", key, v, err)
+	}
+	return true, nil
+}
+
+// Record stores the JSON encoding of v as shard key and flushes the
+// snapshot if the interval has elapsed. Re-recording an existing key (a
+// resumed shard that recomputed anyway) is allowed only if the value is
+// byte-identical — anything else is a determinism violation worth failing
+// loudly over.
+func (r *Recorder) Record(key string, v any) error {
+	if r == nil {
+		return nil
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding shard %q: %w", key, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.snap.Shards[key]; ok {
+		if string(prev) != string(raw) {
+			return fmt.Errorf("checkpoint: shard %q recomputed to a different value; resumed run is not deterministic", key)
+		}
+		return nil
+	}
+	r.snap.Shards[key] = raw
+	r.pending++
+	if r.pending >= r.every {
+		return r.flushLocked()
+	}
+	return nil
+}
+
+// Flush writes the snapshot now, regardless of the interval. It is the
+// caller's last act before exiting on an error, deadline or stall, so the
+// on-disk snapshot covers every completed shard.
+func (r *Recorder) Flush() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flushLocked()
+}
+
+// flushLocked writes the snapshot; callers hold r.mu.
+func (r *Recorder) flushLocked() error {
+	if err := Write(r.path, r.snap); err != nil {
+		return err
+	}
+	r.pending = 0
+	return nil
+}
+
+// Shards returns the number of completed shards currently recorded
+// (including those loaded by Resume).
+func (r *Recorder) Shards() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.snap.Shards)
+}
+
+// Hits returns how many lookups were served from the snapshot — the number
+// of shards a resumed run did not recompute.
+func (r *Recorder) Hits() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hits
+}
+
+// Path returns the snapshot file the recorder writes to.
+func (r *Recorder) Path() string {
+	if r == nil {
+		return ""
+	}
+	return r.path
+}
+
+// ctxKey keys the package's context values.
+type ctxKey int
+
+const (
+	recorderKey ctxKey = iota
+	watchdogKey
+)
+
+// WithRecorder returns a context carrying r. Experiment fan-outs find it
+// with RecorderFrom and memoize their shards through it; a context without
+// a recorder runs everything uncheckpointed.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	return context.WithValue(ctx, recorderKey, r)
+}
+
+// RecorderFrom returns the context's recorder, or nil (a valid no-op
+// recorder) when none is attached.
+func RecorderFrom(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(recorderKey).(*Recorder)
+	return r
+}
+
+// WithWatchdog returns a context carrying w; experiment fan-outs report
+// shard start/end to it so stalled shards are detected.
+func WithWatchdog(ctx context.Context, w *Watchdog) context.Context {
+	return context.WithValue(ctx, watchdogKey, w)
+}
+
+// WatchdogFrom returns the context's watchdog, or nil (a valid no-op
+// watchdog) when none is attached.
+func WatchdogFrom(ctx context.Context) *Watchdog {
+	w, _ := ctx.Value(watchdogKey).(*Watchdog)
+	return w
+}

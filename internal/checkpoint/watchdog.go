@@ -1,0 +1,202 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrStalled marks a run aborted by the watchdog: a simulation window ran
+// so far past the median window wall-time that it was judged hung. The
+// abort is delivered through the run's context cause, after the checkpoint
+// has been flushed, so the operator resumes instead of waiting forever.
+var ErrStalled = errors.New("checkpoint: simulation window stalled")
+
+// StallError carries the stalled window's identity and timing; it matches
+// ErrStalled with errors.Is.
+type StallError struct {
+	// Key names the stalled window (the shard key).
+	Key string
+	// Age is how long the window had been running when flagged; Limit is
+	// the threshold it exceeded.
+	Age, Limit time.Duration
+}
+
+// Error renders the stall diagnosis.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("checkpoint: window %q stalled: running %s, limit %s", e.Key, e.Age.Round(time.Millisecond), e.Limit.Round(time.Millisecond))
+}
+
+// Unwrap makes errors.Is(err, ErrStalled) match.
+func (e *StallError) Unwrap() error { return ErrStalled }
+
+// WatchdogConfig tunes stall detection.
+type WatchdogConfig struct {
+	// Factor flags an in-flight window exceeding Factor × the median
+	// completed-window wall-time. Values below 1 select the default of 8.
+	Factor float64
+	// Floor is the minimum stall threshold, so short windows with a tiny
+	// median do not trip on scheduler jitter. Zero selects 30s.
+	Floor time.Duration
+	// MinObserved is how many windows must complete before the median is
+	// trusted; until then no stall is flagged (an estimate from zero or one
+	// observation would be noise). Zero selects 3.
+	MinObserved int
+	// Poll is the check cadence. Zero selects 1s.
+	Poll time.Duration
+	// OnStall is invoked exactly once, from the watchdog goroutine, when a
+	// stall is flagged. The driver flushes its checkpoint there and then
+	// cancels the run's context with the StallError — checkpoint, then
+	// abort, never hang.
+	OnStall func(*StallError)
+
+	// now substitutes the clock in tests; nil means time.Now.
+	now func() time.Time
+}
+
+// Watchdog watches in-flight simulation windows and flags one that runs
+// far past the median completed-window wall-time. A nil *Watchdog is a
+// valid no-op, so call sites need no nil guards.
+type Watchdog struct {
+	cfg WatchdogConfig
+
+	mu       sync.Mutex
+	inflight map[string]time.Time
+	durs     []time.Duration
+	fired    bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewWatchdog starts a watchdog goroutine polling at cfg.Poll. Call Stop
+// when the run ends.
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.Factor < 1 {
+		cfg.Factor = 8
+	}
+	if cfg.Floor <= 0 {
+		cfg.Floor = 30 * time.Second
+	}
+	if cfg.MinObserved < 1 {
+		cfg.MinObserved = 3
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = time.Second
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	w := &Watchdog{
+		cfg:      cfg,
+		inflight: map[string]time.Time{},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+// loop polls until Stop.
+func (w *Watchdog) loop() {
+	defer close(w.done)
+	t := time.NewTicker(w.cfg.Poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.check()
+		}
+	}
+}
+
+// Begin marks window key as in flight and returns the function that marks
+// it complete, recording its wall-time into the median estimate.
+func (w *Watchdog) Begin(key string) (end func()) {
+	if w == nil {
+		return func() {}
+	}
+	start := w.cfg.now()
+	w.mu.Lock()
+	w.inflight[key] = start
+	w.mu.Unlock()
+	return func() {
+		now := w.cfg.now()
+		w.mu.Lock()
+		delete(w.inflight, key)
+		w.durs = append(w.durs, now.Sub(start))
+		w.mu.Unlock()
+	}
+}
+
+// Stop terminates the watchdog goroutine. Safe to call repeatedly; safe on
+// nil.
+func (w *Watchdog) Stop() {
+	if w == nil {
+		return
+	}
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}
+
+// limit returns the current stall threshold, or 0 when too few windows
+// have completed to estimate one. Callers hold w.mu.
+func (w *Watchdog) limitLocked() time.Duration {
+	if len(w.durs) < w.cfg.MinObserved {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), w.durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	med := sorted[len(sorted)/2]
+	limit := time.Duration(w.cfg.Factor * float64(med))
+	if limit < w.cfg.Floor {
+		limit = w.cfg.Floor
+	}
+	return limit
+}
+
+// check flags the longest-overdue in-flight window past the threshold,
+// firing OnStall exactly once across the watchdog's lifetime.
+func (w *Watchdog) check() {
+	now := w.cfg.now()
+	w.mu.Lock()
+	if w.fired {
+		w.mu.Unlock()
+		return
+	}
+	limit := w.limitLocked()
+	if limit <= 0 {
+		w.mu.Unlock()
+		return
+	}
+	var worst *StallError
+	for key, start := range w.inflight {
+		age := now.Sub(start)
+		if age > limit && (worst == nil || age > worst.Age) {
+			worst = &StallError{Key: key, Age: age, Limit: limit}
+		}
+	}
+	if worst != nil {
+		w.fired = true
+	}
+	onStall := w.cfg.OnStall
+	w.mu.Unlock()
+	if worst != nil && onStall != nil {
+		onStall(worst)
+	}
+}
+
+// Stalled reports whether the watchdog has flagged a stall.
+func (w *Watchdog) Stalled() bool {
+	if w == nil {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fired
+}

@@ -1,0 +1,133 @@
+package checkpoint
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded settable clock for watchdog tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// newTestWatchdog builds a watchdog on a fake clock with the poll loop
+// effectively disabled (checks are driven manually via check()).
+func newTestWatchdog(clk *fakeClock, onStall func(*StallError)) *Watchdog {
+	w := NewWatchdog(WatchdogConfig{
+		Factor:      4,
+		Floor:       10 * time.Millisecond,
+		MinObserved: 3,
+		Poll:        time.Hour,
+		OnStall:     onStall,
+		now:         clk.now,
+	})
+	return w
+}
+
+// TestWatchdogFlagsStalledWindow drives the median up with three completed
+// windows, then leaves one in flight past Factor× the median and checks it
+// is flagged exactly once, with the stalled key.
+func TestWatchdogFlagsStalledWindow(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var (
+		mu     sync.Mutex
+		stalls []*StallError
+	)
+	w := newTestWatchdog(clk, func(e *StallError) {
+		mu.Lock()
+		stalls = append(stalls, e)
+		mu.Unlock()
+	})
+	defer w.Stop()
+
+	// Three completed windows of 100ms: median 100ms, limit 400ms.
+	for i := 0; i < 3; i++ {
+		end := w.Begin("warm")
+		clk.advance(100 * time.Millisecond)
+		end()
+	}
+	end := w.Begin("stuck-shard")
+	clk.advance(300 * time.Millisecond)
+	w.check()
+	if w.Stalled() {
+		t.Fatal("stalled at 3× median, limit is 4×")
+	}
+	clk.advance(200 * time.Millisecond) // now 500ms > 400ms limit
+	w.check()
+	if !w.Stalled() {
+		t.Fatal("did not stall at 5× median")
+	}
+	w.check() // must not fire twice
+	end()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(stalls) != 1 {
+		t.Fatalf("OnStall fired %d times, want 1", len(stalls))
+	}
+	if stalls[0].Key != "stuck-shard" {
+		t.Fatalf("stalled key %q, want stuck-shard", stalls[0].Key)
+	}
+	if stalls[0].Limit != 400*time.Millisecond {
+		t.Fatalf("limit %s, want 400ms", stalls[0].Limit)
+	}
+}
+
+// TestWatchdogNeedsMinObservations checks no stall fires before the median
+// is trustworthy, no matter how old an in-flight window is.
+func TestWatchdogNeedsMinObservations(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	w := newTestWatchdog(clk, func(e *StallError) {
+		t.Errorf("stall fired with too few observations: %v", e)
+	})
+	defer w.Stop()
+	for i := 0; i < 2; i++ { // MinObserved is 3
+		end := w.Begin("warm")
+		clk.advance(time.Millisecond)
+		end()
+	}
+	defer w.Begin("ancient")()
+	clk.advance(time.Hour)
+	w.check()
+	if w.Stalled() {
+		t.Fatal("stalled without a trustworthy median")
+	}
+}
+
+// TestWatchdogFloor checks the floor prevents tiny medians from flagging
+// ordinary jitter.
+func TestWatchdogFloor(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	w := newTestWatchdog(clk, nil)
+	defer w.Stop()
+	for i := 0; i < 3; i++ {
+		end := w.Begin("warm")
+		clk.advance(10 * time.Microsecond) // median 10µs, 4× = 40µs << 10ms floor
+		end()
+	}
+	defer w.Begin("jittery")()
+	clk.advance(5 * time.Millisecond) // above 4×median, below floor
+	w.check()
+	if w.Stalled() {
+		t.Fatal("stalled below the floor")
+	}
+	clk.advance(6 * time.Millisecond) // 11ms > floor
+	w.check()
+	if !w.Stalled() {
+		t.Fatal("did not stall past the floor")
+	}
+}

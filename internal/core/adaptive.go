@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -84,7 +85,9 @@ type AdaptiveOptions struct {
 	// Abort, when non-nil, is polled between windows and sample
 	// evaluations; a fired token makes RunAdaptive return
 	// parallel.ErrCancelled promptly (used by sweeps to abort in-flight
-	// cells after a sibling failure).
+	// cells after a sibling failure). The token is a legacy adapter over
+	// context.Context — new call sites should pass a context to
+	// RunAdaptiveCtx instead; both are honoured when set together.
 	Abort *parallel.Cancel
 }
 
@@ -125,6 +128,7 @@ type plan struct {
 
 // adaptiveState carries RunAdaptive's mutable pieces through its helpers.
 type adaptiveState struct {
+	ctx     context.Context // nil means unbounded
 	m       *Machine
 	y, z    int
 	opt     AdaptiveOptions
@@ -135,6 +139,22 @@ type adaptiveState struct {
 	warmed  bool
 }
 
+// interrupted reports why the run must stop early: the context's error when
+// it is cancelled or past its deadline (so deadline-exceeded stays
+// distinguishable), parallel.ErrCancelled when the legacy token fired, nil
+// otherwise.
+func (a *adaptiveState) interrupted() error {
+	if a.ctx != nil {
+		if err := a.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if a.opt.Abort != nil && a.opt.Abort.Cancelled() {
+		return parallel.ErrCancelled
+	}
+	return nil
+}
+
 // RunAdaptive executes the hardened SOS pipeline on m: a sample phase that
 // retries transiently failed evaluations with bounded backoff, a round-robin
 // fallback when the predictor inputs are degenerate, and a monitored symbios
@@ -143,6 +163,15 @@ type adaptiveState struct {
 // solo offer rate and enables the weighted-speedup report; churn arrivals
 // extend it via ChurnEvent.ArriveSolo.
 func RunAdaptive(m *Machine, y, z int, solo []float64, opt AdaptiveOptions) (AdaptiveResult, error) {
+	return RunAdaptiveCtx(nil, m, y, z, solo, opt)
+}
+
+// RunAdaptiveCtx is RunAdaptive bounded by a context: cancellation and
+// deadlines are honoured at every timeslice, window and sample-evaluation
+// boundary, returning the context's error promptly with the machine left
+// consistent. A nil context behaves like RunAdaptive; the legacy
+// AdaptiveOptions.Abort token is honoured alongside the context.
+func RunAdaptiveCtx(ctx context.Context, m *Machine, y, z int, solo []float64, opt AdaptiveOptions) (AdaptiveResult, error) {
 	if opt.Samples < 1 {
 		return AdaptiveResult{}, fmt.Errorf("core: Samples must be >= 1")
 	}
@@ -167,7 +196,8 @@ func RunAdaptive(m *Machine, y, z int, solo []float64, opt AdaptiveOptions) (Ada
 
 	var res AdaptiveResult
 	a := &adaptiveState{
-		m: m, y: y, z: z, opt: opt,
+		ctx: ctx,
+		m:   m, y: y, z: z, opt: opt,
 		r:    rng.New(opt.Seed),
 		jobs: m.Jobs(),
 		res:  &res,
@@ -202,14 +232,14 @@ func RunAdaptive(m *Machine, y, z int, solo []float64, opt AdaptiveOptions) (Ada
 		nextChurn int
 	)
 	for done < opt.SymbiosSlices {
-		if opt.Abort != nil && opt.Abort.Cancelled() {
-			return res, parallel.ErrCancelled
+		if err := a.interrupted(); err != nil {
+			return res, err
 		}
 		w := a.windowSlices(p.sched, opt.SymbiosSlices-done)
 		if nextChurn < len(churn) && churn[nextChurn].AtSlice-done < w {
 			w = churn[nextChurn].AtSlice - done
 		}
-		run, err := m.RunSchedule(p.sched, w)
+		run, err := m.RunScheduleCtx(ctx, p.sched, w)
 		if err != nil {
 			return res, err
 		}
@@ -319,15 +349,15 @@ func (a *adaptiveState) samplePlan() (plan, error) {
 		rounds := int(a.opt.WarmupCycles/(uint64(rot)*a.m.SliceCycles)) + 1
 		// Warmup work is unmeasured; lost counter reads during it are
 		// harmless and ignored.
-		if _, err := a.m.RunSchedule(scheds[0], rot*rounds); err != nil {
+		if _, err := a.m.RunScheduleCtx(a.ctx, scheds[0], rot*rounds); err != nil {
 			return plan{}, err
 		}
 	}
 
 	var samples []Sample
 	for _, s := range scheds {
-		if a.opt.Abort != nil && a.opt.Abort.Cancelled() {
-			return plan{}, parallel.ErrCancelled
+		if err := a.interrupted(); err != nil {
+			return plan{}, err
 		}
 		sample, ok, err := a.evalWithRetry(s)
 		if err != nil {
@@ -357,10 +387,10 @@ func (a *adaptiveState) samplePlan() (plan, error) {
 func (a *adaptiveState) evalWithRetry(s schedule.Schedule) (Sample, bool, error) {
 	backoff := a.opt.BackoffSlices
 	for attempt := 0; ; attempt++ {
-		if a.opt.Abort != nil && a.opt.Abort.Cancelled() {
-			return Sample{}, false, parallel.ErrCancelled
+		if err := a.interrupted(); err != nil {
+			return Sample{}, false, err
 		}
-		run, err := a.m.RunSchedule(s, s.CycleSlices())
+		run, err := a.m.RunScheduleCtx(a.ctx, s, s.CycleSlices())
 		if err != nil {
 			return Sample{}, false, err
 		}
@@ -375,8 +405,9 @@ func (a *adaptiveState) evalWithRetry(s schedule.Schedule) (Sample, bool, error)
 		a.res.Retries++
 		a.event("sample %s attempt %d lost %d counter reads; backing off %d slices", s, attempt+1, run.ReadFailures, backoff)
 		if rr, err := RoundRobin(a.m.NumTasks(), a.y); err == nil {
-			// Backoff work is unmeasured; lost reads during it are harmless.
-			_, _ = a.m.RunSchedule(rr, backoff)
+			// Backoff work is unmeasured; lost reads during it are harmless,
+			// and a context abort here is caught by the next poll above.
+			_, _ = a.m.RunScheduleCtx(a.ctx, rr, backoff)
 		}
 		backoff *= 2
 	}

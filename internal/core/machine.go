@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -218,6 +219,16 @@ func (m *Machine) detach(ti int, acc []uint64) {
 // slices is typically a multiple of s.CycleSlices() so every task receives
 // equal CPU time. All tasks are detached (their progress saved) on return.
 func (m *Machine) RunSchedule(s schedule.Schedule, slices int) (RunResult, error) {
+	return m.RunScheduleCtx(nil, s, slices)
+}
+
+// RunScheduleCtx is RunSchedule bounded by a context: the context is polled
+// at every timeslice boundary and a cancelled or deadline-exceeded context
+// aborts the run promptly, returning the context's error with all task
+// progress saved (the machine stays consistent and reusable). A nil context
+// behaves like RunSchedule. The poll never changes results: an un-aborted
+// run is bit-identical with or without a context.
+func (m *Machine) RunScheduleCtx(ctx context.Context, s schedule.Schedule, slices int) (RunResult, error) {
 	if err := s.Validate(); err != nil {
 		return RunResult{}, err
 	}
@@ -238,6 +249,12 @@ func (m *Machine) RunSchedule(s schedule.Schedule, slices int) (RunResult, error
 	start := m.Core.Snapshot()
 	prev := start
 	for slice := 0; slice < slices; slice++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				m.DetachAll()
+				return RunResult{}, err
+			}
+		}
 		for _, ti := range running {
 			if err := m.attach(ti); err != nil {
 				m.DetachAll()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"symbios/internal/arch"
@@ -31,6 +32,12 @@ type SampleCountRow struct {
 // sizes on one mix. The schedule space must be large enough that sample
 // size matters; Jsb(8,4,1) (2520 schedules) is a good subject.
 func AblationSampleCount(label string, sc Scale, counts []int) ([]SampleCountRow, error) {
+	return AblationSampleCountCtx(context.Background(), label, sc, counts)
+}
+
+// AblationSampleCountCtx is AblationSampleCount bounded by a context, with
+// each sample count a resumable checkpoint shard.
+func AblationSampleCountCtx(ctx context.Context, label string, sc Scale, counts []int) ([]SampleCountRow, error) {
 	if _, err := workload.MixByLabel(label); err != nil {
 		return nil, err
 	}
@@ -39,10 +46,10 @@ func AblationSampleCount(label string, sc Scale, counts []int) ([]SampleCountRow
 	}
 	// EvalMix bypasses the process cache, so each count is an independent
 	// work item (its sample draw depends only on the Scale).
-	return parallel.Map(counts, parallel.Options{}, func(_ int, n int) (SampleCountRow, error) {
+	return shardedMap(ctx, "ablation-samples", counts, parallel.Options{}, func(ctx context.Context, _ int, n int) (SampleCountRow, error) {
 		s := sc
 		s.MaxSamples = n
-		ev, err := EvalMix(label, s)
+		ev, err := EvalMixCtx(ctx, label, s)
 		if err != nil {
 			return SampleCountRow{}, err
 		}
@@ -70,13 +77,19 @@ type SeedRow struct {
 // expectation each time — the robustness of "10 random schedules is
 // enough".
 func AblationSeeds(label string, sc Scale, seeds []uint64) ([]SeedRow, error) {
+	return AblationSeedsCtx(context.Background(), label, sc, seeds)
+}
+
+// AblationSeedsCtx is AblationSeeds bounded by a context, with each seed a
+// resumable checkpoint shard.
+func AblationSeedsCtx(ctx context.Context, label string, sc Scale, seeds []uint64) ([]SeedRow, error) {
 	if seeds == nil {
 		seeds = []uint64{1, 2, 3, 4, 5}
 	}
-	return parallel.Map(seeds, parallel.Options{}, func(_ int, seed uint64) (SeedRow, error) {
+	return shardedMap(ctx, "ablation-seeds", seeds, parallel.Options{}, func(ctx context.Context, _ int, seed uint64) (SeedRow, error) {
 		s := sc
 		s.Seed = seed
-		ev, err := EvalMix(label, s)
+		ev, err := EvalMixCtx(ctx, label, s)
 		if err != nil {
 			return SeedRow{}, err
 		}
@@ -105,13 +118,19 @@ type FetchPolicyRow struct {
 // stalled threads of fetch bandwidth); the schedule-sensitivity phenomenon
 // must survive under both, showing SOS does not depend on one fetch policy.
 func AblationFetchPolicy(sc Scale) ([]FetchPolicyRow, error) {
+	return AblationFetchPolicyCtx(context.Background(), sc)
+}
+
+// AblationFetchPolicyCtx is AblationFetchPolicy bounded by a context, with
+// each fetch policy a resumable checkpoint shard.
+func AblationFetchPolicyCtx(ctx context.Context, sc Scale) ([]FetchPolicyRow, error) {
 	mix := workload.MustMix("Jsb(6,3,3)")
 	scheds, err := schedule.Enumerate(mix.Tasks(), mix.SMTLevel, mix.Swap, 100)
 	if err != nil {
 		return nil, err
 	}
 	policies := []arch.FetchPolicy{arch.FetchICOUNT, arch.FetchRoundRobin}
-	return parallel.Map(policies, parallel.Options{}, func(_ int, policy arch.FetchPolicy) (FetchPolicyRow, error) {
+	return shardedMap(ctx, "ablation-fetch", policies, parallel.Options{}, func(ctx context.Context, _ int, policy arch.FetchPolicy) (FetchPolicyRow, error) {
 		cfg := arch.Default21264(mix.SMTLevel)
 		cfg.FetchPolicy = policy
 
@@ -125,7 +144,7 @@ func AblationFetchPolicy(sc Scale) ([]FetchPolicyRow, error) {
 		}
 
 		type run struct{ ws, ipc float64 }
-		runs, err := parallel.Map(scheds, parallel.Options{}, func(_ int, s schedule.Schedule) (run, error) {
+		runs, err := parallel.Map(scheds, parallel.Options{Context: ctx}, func(_ int, s schedule.Schedule) (run, error) {
 			jobs, _, err := buildJobs(mix, sc.Seed)
 			if err != nil {
 				return run{}, err
@@ -134,10 +153,10 @@ func AblationFetchPolicy(sc Scale) ([]FetchPolicyRow, error) {
 			if err != nil {
 				return run{}, err
 			}
-			if err := warm(m, s, sc.WarmupCycles); err != nil {
+			if err := warm(ctx, m, s, sc.WarmupCycles); err != nil {
 				return run{}, err
 			}
-			res, err := m.RunSchedule(s, sc.symbiosSlices(sc.Slice, s.CycleSlices()))
+			res, err := m.RunScheduleCtx(ctx, s, sc.symbiosSlices(sc.Slice, s.CycleSlices()))
 			if err != nil {
 				return run{}, err
 			}

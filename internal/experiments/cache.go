@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -36,6 +37,14 @@ func cacheKey(label string, sc Scale) string {
 // first use. A concurrent second caller of the same key blocks until the
 // first finishes and shares its result rather than recomputing.
 func EvalMixCached(label string, sc Scale) (*MixEval, error) {
+	return EvalMixCachedCtx(context.Background(), label, sc)
+}
+
+// EvalMixCachedCtx is EvalMixCached computing under the caller's context. If
+// the computing caller's context aborts, joined waiters receive that abort
+// error too; the failed entry is dropped, so a later caller recomputes under
+// its own (presumably healthier) context.
+func EvalMixCachedCtx(ctx context.Context, label string, sc Scale) (*MixEval, error) {
 	key := cacheKey(label, sc)
 	evalMu.Lock()
 	if f, ok := evalCache[key]; ok {
@@ -47,7 +56,7 @@ func EvalMixCached(label string, sc Scale) (*MixEval, error) {
 	evalCache[key] = f
 	evalMu.Unlock()
 
-	f.ev, f.err = EvalMix(label, sc)
+	f.ev, f.err = EvalMixCtx(ctx, label, sc)
 	close(f.done)
 	if f.err != nil {
 		// Do not cache failures: a later caller may run under conditions

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"symbios/internal/arch"
 	"symbios/internal/core"
 	"symbios/internal/metrics"
@@ -24,6 +26,12 @@ type ColdstartRow struct {
 // speedup approaches its asymptote. (The warmstart policies of Section 8
 // achieve the same amortization by swapping fewer jobs per slice.)
 func ColdstartStudy(sc Scale, slices []uint64) ([]ColdstartRow, error) {
+	return ColdstartStudyCtx(context.Background(), sc, slices)
+}
+
+// ColdstartStudyCtx is ColdstartStudy bounded by a context, with each
+// timeslice length a resumable checkpoint shard.
+func ColdstartStudyCtx(ctx context.Context, sc Scale, slices []uint64) ([]ColdstartRow, error) {
 	if slices == nil {
 		slices = []uint64{25_000, 50_000, 100_000, 200_000, 400_000}
 	}
@@ -40,7 +48,7 @@ func ColdstartStudy(sc Scale, slices []uint64) ([]ColdstartRow, error) {
 	}
 	s := schedule.Schedule{Order: []int{0, 1, 2, 3, 4, 5}, Y: mix.SMTLevel, Z: mix.Swap}
 
-	return parallel.Map(slices, parallel.Options{}, func(_ int, slice uint64) (ColdstartRow, error) {
+	return shardedMap(ctx, "coldstart", slices, parallel.Options{}, func(ctx context.Context, _ int, slice uint64) (ColdstartRow, error) {
 		jobs, _, err := buildJobs(mix, sc.Seed)
 		if err != nil {
 			return ColdstartRow{}, err
@@ -49,10 +57,10 @@ func ColdstartStudy(sc Scale, slices []uint64) ([]ColdstartRow, error) {
 		if err != nil {
 			return ColdstartRow{}, err
 		}
-		if err := warm(m, s, sc.WarmupCycles); err != nil {
+		if err := warm(ctx, m, s, sc.WarmupCycles); err != nil {
 			return ColdstartRow{}, err
 		}
-		res, err := m.RunSchedule(s, sc.symbiosSlices(slice, s.CycleSlices()))
+		res, err := m.RunScheduleCtx(ctx, s, sc.symbiosSlices(slice, s.CycleSlices()))
 		if err != nil {
 			return ColdstartRow{}, err
 		}

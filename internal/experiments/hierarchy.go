@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -112,13 +113,19 @@ func jobWS(jobs []*workload.Job, committed []uint64, cycles uint64, soloAgg []fl
 // Each level's rng stream derives from (seed, level), so the levels are
 // independent work items.
 func Figure4(sc Scale) ([]Figure4Row, error) {
-	return parallel.Map([]int{2, 3, 4, 6}, parallel.Options{}, func(_ int, level int) (Figure4Row, error) {
-		return hierLevel(level, sc)
+	return Figure4Ctx(context.Background(), sc)
+}
+
+// Figure4Ctx is Figure4 bounded by a context, with each SMT level a
+// resumable checkpoint shard.
+func Figure4Ctx(ctx context.Context, sc Scale) ([]Figure4Row, error) {
+	return shardedMap(ctx, "fig4", []int{2, 3, 4, 6}, parallel.Options{}, func(ctx context.Context, _ int, level int) (Figure4Row, error) {
+		return hierLevel(ctx, level, sc)
 	})
 }
 
 // hierLevel runs one SMT level's hierarchical study.
-func hierLevel(level int, sc Scale) (Figure4Row, error) {
+func hierLevel(ctx context.Context, level int, sc Scale) (Figure4Row, error) {
 	names, ok := workload.HierarchicalMixes[level]
 	if !ok {
 		return Figure4Row{}, fmt.Errorf("experiments: no hierarchical mix for SMT level %d", level)
@@ -161,7 +168,7 @@ func hierLevel(level int, sc Scale) (Figure4Row, error) {
 	// Phase 2 (parallel): evaluate each configuration — solo calibration
 	// plus its schedule runs, every run on freshly built jobs — and flatten
 	// the per-configuration candidate groups in configuration order.
-	groups, err := parallel.Map(work, parallel.Options{}, func(_ int, w hierWork) ([]hierCandidate, error) {
+	groups, err := parallel.Map(work, parallel.Options{Context: ctx}, func(_ int, w hierWork) ([]hierCandidate, error) {
 		// Per-job solo aggregate rates for this configuration.
 		jobs, seeds, err := buildSpecJobs(w.specs, sc.Seed)
 		if err != nil {
@@ -180,7 +187,7 @@ func hierLevel(level int, sc Scale) (Figure4Row, error) {
 			}
 		}
 
-		return parallel.Map(w.scheds, parallel.Options{}, func(_ int, s schedule.Schedule) (hierCandidate, error) {
+		return parallel.Map(w.scheds, parallel.Options{Context: ctx}, func(_ int, s schedule.Schedule) (hierCandidate, error) {
 			jobs, _, err := buildSpecJobs(w.specs, sc.Seed)
 			if err != nil {
 				return hierCandidate{}, err
@@ -189,10 +196,10 @@ func hierLevel(level int, sc Scale) (Figure4Row, error) {
 			if err != nil {
 				return hierCandidate{}, err
 			}
-			if err := warm(m, s, sc.WarmupCycles); err != nil {
+			if err := warm(ctx, m, s, sc.WarmupCycles); err != nil {
 				return hierCandidate{}, err
 			}
-			res, err := m.RunSchedule(s, sc.symbiosSlices(sc.Slice, s.CycleSlices()))
+			res, err := m.RunScheduleCtx(ctx, s, sc.symbiosSlices(sc.Slice, s.CycleSlices()))
 			if err != nil {
 				return hierCandidate{}, err
 			}

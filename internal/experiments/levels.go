@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"symbios/internal/core"
@@ -31,12 +32,18 @@ var twelveJobs = []string{
 // higher levels of multithreading": both the absolute weighted speedup and
 // the schedule sensitivity grow with the SMT level.
 func ThroughputVsLevel(sc Scale, levels []int) ([]LevelRow, error) {
+	return ThroughputVsLevelCtx(context.Background(), sc, levels)
+}
+
+// ThroughputVsLevelCtx is ThroughputVsLevel bounded by a context, with each
+// SMT level a resumable checkpoint shard.
+func ThroughputVsLevelCtx(ctx context.Context, sc Scale, levels []int) ([]LevelRow, error) {
 	if levels == nil {
 		levels = []int{2, 3, 4, 6}
 	}
 	// Each level derives its own rng stream from (seed, level), so the
 	// levels are independent work items.
-	return parallel.Map(levels, parallel.Options{}, func(_ int, level int) (LevelRow, error) {
+	return shardedMap(ctx, "levels", levels, parallel.Options{}, func(ctx context.Context, _ int, level int) (LevelRow, error) {
 		if 12%level != 0 {
 			return LevelRow{}, fmt.Errorf("experiments: level %d does not divide 12 jobs evenly", level)
 		}
@@ -49,7 +56,7 @@ func ThroughputVsLevel(sc Scale, levels []int) ([]LevelRow, error) {
 		}
 		r := rng.New(rng.Hash2(sc.Seed, uint64(level), 0x1e7e1))
 		scheds := schedule.Sample(r, mix.Tasks(), level, level, sc.MaxSamples)
-		ev, err := EvalMixSchedules(mix, scheds, sc)
+		ev, err := EvalMixSchedulesCtx(ctx, mix, scheds, sc)
 		if err != nil {
 			return LevelRow{}, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"symbios/internal/arch"
@@ -26,6 +27,12 @@ type PairTable struct {
 // Pairwise builds the symbiosis matrix for the given benchmarks (defaults
 // to the paper's single-threaded Table 1 jobs).
 func Pairwise(sc Scale, names []string) (*PairTable, error) {
+	return PairwiseCtx(context.Background(), sc, names)
+}
+
+// PairwiseCtx is Pairwise bounded by a context, with each solo calibration
+// and each matrix cell a resumable checkpoint shard.
+func PairwiseCtx(ctx context.Context, sc Scale, names []string) (*PairTable, error) {
 	if names == nil {
 		names = []string{"FP", "MG", "WAVE", "SWIM", "GCC", "GO", "IS", "CG", "EP"}
 	}
@@ -33,7 +40,7 @@ func Pairwise(sc Scale, names []string) (*PairTable, error) {
 
 	// Solo rates, one calibration per benchmark; each runs on its own
 	// machine, so the calibrations fan out.
-	solo, err := parallel.Map(names, parallel.Options{}, func(i int, name string) (float64, error) {
+	solo, err := shardedMap(ctx, "pairwise-solo", names, parallel.Options{}, func(_ context.Context, i int, name string) (float64, error) {
 		spec, err := workload.Lookup(name)
 		if err != nil {
 			return 0, err
@@ -63,7 +70,7 @@ func Pairwise(sc Scale, names []string) (*PairTable, error) {
 			cells = append(cells, cell{i, j})
 		}
 	}
-	wss, err := parallel.Map(cells, parallel.Options{}, func(_ int, c cell) (float64, error) {
+	wss, err := shardedMap(ctx, "pairwise", cells, parallel.Options{}, func(_ context.Context, _ int, c cell) (float64, error) {
 		return pairWS(cfg, names[c.i], names[c.j], solo[c.i], solo[c.j], sc)
 	})
 	if err != nil {

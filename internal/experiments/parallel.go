@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"symbios/internal/core"
@@ -71,6 +72,11 @@ func coschedules(s schedule.Schedule, a, b int) bool {
 // stratified: the random draw is topped up with schedules of whichever
 // class is missing.
 func ParallelStudy(sc Scale, label string) (ParallelRow, error) {
+	return ParallelStudyCtx(context.Background(), sc, label)
+}
+
+// ParallelStudyCtx is ParallelStudy bounded by a context.
+func ParallelStudyCtx(ctx context.Context, sc Scale, label string) (ParallelRow, error) {
 	mix, err := workload.MixByLabel(label)
 	if err != nil {
 		return ParallelRow{}, err
@@ -88,7 +94,7 @@ func ParallelStudy(sc Scale, label string) (ParallelRow, error) {
 	scheds := schedule.Sample(r, mix.Tasks(), mix.SMTLevel, mix.Swap, sc.MaxSamples)
 	scheds = ensureBothClasses(r, scheds, mix, sib)
 
-	ev, err := EvalMixSchedules(mix, scheds, sc)
+	ev, err := EvalMixSchedulesCtx(ctx, mix, scheds, sc)
 	if err != nil {
 		return ParallelRow{}, err
 	}

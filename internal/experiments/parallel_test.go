@@ -44,7 +44,7 @@ func TestHierarchicalLevel(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-million-cycle simulation")
 	}
-	row, err := hierLevel(2, QuickScale())
+	row, err := hierLevel(nil, 2, QuickScale())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"symbios/internal/arch"
@@ -82,6 +83,14 @@ func DefaultChurn() []faults.ChurnSpec {
 // failure fires a shared cancel token so in-flight adaptive runs abort
 // instead of finishing work the sweep will discard.
 func Robustness(sc Scale, labels []string, levels []faults.Config, churn []faults.ChurnSpec) ([]RobustnessRow, error) {
+	return RobustnessCtx(context.Background(), sc, labels, levels, churn)
+}
+
+// RobustnessCtx is Robustness bounded by a context, with each cell a
+// resumable checkpoint shard: a context carrying a checkpoint.Recorder
+// replays completed cells and recomputes only the interrupted ones,
+// byte-identically.
+func RobustnessCtx(ctx context.Context, sc Scale, labels []string, levels []faults.Config, churn []faults.ChurnSpec) ([]RobustnessRow, error) {
 	if labels == nil {
 		labels = DefaultRobustnessMixes()
 	}
@@ -102,13 +111,13 @@ func Robustness(sc Scale, labels []string, levels []faults.Config, churn []fault
 		}
 	}
 	var abort parallel.Cancel
-	return parallel.Map(cells, parallel.Options{Cancel: &abort}, func(i int, c cell) (RobustnessRow, error) {
-		return robustnessCell(c.label, c.fc, churn, sc, rng.Hash2(sc.Seed, uint64(i), saltRobustCell), &abort)
+	return shardedMap(ctx, "robustness", cells, parallel.Options{Cancel: &abort}, func(ctx context.Context, i int, c cell) (RobustnessRow, error) {
+		return robustnessCell(ctx, c.label, c.fc, churn, sc, rng.Hash2(sc.Seed, uint64(i), saltRobustCell), &abort)
 	})
 }
 
 // robustnessCell evaluates one (mix, fault level) pair.
-func robustnessCell(label string, fc faults.Config, churn []faults.ChurnSpec, sc Scale, cellSeed uint64, abort *parallel.Cancel) (RobustnessRow, error) {
+func robustnessCell(ctx context.Context, label string, fc faults.Config, churn []faults.ChurnSpec, sc Scale, cellSeed uint64, abort *parallel.Cancel) (RobustnessRow, error) {
 	mix, err := workload.MixByLabel(label)
 	if err != nil {
 		return RobustnessRow{}, err
@@ -137,12 +146,12 @@ func robustnessCell(label string, fc faults.Config, churn []faults.ChurnSpec, sc
 	if err != nil {
 		return RobustnessRow{}, err
 	}
-	row.NaiveWS, err = naiveChurnWS(mix, cfg, slice, sc, symSlices, naiveChurn, solo)
+	row.NaiveWS, err = naiveChurnWS(ctx, mix, cfg, slice, sc, symSlices, naiveChurn, solo)
 	if err != nil {
 		return RobustnessRow{}, err
 	}
 
-	row.PredWS, err = staticPredictorWS(mix, cfg, slice, sc, fc, solo, cellSeed)
+	row.PredWS, err = staticPredictorWS(ctx, mix, cfg, slice, sc, fc, solo, cellSeed)
 	if err != nil {
 		return RobustnessRow{}, err
 	}
@@ -164,7 +173,7 @@ func robustnessCell(label string, fc faults.Config, churn []faults.ChurnSpec, sc
 	if err != nil {
 		return RobustnessRow{}, err
 	}
-	res, err := core.RunAdaptive(m, mix.SMTLevel, mix.Swap, solo, core.AdaptiveOptions{
+	res, err := core.RunAdaptiveCtx(ctx, m, mix.SMTLevel, mix.Swap, solo, core.AdaptiveOptions{
 		Samples:       sc.MaxSamples,
 		Predictor:     core.PredScore,
 		SymbiosSlices: symSlices,
@@ -191,7 +200,7 @@ func robustnessCell(label string, fc faults.Config, churn []faults.ChurnSpec, sc
 // the column shows pure prediction degradation. The static pipeline has no
 // retry path: evaluations that lose counter reads are silently partial,
 // exactly as a scheduler that never checks for PMU trouble would see them.
-func staticPredictorWS(mix workload.Mix, cfg arch.Config, slice uint64, sc Scale, fc faults.Config, solo []float64, cellSeed uint64) (map[string]float64, error) {
+func staticPredictorWS(ctx context.Context, mix workload.Mix, cfg arch.Config, slice uint64, sc Scale, fc faults.Config, solo []float64, cellSeed uint64) (map[string]float64, error) {
 	jobs, _, err := buildJobs(mix, sc.Seed)
 	if err != nil {
 		return nil, err
@@ -211,12 +220,12 @@ func staticPredictorWS(mix workload.Mix, cfg arch.Config, slice uint64, sc Scale
 	if len(scheds) == 0 {
 		return nil, fmt.Errorf("experiments: no schedules for %s", mix.Label)
 	}
-	if err := warm(m, scheds[0], sc.WarmupCycles); err != nil {
+	if err := warm(ctx, m, scheds[0], sc.WarmupCycles); err != nil {
 		return nil, err
 	}
 	samples := make([]core.Sample, 0, len(scheds))
 	for _, s := range scheds {
-		run, err := m.RunSchedule(s, s.CycleSlices()*sc.SampleRounds)
+		run, err := m.RunScheduleCtx(ctx, s, s.CycleSlices()*sc.SampleRounds)
 		if err != nil {
 			return nil, err
 		}
@@ -230,7 +239,7 @@ func staticPredictorWS(mix workload.Mix, cfg arch.Config, slice uint64, sc Scale
 		key := pick.String()
 		ws, ok := wsBySched[key]
 		if !ok {
-			ws, err = symbiosWS(mix, cfg, slice, sc, pick, solo)
+			ws, err = symbiosWS(ctx, mix, cfg, slice, sc, pick, solo)
 			if err != nil {
 				return nil, err
 			}
@@ -294,7 +303,7 @@ func resolveChurn(specs []faults.ChurnSpec, cfg arch.Config, sc Scale, symSlices
 // accounting RunAdaptive uses. Round-robin reads no counters, so counter
 // faults cannot affect it — it is the floor an adaptive scheduler must not
 // sink below.
-func naiveChurnWS(mix workload.Mix, cfg arch.Config, slice uint64, sc Scale, symSlices int, churn []core.ChurnEvent, solo []float64) (float64, error) {
+func naiveChurnWS(ctx context.Context, mix workload.Mix, cfg arch.Config, slice uint64, sc Scale, symSlices int, churn []core.ChurnEvent, solo []float64) (float64, error) {
 	jobs, _, err := buildJobs(mix, sc.Seed)
 	if err != nil {
 		return 0, err
@@ -307,7 +316,7 @@ func naiveChurnWS(mix workload.Mix, cfg arch.Config, slice uint64, sc Scale, sym
 	if err != nil {
 		return 0, err
 	}
-	if err := warm(m, rr, sc.WarmupCycles); err != nil {
+	if err := warm(ctx, m, rr, sc.WarmupCycles); err != nil {
 		return 0, err
 	}
 	jobSolo, err := splitByJob(jobs, solo)
@@ -329,7 +338,7 @@ func naiveChurnWS(mix workload.Mix, cfg arch.Config, slice uint64, sc Scale, sym
 		if w < 1 {
 			w = 1
 		}
-		run, err := m.RunSchedule(rr, w)
+		run, err := m.RunScheduleCtx(ctx, rr, w)
 		if err != nil {
 			return 0, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"symbios/internal/arch"
@@ -45,6 +46,12 @@ func buildJobs(m workload.Mix, seed uint64) ([]*workload.Job, []uint64, error) {
 // for a symbios phase on identically initialized machines and record its
 // weighted speedup.
 func EvalMix(label string, sc Scale) (*MixEval, error) {
+	return EvalMixCtx(context.Background(), label, sc)
+}
+
+// EvalMixCtx is EvalMix bounded by a context: cancellation or deadline
+// aborts between (and, at timeslice granularity, inside) schedule runs.
+func EvalMixCtx(ctx context.Context, label string, sc Scale) (*MixEval, error) {
 	mix, err := workload.MixByLabel(label)
 	if err != nil {
 		return nil, err
@@ -52,12 +59,17 @@ func EvalMix(label string, sc Scale) (*MixEval, error) {
 	x := mix.Tasks()
 	r := rng.New(rng.Hash2(sc.Seed, 0x5a321e, 0))
 	scheds := schedule.Sample(r, x, mix.SMTLevel, mix.Swap, sc.MaxSamples)
-	return EvalMixSchedules(mix, scheds, sc)
+	return EvalMixSchedulesCtx(ctx, mix, scheds, sc)
 }
 
 // EvalMixSchedules is EvalMix over an explicit candidate schedule set (used
 // by studies that need a stratified rather than purely random sample).
 func EvalMixSchedules(mix workload.Mix, scheds []schedule.Schedule, sc Scale) (*MixEval, error) {
+	return EvalMixSchedulesCtx(context.Background(), mix, scheds, sc)
+}
+
+// EvalMixSchedulesCtx is EvalMixSchedules bounded by a context.
+func EvalMixSchedulesCtx(ctx context.Context, mix workload.Mix, scheds []schedule.Schedule, sc Scale) (*MixEval, error) {
 	cfg := arch.Default21264(mix.SMTLevel)
 	slice := sc.sliceFor(mix)
 
@@ -79,11 +91,11 @@ func EvalMixSchedules(mix workload.Mix, scheds []schedule.Schedule, sc Scale) (*
 	if err != nil {
 		return nil, err
 	}
-	if err := warm(m, scheds[0], sc.WarmupCycles); err != nil {
+	if err := warm(ctx, m, scheds[0], sc.WarmupCycles); err != nil {
 		return nil, err
 	}
 	for _, s := range scheds {
-		res, err := m.RunSchedule(s, s.CycleSlices()*sc.SampleRounds)
+		res, err := m.RunScheduleCtx(ctx, s, s.CycleSlices()*sc.SampleRounds)
 		if err != nil {
 			return nil, err
 		}
@@ -94,8 +106,8 @@ func EvalMixSchedules(mix workload.Mix, scheds []schedule.Schedule, sc Scale) (*
 	// starting state and record its weighted speedup. Each run builds its
 	// own jobs and machine from the same seed, so the runs are independent
 	// and fan out across workers with bit-identical results.
-	ev.WS, err = parallel.Map(scheds, parallel.Options{}, func(_ int, s schedule.Schedule) (float64, error) {
-		return symbiosWS(mix, cfg, slice, sc, s, solo)
+	ev.WS, err = parallel.Map(scheds, parallel.Options{Context: ctx}, func(_ int, s schedule.Schedule) (float64, error) {
+		return symbiosWS(ctx, mix, cfg, slice, sc, s, solo)
 	})
 	if err != nil {
 		return nil, err
@@ -112,21 +124,22 @@ func EnumerateFor(m workload.Mix) ([]schedule.Schedule, error) {
 // warmFor runs whole rotations of s, unrecorded, until at least cycles have
 // elapsed, bringing the memory system to steady state.
 func warmFor(m *core.Machine, s schedule.Schedule, cycles uint64) error {
-	return warm(m, s, cycles)
+	return warm(nil, m, s, cycles)
 }
 
 // warm runs whole rotations of s, unrecorded, until at least cycles have
-// elapsed, bringing the memory system to steady state.
-func warm(m *core.Machine, s schedule.Schedule, cycles uint64) error {
+// elapsed, bringing the memory system to steady state. A nil context is
+// unbounded.
+func warm(ctx context.Context, m *core.Machine, s schedule.Schedule, cycles uint64) error {
 	rot := s.CycleSlices()
 	rounds := int(cycles/(uint64(rot)*m.SliceCycles)) + 1
-	_, err := m.RunSchedule(s, rot*rounds)
+	_, err := m.RunScheduleCtx(ctx, s, rot*rounds)
 	return err
 }
 
 // symbiosWS measures one schedule's symbios-phase weighted speedup on a
 // fresh machine (full warmup, then the symbios budget).
-func symbiosWS(mix workload.Mix, cfg arch.Config, slice uint64, sc Scale, s schedule.Schedule, solo []float64) (float64, error) {
+func symbiosWS(ctx context.Context, mix workload.Mix, cfg arch.Config, slice uint64, sc Scale, s schedule.Schedule, solo []float64) (float64, error) {
 	jobs, _, err := buildJobs(mix, sc.Seed)
 	if err != nil {
 		return 0, err
@@ -135,10 +148,10 @@ func symbiosWS(mix workload.Mix, cfg arch.Config, slice uint64, sc Scale, s sche
 	if err != nil {
 		return 0, err
 	}
-	if err := warm(m, s, sc.WarmupCycles); err != nil {
+	if err := warm(ctx, m, s, sc.WarmupCycles); err != nil {
 		return 0, err
 	}
-	res, err := m.RunSchedule(s, sc.symbiosSlices(slice, s.CycleSlices()))
+	res, err := m.RunScheduleCtx(ctx, s, sc.symbiosSlices(slice, s.CycleSlices()))
 	if err != nil {
 		return 0, err
 	}
@@ -174,11 +187,17 @@ type Figure1Row struct {
 // Figure1 runs the worst-versus-best weighted speedup comparison over the
 // 13 jobmix / multithreading level / replacement policy combinations.
 func Figure1(sc Scale, labels []string) ([]Figure1Row, error) {
+	return Figure1Ctx(context.Background(), sc, labels)
+}
+
+// Figure1Ctx is Figure1 bounded by a context, with each mix a resumable
+// checkpoint shard.
+func Figure1Ctx(ctx context.Context, sc Scale, labels []string) ([]Figure1Row, error) {
 	if labels == nil {
 		labels = workload.FigureMixes
 	}
-	return parallel.Map(labels, parallel.Options{}, func(_ int, l string) (Figure1Row, error) {
-		ev, err := EvalMixCached(l, sc)
+	return shardedMap(ctx, "fig1", labels, parallel.Options{}, func(ctx context.Context, _ int, l string) (Figure1Row, error) {
+		ev, err := EvalMixCachedCtx(ctx, l, sc)
 		if err != nil {
 			return Figure1Row{}, err
 		}
@@ -213,7 +232,13 @@ type Table3Row struct {
 // Table3 reproduces the detailed Jsb(6,3,3) study: every one of the 10
 // possible schedules, fully enumerated.
 func Table3(sc Scale) ([]Table3Row, *MixEval, error) {
-	ev, err := EvalMixCached("Jsb(6,3,3)", sc)
+	return Table3Ctx(context.Background(), sc)
+}
+
+// Table3Ctx is Table3 bounded by a context. The MixEval holds live machine
+// samples, so the study is not shard-checkpointed — only interruptible.
+func Table3Ctx(ctx context.Context, sc Scale) ([]Table3Row, *MixEval, error) {
+	ev, err := EvalMixCachedCtx(ctx, "Jsb(6,3,3)", sc)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -258,7 +283,12 @@ func Figure2Bars(ev *MixEval) []Figure2Bar {
 
 // Figure2 evaluates Jsb(6,3,3) and returns its predictor bars.
 func Figure2(sc Scale) ([]Figure2Bar, error) {
-	ev, err := EvalMixCached("Jsb(6,3,3)", sc)
+	return Figure2Ctx(context.Background(), sc)
+}
+
+// Figure2Ctx is Figure2 bounded by a context.
+func Figure2Ctx(ctx context.Context, sc Scale) ([]Figure2Bar, error) {
+	ev, err := EvalMixCachedCtx(ctx, "Jsb(6,3,3)", sc)
 	if err != nil {
 		return nil, err
 	}
@@ -274,11 +304,17 @@ type Figure3Row struct {
 
 // Figure3 runs the predictor comparison over the 13 combinations.
 func Figure3(sc Scale, labels []string) ([]Figure3Row, error) {
+	return Figure3Ctx(context.Background(), sc, labels)
+}
+
+// Figure3Ctx is Figure3 bounded by a context, with each mix a resumable
+// checkpoint shard.
+func Figure3Ctx(ctx context.Context, sc Scale, labels []string) ([]Figure3Row, error) {
 	if labels == nil {
 		labels = workload.FigureMixes
 	}
-	return parallel.Map(labels, parallel.Options{}, func(_ int, l string) (Figure3Row, error) {
-		ev, err := EvalMixCached(l, sc)
+	return shardedMap(ctx, "fig3", labels, parallel.Options{}, func(ctx context.Context, _ int, l string) (Figure3Row, error) {
+		ev, err := EvalMixCachedCtx(ctx, l, sc)
 		if err != nil {
 			return Figure3Row{}, err
 		}

@@ -1,6 +1,10 @@
 package experiments
 
-import "symbios/internal/parallel"
+import (
+	"context"
+
+	"symbios/internal/parallel"
+)
 
 // WarmstartRow is one Section 8 comparison: a jobmix run with full swap
 // (Z = Y) versus swapping only one job per timeslice, at both the big and
@@ -32,9 +36,15 @@ var warmstartTriples = [][3]string{
 // reduces per-switch pressure on the memory subsystem; the little-timeslice
 // variant isolates the second effect.
 func WarmstartStudy(sc Scale) ([]WarmstartRow, error) {
-	return parallel.Map(warmstartTriples[:], parallel.Options{}, func(_ int, tr [3]string) (WarmstartRow, error) {
-		evs, err := parallel.Map(tr[:], parallel.Options{}, func(_ int, label string) (*MixEval, error) {
-			return EvalMixCached(label, sc)
+	return WarmstartStudyCtx(context.Background(), sc)
+}
+
+// WarmstartStudyCtx is WarmstartStudy bounded by a context, with each triple
+// a resumable checkpoint shard.
+func WarmstartStudyCtx(ctx context.Context, sc Scale) ([]WarmstartRow, error) {
+	return shardedMap(ctx, "warmstart", warmstartTriples[:], parallel.Options{}, func(ctx context.Context, _ int, tr [3]string) (WarmstartRow, error) {
+		evs, err := parallel.Map(tr[:], parallel.Options{Context: ctx}, func(_ int, label string) (*MixEval, error) {
+			return EvalMixCachedCtx(ctx, label, sc)
 		})
 		if err != nil {
 			return WarmstartRow{}, err

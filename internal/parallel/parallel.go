@@ -16,6 +16,13 @@
 //     with another — the call sites draw any shared random sequences
 //     before fanning out.
 //
+// Cancellation and deadlines ride on context.Context: Options.Context
+// aborts a fan-out when it is cancelled or its deadline passes, and the
+// legacy Cancel token is a thin adapter over a context so older call
+// sites keep working. A context abort and an item failure can race; the
+// reported error then carries both (errors.Is matches ErrCancelled and
+// the context error).
+//
 // The worker count defaults to GOMAXPROCS, may be overridden globally via
 // SetDefaultWorkers (cmd/sosbench's -workers flag) or the SYMBIOS_WORKERS
 // environment variable, and per call via Options.Workers. Workers=1
@@ -23,6 +30,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -41,6 +49,13 @@ type Options struct {
 	// indicates a harness bug rather than a runtime condition.
 	Workers int
 
+	// Context, when non-nil, bounds the fan-out: no new items are claimed
+	// once it is cancelled or its deadline passes, and the returned error
+	// matches both ErrCancelled and the context's error with errors.Is.
+	// When a Cancel token is also set, a context abort fires the token so
+	// in-flight items that poll it abort mid-computation.
+	Context context.Context
+
 	// Cancel, when non-nil, aborts the fan-out cooperatively: no new items
 	// are claimed once the token fires, and the token is also triggered by
 	// the first item failure so that work items which poll it (long
@@ -51,21 +66,50 @@ type Options struct {
 }
 
 // Cancel is a cooperative cancellation token shared between a fan-out call
-// and its work items. The zero value is ready to use.
+// and its work items. It is a thin adapter over a context.Context — Context
+// exposes the underlying context for code that has migrated — and the zero
+// value is ready to use.
 type Cancel struct {
-	fired atomic.Bool
+	once sync.Once
+	ctx  context.Context
+	stop context.CancelFunc
+}
+
+// lazy initialises the underlying context on first use, so the zero value
+// keeps working.
+func (c *Cancel) lazy() {
+	c.once.Do(func() {
+		c.ctx, c.stop = context.WithCancel(context.Background())
+	})
 }
 
 // Cancel fires the token. It is safe to call from any goroutine, repeatedly.
-func (c *Cancel) Cancel() { c.fired.Store(true) }
+func (c *Cancel) Cancel() {
+	c.lazy()
+	c.stop()
+}
 
 // Cancelled reports whether the token has fired. Work items running long
 // computations should poll it at natural checkpoints and return ErrCancelled.
-func (c *Cancel) Cancelled() bool { return c.fired.Load() }
+func (c *Cancel) Cancelled() bool {
+	c.lazy()
+	return c.ctx.Err() != nil
+}
 
-// ErrCancelled is returned by ForEach/Map when the fan-out was aborted via
-// Options.Cancel without any item reporting its own error, and should be
-// returned by work items that observe a fired token.
+// Context returns the context backing the token: done exactly when the token
+// has fired. It lets token-based call sites hand a real context to
+// context-aware code (Machine.RunScheduleCtx, ForEach Options.Context).
+func (c *Cancel) Context() context.Context {
+	c.lazy()
+	return c.ctx
+}
+
+// ErrCancelled is returned by ForEach/Map when the fan-out was aborted — via
+// Options.Cancel or Options.Context — without any item reporting a real error
+// of its own, and should be returned by work items that observe a fired
+// token. When the abort came from the context, the returned error also
+// matches the context's error (context.Canceled or
+// context.DeadlineExceeded) with errors.Is.
 var ErrCancelled = errors.New("parallel: cancelled")
 
 // PanicError is a worker panic re-raised on the calling goroutine, annotated
@@ -154,6 +198,14 @@ func Map[T, R any](items []T, opts Options, fn func(i int, item T) (R, error)) (
 	return results, nil
 }
 
+// isAbortError reports whether err is a cancellation side effect (a fired
+// token or an aborted context) rather than a root-cause item failure.
+func isAbortError(err error) bool {
+	return errors.Is(err, ErrCancelled) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
 // ForEach is Map without collected results: fn runs once per item, with
 // the same ordering and error guarantees. A panic inside fn is recovered and
 // re-raised on the caller as a *PanicError carrying the failing item's input
@@ -163,6 +215,60 @@ func Map[T, R any](items []T, opts Options, fn func(i int, item T) (R, error)) (
 func ForEach[T any](items []T, opts Options, fn func(i int, item T) error) error {
 	n := len(items)
 	if n == 0 {
+		return nil
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// A context abort must reach in-flight items that poll only the legacy
+	// token, so the token shadows the context for the duration of the call.
+	if opts.Cancel != nil && ctx.Done() != nil {
+		unwatch := make(chan struct{})
+		var watch sync.WaitGroup
+		watch.Add(1)
+		go func() {
+			defer watch.Done()
+			select {
+			case <-ctx.Done():
+				opts.Cancel.Cancel()
+			case <-unwatch:
+			}
+		}()
+		defer func() {
+			close(unwatch)
+			watch.Wait()
+		}()
+	}
+	// aborted reports whether new items may no longer be claimed.
+	aborted := func() bool {
+		if ctx.Err() != nil {
+			return true
+		}
+		return opts.Cancel != nil && opts.Cancel.Cancelled()
+	}
+	// finish folds the abort state into the fan-out's error: a real item
+	// error wins outright; an abort with no (or only side-effect) item
+	// errors reports ErrCancelled, additionally carrying the context error
+	// so deadline-exceeded stays distinguishable when cancellation races a
+	// worker failure.
+	finish := func(itemErr error) error {
+		ctxErr := ctx.Err()
+		if itemErr != nil && !isAbortError(itemErr) {
+			return itemErr
+		}
+		if ctxErr != nil {
+			if itemErr != nil && errors.Is(itemErr, ctxErr) {
+				return itemErr
+			}
+			return fmt.Errorf("%w (%w)", ErrCancelled, ctxErr)
+		}
+		if itemErr != nil {
+			return itemErr
+		}
+		if opts.Cancel != nil && opts.Cancel.Cancelled() {
+			return ErrCancelled
+		}
 		return nil
 	}
 	// call runs one item, converting a panic into a *PanicError.
@@ -177,8 +283,8 @@ func ForEach[T any](items []T, opts Options, fn func(i int, item T) error) error
 	w := opts.workers(n)
 	if w == 1 {
 		for i := range items {
-			if opts.Cancel != nil && opts.Cancel.Cancelled() {
-				return ErrCancelled
+			if aborted() {
+				return finish(nil)
 			}
 			err, pe := call(i)
 			if pe != nil {
@@ -188,10 +294,10 @@ func ForEach[T any](items []T, opts Options, fn func(i int, item T) error) error
 				if opts.Cancel != nil {
 					opts.Cancel.Cancel()
 				}
-				return err
+				return finish(err)
 			}
 		}
-		return nil
+		return finish(nil)
 	}
 
 	var (
@@ -211,14 +317,14 @@ func ForEach[T any](items []T, opts Options, fn func(i int, item T) error) error
 		mu.Lock()
 		// A cancellation error is a side effect of some other item's
 		// failure, never the root cause: any real error displaces a
-		// recorded ErrCancelled regardless of index, and among errors of
+		// recorded abort error regardless of index, and among errors of
 		// the same kind the lowest input index wins, so the reported
 		// error stays deterministic.
 		better := errIdx < 0
 		if !better {
-			haveCancel := errors.Is(firstEr, ErrCancelled)
-			newCancel := errors.Is(err, ErrCancelled)
-			better = (haveCancel && !newCancel) || (haveCancel == newCancel && i < errIdx)
+			haveAbort := isAbortError(firstEr)
+			newAbort := isAbortError(err)
+			better = (haveAbort && !newAbort) || (haveAbort == newAbort && i < errIdx)
 		}
 		if better {
 			errIdx, firstEr = i, err
@@ -234,7 +340,7 @@ func ForEach[T any](items []T, opts Options, fn func(i int, item T) error) error
 				if i >= n || failed.Load() {
 					return
 				}
-				if opts.Cancel != nil && opts.Cancel.Cancelled() {
+				if aborted() {
 					return
 				}
 				err, pe := call(i)
@@ -261,13 +367,7 @@ func ForEach[T any](items []T, opts Options, fn func(i int, item T) error) error
 	if panicked != nil {
 		panic(panicked)
 	}
-	if firstEr != nil {
-		return firstEr
-	}
-	if opts.Cancel != nil && opts.Cancel.Cancelled() {
-		return ErrCancelled
-	}
-	return nil
+	return finish(firstEr)
 }
 
 // Indices is a convenience for fan-outs over [0,n): it returns the slice

@@ -1,12 +1,14 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestMapOrdering checks results land in input order at several worker
@@ -268,5 +270,128 @@ func TestSerialPathCancelAndPanic(t *testing.T) {
 	})
 	if !errors.Is(err, ErrCancelled) {
 		t.Fatalf("err=%v, want ErrCancelled", err)
+	}
+}
+
+// TestCancelIsContextAdapter checks the token's context view: not done
+// before firing, done after, with context.Canceled as the error.
+func TestCancelIsContextAdapter(t *testing.T) {
+	var c Cancel
+	ctx := c.Context()
+	select {
+	case <-ctx.Done():
+		t.Fatal("fresh token's context is already done")
+	default:
+	}
+	if c.Cancelled() {
+		t.Fatal("fresh token reports cancelled")
+	}
+	c.Cancel()
+	c.Cancel() // repeat fire must be safe
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("fired token's context is not done")
+	}
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("ctx.Err()=%v, want context.Canceled", ctx.Err())
+	}
+}
+
+// TestContextAbortsFanout checks Options.Context at both dispatch paths: a
+// pre-cancelled context runs nothing and the error matches both ErrCancelled
+// and the context error.
+func TestContextAbortsFanout(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ForEach(Indices(50), Options{Workers: workers, Context: ctx}, func(i, _ int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err=%v, want ErrCancelled and context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n != 0 {
+			t.Fatalf("workers=%d: %d items ran under a cancelled context", workers, n)
+		}
+	}
+}
+
+// TestContextDeadlineSurfaces checks a deadline abort is distinguishable:
+// the fan-out error matches context.DeadlineExceeded.
+func TestContextDeadlineSurfaces(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	err := ForEach(Indices(10_000), Options{Workers: 2, Context: ctx}, func(i, _ int) error {
+		time.Sleep(200 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v, want context.DeadlineExceeded", err)
+	}
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err=%v, must still match ErrCancelled for legacy callers", err)
+	}
+}
+
+// TestContextFiresCancelToken checks the bridge: when both a context and a
+// token are supplied, a context abort fires the token so in-flight items
+// that poll only the token abort mid-computation.
+func TestContextFiresCancelToken(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var c Cancel
+	entered := make(chan struct{})
+	err := ForEach(Indices(1), Options{Workers: 1, Context: ctx, Cancel: &c}, func(i, _ int) error {
+		close(entered)
+		cancel()
+		for !c.Cancelled() {
+		}
+		return ErrCancelled
+	})
+	<-entered
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want ErrCancelled and context.Canceled", err)
+	}
+}
+
+// TestContextErrorNotMaskedByRacingWorkerFailure is the satellite fix: when
+// a worker reports ErrCancelled (a side effect of the abort) in a race with
+// the context's own deadline, the returned error must still expose the
+// context error — previously the bare item ErrCancelled won and the
+// deadline was invisible.
+func TestContextErrorNotMaskedByRacingWorkerFailure(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err := ForEach(Indices(4), Options{Workers: 2, Context: ctx}, func(i, _ int) error {
+		<-ctx.Done()
+		return ErrCancelled // side effect, not root cause
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v, want context.DeadlineExceeded to surface", err)
+	}
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err=%v, want ErrCancelled to remain matchable", err)
+	}
+}
+
+// TestRealErrorBeatsContextAbort checks the precedence rule: a genuine item
+// failure is the root cause and wins over the simultaneous context abort.
+func TestRealErrorBeatsContextAbort(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := ForEach(Indices(2), Options{Workers: 2, Context: ctx}, func(i, _ int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		<-ctx.Done()
+		return ErrCancelled
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v, want the root-cause item error", err)
 	}
 }
