@@ -37,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"symbios/internal/buildinfo"
 	"symbios/internal/checkpoint"
 	"symbios/internal/core"
 	"symbios/internal/experiments"
@@ -84,8 +85,25 @@ func realMain() int {
 		deadline   = flag.Duration("deadline", 0, "abort (with a resumable snapshot) after this wall time, e.g. 30m")
 		stallFct   = flag.Float64("stall-factor", 8, "flag a stall when one window exceeds this multiple of the median window wall-time (0 disables)")
 		stallFlr   = flag.Duration("stall-floor", 30*time.Second, "never flag a stall before a window is at least this old")
+		version    = flag.Bool("version", false, "print version information and exit")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage: sosbench [flags]\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), `
+Exit codes:
+  0  success
+  1  internal error
+  2  usage error (bad flag, unknown experiment, snapshot meta mismatch)
+  3  deadline exceeded; a resumable snapshot was flushed (rerun with -resume)
+  4  stall detected; a resumable snapshot was flushed (rerun with -resume)
+`)
+	}
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("sosbench"))
+		return exitOK
+	}
 
 	exps := strings.Split(*expName, ",")
 	for _, e := range exps {

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeScheduleRequest drives the request decoder with hostile bodies.
+// The invariants: never panic, never accept an invalid request (the
+// returned request, when err is nil, is fully normalized and in range), and
+// reject oversized input outright.
+func FuzzDecodeScheduleRequest(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"mix":"Jsb(4,2,2)"}`,
+		`{"mix":"Jsb(4,2,2)","seed":7,"samples":4,"mode":"adaptive"}`,
+		`{"mix":"Jsb(6,3,3)","predictor":"IPC","deadline_ms":100}`,
+		`{"mix":"Jsb(4,2,2)","fault":{"fail_rate":0.2,"noise_sigma":0.1}}`,
+		`{"mix":"Jsb(4,2,2)","fault":{"fail_rate":1e999}}`,
+		`{"mix":"Jsb(4,2,2)","samples":-1}`,
+		`{"mix":"Jsb(4,2,2)","deadline_ms":-5}`,
+		`{"mix":"Jsb(4,2,2)"} {"mix":"Jsb(4,2,2)"}`,
+		`[1,2,3]`,
+		`"just a string"`,
+		`{"mix":{"nested":"object"}}`,
+		strings.Repeat("[", 10_000),
+		`{"mix":"` + strings.Repeat("A", 20_000) + `"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeScheduleRequest(data)
+		if err != nil {
+			return
+		}
+		if len(data) > MaxRequestBytes {
+			t.Fatalf("accepted %d-byte body over the %d cap", len(data), MaxRequestBytes)
+		}
+		if req.Samples < 1 || req.Samples > maxSamples {
+			t.Fatalf("accepted samples %d out of range", req.Samples)
+		}
+		if req.Mode != "rank" && req.Mode != "adaptive" {
+			t.Fatalf("accepted mode %q", req.Mode)
+		}
+		if _, ok := predictorNames[req.Predictor]; !ok {
+			t.Fatalf("accepted predictor %q", req.Predictor)
+		}
+		if req.DeadlineMS < 0 || req.DeadlineMS > maxDeadlineMS {
+			t.Fatalf("accepted deadline_ms %d out of range", req.DeadlineMS)
+		}
+		if req.Fault != nil {
+			if err := validateFault(*req.Fault); err != nil {
+				t.Fatalf("accepted invalid fault block: %v", err)
+			}
+			if !req.Fault.Active() {
+				t.Fatal("inactive fault block not normalized to nil")
+			}
+		}
+		// The fingerprint must be total on every accepted request.
+		if req.Fingerprint() == "" {
+			t.Fatal("empty fingerprint for accepted request")
+		}
+	})
+}

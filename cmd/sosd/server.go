@@ -1,0 +1,353 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"symbios/internal/checkpoint"
+	"symbios/internal/core"
+	"symbios/internal/resilience"
+	"symbios/internal/rng"
+	"symbios/internal/workload"
+)
+
+// serverConfig collects every policy knob the flags set.
+type serverConfig struct {
+	Scale       string
+	Chaos       float64 // -chaos: FailRate injected into every request
+	DeadlineDef time.Duration
+	DeadlineMax time.Duration
+
+	Rate    float64
+	Burst   float64
+	Queue   int
+	Workers int
+
+	BreakerWindow   int
+	BreakerMin      int
+	BreakerRate     float64
+	BreakerCooldown time.Duration
+	BreakerProbes   int
+
+	RetryAttempts    int
+	RetryBase        time.Duration
+	RetryMax         time.Duration
+	RetryBudgetRatio float64
+	RetryBudgetCap   float64
+}
+
+// server is the resilient scheduling service: every /v1/schedule request
+// passes drain-gate -> admission limiter -> decode -> response cache ->
+// circuit breaker -> deadline budget -> bounded queue -> budgeted retry ->
+// evaluator, in that order.
+type server struct {
+	cfg  serverConfig
+	eval *evaluator
+
+	limiter *resilience.Limiter
+	breaker *resilience.Breaker
+	queue   *resilience.Queue
+	budgets *resilience.BudgetPool
+	rec     *checkpoint.Recorder
+
+	// base is the parent of every request context; hardStop cancels it so
+	// in-flight machines abort at the next timeslice boundary.
+	base     context.Context
+	hardStop context.CancelFunc
+
+	draining atomic.Bool
+	logger   *log.Logger
+}
+
+// newServer wires the pipeline. rec may be nil (no response cache).
+func newServer(cfg serverConfig, eval *evaluator, rec *checkpoint.Recorder, logger *log.Logger, onTransition func(from, to resilience.State)) *server {
+	base, cancel := context.WithCancel(context.Background())
+	return &server{
+		cfg:  cfg,
+		eval: eval,
+		limiter: resilience.NewLimiter(resilience.LimiterConfig{
+			Rate:  cfg.Rate,
+			Burst: cfg.Burst,
+		}),
+		breaker: resilience.NewBreaker(resilience.BreakerConfig{
+			Window:       cfg.BreakerWindow,
+			MinSamples:   cfg.BreakerMin,
+			ErrorRate:    cfg.BreakerRate,
+			Cooldown:     cfg.BreakerCooldown,
+			Probes:       cfg.BreakerProbes,
+			OnTransition: onTransition,
+		}),
+		queue:    resilience.NewQueue(resilience.QueueConfig{Depth: cfg.Queue, Workers: cfg.Workers}),
+		budgets:  resilience.NewBudgetPool(resilience.BudgetConfig{Ratio: cfg.RetryBudgetRatio, Cap: cfg.RetryBudgetCap}),
+		rec:      rec,
+		base:     base,
+		hardStop: cancel,
+		logger:   logger,
+	}
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	mux.HandleFunc("GET /v1/mixes", s.handleMixes)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /statz", s.handleStatz)
+	return mux
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+// clientID keys retry budgets: the X-Client-ID header when present, else
+// the remote host.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// isTransient classifies evaluation errors worth retrying: only lost
+// counter reads, the one failure the fault model designates recoverable.
+func isTransient(err error) bool {
+	return errors.Is(err, core.ErrCounterRead)
+}
+
+// handleSchedule is the full resilient pipeline for one request.
+func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	if !s.limiter.Allow() {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "admission rate exceeded")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxRequestBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	req, err := DecodeScheduleRequest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Fault != nil && s.eval.chaos == nil {
+		httpError(w, http.StatusBadRequest, "fault injection requires a server started with -chaos")
+		return
+	}
+
+	key := req.Fingerprint()
+	var cached json.RawMessage
+	if hit, err := s.rec.Lookup(key, &cached); err == nil && hit {
+		s.writeResponse(w, cached, true)
+		return
+	}
+
+	report, err := s.breaker.Allow()
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+
+	// The request context inherits the client connection (disconnects
+	// cancel) and the server's hard-stop, bounded by the deadline budget.
+	ctx, cancel := resilience.WithBudget(r.Context(), time.Duration(req.DeadlineMS)*time.Millisecond,
+		s.cfg.DeadlineDef, s.cfg.DeadlineMax)
+	defer cancel()
+	stop := context.AfterFunc(s.base, cancel)
+	defer stop()
+
+	var resp *ScheduleResponse
+	qerr := s.queue.Do(ctx, func(ctx context.Context) error {
+		var werr error
+		resp, werr = s.predictWithRetry(ctx, req, clientID(r))
+		return werr
+	})
+
+	switch {
+	case qerr == nil:
+		report(resilience.Success)
+		raw, merr := json.Marshal(resp)
+		if merr != nil {
+			httpError(w, http.StatusInternalServerError, "encoding response: %v", merr)
+			return
+		}
+		if rerr := s.rec.Record(key, json.RawMessage(raw)); rerr != nil {
+			s.logger.Printf("cache record: %v", rerr)
+		}
+		s.writeResponse(w, raw, false)
+	case errors.Is(qerr, resilience.ErrSaturated), errors.Is(qerr, resilience.ErrDraining):
+		// Never reached the backend: no verdict on its health.
+		report(resilience.Skipped)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "%v", qerr)
+	case errors.Is(qerr, context.DeadlineExceeded):
+		report(resilience.Failure)
+		httpError(w, http.StatusGatewayTimeout, "deadline exceeded")
+	case errors.Is(qerr, context.Canceled):
+		// Client went away (or the server hard-stopped): not a backend fault.
+		report(resilience.Skipped)
+		httpError(w, http.StatusServiceUnavailable, "request cancelled")
+	case errors.Is(qerr, resilience.ErrBudgetExhausted), isTransient(qerr):
+		report(resilience.Failure)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "%v", qerr)
+	default:
+		report(resilience.Failure)
+		httpError(w, http.StatusInternalServerError, "%v", qerr)
+	}
+}
+
+// predictWithRetry runs the evaluation under the client's retry budget with
+// full-jitter backoff. The jitter stream is seeded from the request, so a
+// request's retry timing — like everything else about it — is deterministic.
+func (s *server) predictWithRetry(ctx context.Context, req ScheduleRequest, client string) (*ScheduleResponse, error) {
+	var resp *ScheduleResponse
+	cfg := resilience.RetryConfig{
+		MaxAttempts: s.cfg.RetryAttempts,
+		BaseDelay:   s.cfg.RetryBase,
+		MaxDelay:    s.cfg.RetryMax,
+		Jitter: func(attempt int) float64 {
+			return rng.Float01(rng.Hash2(req.Seed, uint64(attempt), saltJitter))
+		},
+	}
+	err := resilience.Do(ctx, cfg, s.budgets.Get(client), isTransient, func(attempt int) error {
+		var aerr error
+		resp, aerr = s.eval.evaluate(ctx, req, attempt)
+		return aerr
+	})
+	return resp, err
+}
+
+// writeResponse sends cached-or-fresh response bytes. The body is the
+// recorded bytes verbatim either way, so identical requests get
+// byte-identical responses; only the X-Cache header differs.
+func (s *server) writeResponse(w http.ResponseWriter, raw []byte, hit bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Write(raw)
+	w.Write([]byte("\n"))
+}
+
+// handleMixes lists the schedulable jobmix labels.
+func (s *server) handleMixes(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(workload.MixLabels())
+}
+
+// handleHealthz is liveness: the process is up.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is readiness: accepting work (not draining, breaker closed
+// enough to admit).
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if s.breaker.State() == resilience.Open {
+		httpError(w, http.StatusServiceUnavailable, "circuit breaker open")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ready\n")
+}
+
+// serverStats is the /statz body.
+type serverStats struct {
+	Limiter resilience.LimiterStats `json:"limiter"`
+	Breaker resilience.BreakerStats `json:"breaker"`
+	Queue   resilience.QueueStats   `json:"queue"`
+	Retries struct {
+		BudgetExhausted uint64 `json:"budget_exhausted"`
+	} `json:"retries"`
+	Cache struct {
+		Hits   int `json:"hits"`
+		Shards int `json:"shards"`
+	} `json:"cache"`
+	Draining bool `json:"draining"`
+}
+
+// stats snapshots every pipeline stage.
+func (s *server) stats() serverStats {
+	var st serverStats
+	st.Limiter = s.limiter.Stats()
+	st.Breaker = s.breaker.Stats()
+	st.Queue = s.queue.Stats()
+	st.Retries.BudgetExhausted = s.budgets.Exhausted()
+	if s.rec != nil {
+		st.Cache.Hits = s.rec.Hits()
+		st.Cache.Shards = s.rec.Shards()
+	}
+	st.Draining = s.draining.Load()
+	return st
+}
+
+// handleStatz reports the pipeline counters.
+func (s *server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.stats())
+}
+
+// shutdown drains the server: stop accepting, let in-flight work finish
+// within the budget, then hard-stop whatever remains and flush the cache.
+func (s *server) shutdown(budget time.Duration, httpSrv *http.Server) error {
+	s.draining.Store(true)
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+
+	var firstErr error
+	if httpSrv != nil {
+		if err := httpSrv.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("http shutdown: %w", err)
+		}
+	}
+	if err := s.queue.Drain(ctx); err != nil {
+		// The budget ran out: abort the stragglers at the next timeslice
+		// boundary and wait for the queue to empty out for real.
+		s.logger.Printf("drain budget exceeded; hard-stopping in-flight work")
+		s.hardStop()
+		if err := s.queue.Drain(context.Background()); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("queue drain: %w", err)
+		}
+	}
+	s.hardStop() // release the base context either way
+	if s.rec != nil {
+		if err := s.rec.Flush(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("checkpoint flush: %w", err)
+		}
+	}
+	return firstErr
+}

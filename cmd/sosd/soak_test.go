@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"symbios/internal/checkpoint"
+	"symbios/internal/faults"
+	"symbios/internal/leakcheck"
+	"symbios/internal/resilience"
+	"symbios/internal/rng"
+)
+
+// TestSoakChaos is the in-process soak: sustained concurrent load against a
+// chaos-mode server, with a poisoned request stream, asserting the
+// acceptance criteria end to end — overload sheds rather than queues
+// unboundedly, the breaker opens and closes again, no request outlives its
+// deadline by more than scheduling slack, responses stay deterministic, and
+// shutdown under load drains with zero leaked goroutines (enforced by
+// TestMain's leakcheck).
+func TestSoakChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	leakcheck.Check(t)
+
+	var transMu sync.Mutex
+	var transitions []string
+	dir := t.TempDir()
+	ckptPath := filepath.Join(dir, "soak.json")
+	rec := checkpoint.NewRecorder(ckptPath, checkpoint.Meta{Exp: "sosd-chaos", Scale: "serve", Seed: 1}, 4)
+	srv, ts := newTestServer(t, testServerOpts{
+		chaos: &faults.Config{FailRate: 0.2},
+		rec:   rec,
+		cfg: func(c *serverConfig) {
+			c.Queue = 8
+			c.Workers = 2
+			c.BreakerMin = 4
+			c.BreakerWindow = 8
+			c.BreakerRate = 0.3
+			c.BreakerCooldown = 100 * time.Millisecond
+			c.BreakerProbes = 1
+			c.RetryAttempts = 2
+			c.DeadlineDef = 2 * time.Second
+			c.DeadlineMax = 5 * time.Second
+		},
+		onTrans: func(from, to resilience.State) {
+			transMu.Lock()
+			transitions = append(transitions, from.String()+"->"+to.String())
+			transMu.Unlock()
+		},
+	})
+
+	const (
+		workers       = 8
+		perWorker     = 12
+		deadlineSlack = 2 * time.Second
+	)
+	canonical := struct {
+		sync.Mutex
+		bytes []byte
+	}{}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(w) + 100)
+			for i := 0; i < perWorker; i++ {
+				// A third of the traffic is a fixed canary; the rest is a
+				// randomized blend, some of it poisoned to fail every read.
+				var body string
+				canary := i%3 == 0
+				if canary {
+					body = `{"mix":"Jsb(4,2,2)","seed":42,"samples":3,"deadline_ms":5000}`
+				} else {
+					req := ScheduleRequest{
+						Mix:        "Jsb(5,2,2)",
+						Seed:       r.Uint64() % 50,
+						Samples:    3,
+						DeadlineMS: int64(100 + r.Uint64()%900),
+					}
+					if r.Float64() < 0.3 {
+						req.Fault = &faults.Config{FailRate: 1} // guaranteed failure
+					}
+					b, _ := json.Marshal(req)
+					body = string(b)
+				}
+				// The clamped deadline: the canary asks for 5s (the server
+				// max), load requests ask for at most 1s.
+				deadline := 5*time.Second + deadlineSlack
+				if !canary {
+					deadline = time.Second + deadlineSlack
+				}
+				start := time.Now()
+				status, resp, err := tryPostSchedule(ts, body, fmt.Sprintf("w%d", w))
+				elapsed := time.Since(start)
+				if err != nil {
+					errs <- fmt.Errorf("transport: %w", err)
+					continue
+				}
+				if elapsed > deadline {
+					errs <- fmt.Errorf("request waited %v, past its deadline budget", elapsed)
+				}
+				switch status {
+				case http.StatusOK:
+					if canary {
+						canonical.Lock()
+						if canonical.bytes == nil {
+							canonical.bytes = resp
+						} else if !bytes.Equal(canonical.bytes, resp) {
+							errs <- fmt.Errorf("determinism violation:\n%s\n%s", canonical.bytes, resp)
+						}
+						canonical.Unlock()
+					}
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+					// Shed, broken, or out of time: all graceful.
+				default:
+					errs <- fmt.Errorf("unexpected status %d: %s", status, resp)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The queue never grew past its bound.
+	if st := srv.queue.Stats(); st.MaxDepth > st.Cap {
+		t.Fatalf("queue depth %d exceeded cap %d", st.MaxDepth, st.Cap)
+	}
+	// The canary succeeded at least once, deterministically.
+	if canonical.bytes == nil {
+		t.Fatal("canary never succeeded during the soak")
+	}
+	// With the poison stream stopped, clean traffic must bring the breaker
+	// back to closed within a few cooldown rounds.
+	// (Fresh seeds each probe: a cached response would short-circuit ahead
+	// of the breaker and never report an outcome.)
+	for i := 0; i < 50 && srv.breaker.State() != resilience.Closed; i++ {
+		time.Sleep(120 * time.Millisecond)
+		body := fmt.Sprintf(`{"mix":"Jsb(4,2,2)","seed":%d,"samples":3,"deadline_ms":5000}`, 10_000+i)
+		tryPostSchedule(ts, body, "recover")
+	}
+	if srv.breaker.State() != resilience.Closed {
+		t.Errorf("breaker did not recover after the poison stream stopped (state %v)", srv.breaker.State())
+	}
+
+	// The poisoned stream opened the breaker at least once, and the
+	// recovery above produced a half-open->closed transition.
+	transMu.Lock()
+	seq := append([]string(nil), transitions...)
+	transMu.Unlock()
+	var opened, closed bool
+	for _, tr := range seq {
+		if tr == "closed->open" || tr == "half-open->open" {
+			opened = true
+		}
+		if tr == "half-open->closed" {
+			closed = true
+		}
+	}
+	if !opened {
+		t.Errorf("breaker never opened under 30%% poison (transitions: %v)", seq)
+	}
+	if opened && !closed {
+		t.Errorf("breaker opened but never closed again (transitions: %v)", seq)
+	}
+
+	// Shutdown under residual load drains and checkpoints; the flushed
+	// cache must be loadable and hold the canary's response.
+	if err := srv.shutdown(10*time.Second, nil); err != nil {
+		t.Fatalf("post-soak shutdown: %v", err)
+	}
+	snap, err := checkpoint.Load(ckptPath)
+	if err != nil {
+		t.Fatalf("loading soak checkpoint: %v", err)
+	}
+	if len(snap.Shards) == 0 {
+		t.Fatal("soak checkpoint holds no responses")
+	}
+}

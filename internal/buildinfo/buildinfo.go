@@ -1,0 +1,21 @@
+// Package buildinfo reports the module version baked into the binary, for
+// the -version flags of the command-line tools.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version renders "name version (go toolchain, os/arch)" from the build
+// info the Go linker embeds. Version control metadata is absent in plain
+// `go build` of a work tree, in which case the module version reads
+// "(devel)".
+func Version(name string) string {
+	version := "(devel)"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	return fmt.Sprintf("%s %s (%s, %s/%s)", name, version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -1,0 +1,14 @@
+package checkpoint
+
+import (
+	"os"
+	"testing"
+
+	"symbios/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaks a goroutine — watchdog poll
+// loops in particular must be stopped by every test that starts one.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.MainRun(m.Run))
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"symbios/internal/counters"
 	"symbios/internal/metrics"
@@ -204,8 +205,23 @@ func Pick(samples []Sample, p Predictor) int {
 		return best
 	}
 
-	votes := make([]int, len(samples))
-	margin := make([]float64, len(samples))
+	votes, margin := scoreTally(samples)
+	win := 0
+	for i := 1; i < len(samples); i++ {
+		if votes[i] > votes[win] || (votes[i] == votes[win] && margin[i] > margin[win]) {
+			win = i
+		}
+	}
+	return win
+}
+
+// scoreTally computes PredScore's per-sample vote counts and normalized
+// margins: one vote per scalar predictor for its favourite sample, and each
+// sample's summed margin over the per-predictor worst, normalized by the
+// per-predictor spread.
+func scoreTally(samples []Sample) (votes []int, margin []float64) {
+	votes = make([]int, len(samples))
+	margin = make([]float64, len(samples))
 	for q := PredIPC; q < PredScore; q++ {
 		lo, hi := math.Inf(1), math.Inf(-1)
 		best := 0
@@ -226,11 +242,37 @@ func Pick(samples []Sample, p Predictor) int {
 			margin[i] += (goodness(samples, q, i) - lo) / spread
 		}
 	}
-	win := 0
-	for i := 1; i < len(samples); i++ {
-		if votes[i] > votes[win] || (votes[i] == votes[win] && margin[i] > margin[win]) {
-			win = i
-		}
+	return votes, margin
+}
+
+// Rank orders the sample indices best-first under predictor p, consistently
+// with Pick: Rank(samples, p)[0] == Pick(samples, p). Ties preserve sample
+// order, so the ranking is deterministic for a deterministic sample set.
+func Rank(samples []Sample, p Predictor) []int {
+	if len(samples) == 0 {
+		panic("core: Rank over no samples")
 	}
-	return win
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	if p != PredScore {
+		g := make([]float64, len(samples))
+		for i := range samples {
+			g[i] = goodness(samples, p, i)
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return g[order[a]] > g[order[b]]
+		})
+		return order
+	}
+	votes, margin := scoreTally(samples)
+	sort.SliceStable(order, func(a, b int) bool {
+		va, vb := votes[order[a]], votes[order[b]]
+		if va != vb {
+			return va > vb
+		}
+		return margin[order[a]] > margin[order[b]]
+	})
+	return order
 }

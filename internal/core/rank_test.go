@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"symbios/internal/rng"
+)
+
+// fabricatedSamples builds a deterministic spread of predictor quantities.
+func fabricatedSamples(n int, seed uint64) []Sample {
+	r := rng.New(seed)
+	out := make([]Sample, n)
+	for i := range out {
+		fq := 5 + 20*r.Float64()
+		fp := 5 + 20*r.Float64()
+		out[i] = Sample{
+			IPC:        1 + 2*r.Float64(),
+			AllConf:    10 + 50*r.Float64(),
+			Dcache:     80 + 19*r.Float64(),
+			FQ:         fq,
+			FP:         fp,
+			Sum2:       fq + fp,
+			Diversity:  r.Float64(),
+			Balance:    0.01 + 0.5*r.Float64(),
+			Mispredict: 0.05 * r.Float64(),
+			L2Hit:      85 + 14*r.Float64(),
+			IQ:         5 + 20*r.Float64(),
+		}
+	}
+	return out
+}
+
+// TestRankHeadMatchesPick checks Rank's best choice is exactly Pick's, for
+// every predictor over several sample sets.
+func TestRankHeadMatchesPick(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		samples := fabricatedSamples(10, seed)
+		for _, p := range Predictors() {
+			if p == NumPredictors {
+				continue
+			}
+			got := Rank(samples, p)
+			if got[0] != Pick(samples, p) {
+				t.Fatalf("seed %d predictor %v: Rank head %d != Pick %d", seed, p, got[0], Pick(samples, p))
+			}
+		}
+	}
+}
+
+// TestRankIsPermutation checks Rank returns each index exactly once.
+func TestRankIsPermutation(t *testing.T) {
+	samples := fabricatedSamples(7, 3)
+	for _, p := range Predictors() {
+		if p == NumPredictors {
+			continue
+		}
+		order := Rank(samples, p)
+		if len(order) != len(samples) {
+			t.Fatalf("predictor %v: rank length %d, want %d", p, len(order), len(samples))
+		}
+		seen := make([]bool, len(samples))
+		for _, i := range order {
+			if i < 0 || i >= len(samples) || seen[i] {
+				t.Fatalf("predictor %v: order %v is not a permutation", p, order)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+// TestRankScalarMonotone checks a scalar predictor's ranking is monotone in
+// its own goodness.
+func TestRankScalarMonotone(t *testing.T) {
+	samples := fabricatedSamples(9, 5)
+	order := Rank(samples, PredIPC)
+	for k := 1; k < len(order); k++ {
+		if samples[order[k-1]].IPC < samples[order[k]].IPC {
+			t.Fatalf("IPC ranking not monotone at position %d: %v then %v",
+				k, samples[order[k-1]].IPC, samples[order[k]].IPC)
+		}
+	}
+}
+
+// TestRankDeterministic checks repeated calls return identical orders.
+func TestRankDeterministic(t *testing.T) {
+	samples := fabricatedSamples(12, 9)
+	for _, p := range []Predictor{PredScore, PredComposite, PredBalance} {
+		a, b := Rank(samples, p), Rank(samples, p)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("predictor %v: rank not deterministic (%v vs %v)", p, a, b)
+			}
+		}
+	}
+}

@@ -69,6 +69,24 @@ func QuickScale() Scale {
 	}
 }
 
+// ServeScale is the interactive scale the sosd service defaults to: small
+// enough that a single /v1/schedule request (calibrate + sample + rank)
+// answers in well under a second, while keeping the warmup:measure ratios
+// of the batch scales.
+func ServeScale() Scale {
+	return Scale{
+		Slice:         20_000,
+		LittleDivisor: 4,
+		SymbiosCycles: 600_000,
+		WarmupCycles:  200_000,
+		CalibWarmup:   200_000,
+		CalibMeasure:  100_000,
+		SampleRounds:  1,
+		MaxSamples:    10,
+		Seed:          1,
+	}
+}
+
 // PaperScale is the paper's absolute cycle budget (hours of simulation).
 func PaperScale() Scale {
 	return Scale{
@@ -82,6 +100,13 @@ func PaperScale() Scale {
 		MaxSamples:    10,
 		Seed:          1,
 	}
+}
+
+// SliceFor returns the timeslice for a mix under this scale, honoring the
+// mix's big/little flag (exported for the serving layer, which builds its
+// machines outside this package).
+func (s Scale) SliceFor(m workload.Mix) uint64 {
+	return s.sliceFor(m)
 }
 
 // sliceFor returns the timeslice for a mix under this scale, honoring the

@@ -39,34 +39,36 @@ import (
 
 // Config selects the counter-fault model. The zero value injects nothing
 // (Active reports false) and an Injector over it is a pure pass-through.
+// The JSON tags are the wire names the sosd service accepts in a request's
+// optional "fault" block (chaos mode).
 type Config struct {
 	// Seed drives every fault decision; two injectors with equal configs
 	// produce identical fault patterns over identical read sequences.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 
 	// NoiseSigma is the standard deviation of the Gaussian multiplicative
 	// noise applied to each event counter: observed = true * (1 + σ·g),
 	// clamped at zero. σ=0.05 models healthy multiplexed counters; σ=0.4 is
 	// a badly oversubscribed PMU.
-	NoiseSigma float64
+	NoiseSigma float64 `json:"noise_sigma,omitempty"`
 
 	// DropRate is the probability a read is lost and the previous observed
 	// sample is returned instead (stale data; the first read drops to an
 	// all-zero sample).
-	DropRate float64
+	DropRate float64 `json:"drop_rate,omitempty"`
 
 	// StickyRate is the per-read probability that one event counter (chosen
 	// deterministically) sticks at zero for the rest of the run.
-	StickyRate float64
+	StickyRate float64 `json:"sticky_rate,omitempty"`
 
 	// SaturateAt, when nonzero, clips every event counter at this ceiling,
 	// modeling narrow hardware counters that peg at full scale.
-	SaturateAt uint64
+	SaturateAt uint64 `json:"saturate_at,omitempty"`
 
 	// FailRate is the probability a read fails outright, surfaced as
 	// core.ErrCounterRead; the hardened scheduler retries these with
 	// bounded backoff.
-	FailRate float64
+	FailRate float64 `json:"fail_rate,omitempty"`
 }
 
 // Active reports whether the config injects any fault at all.

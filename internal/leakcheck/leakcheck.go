@@ -1,0 +1,188 @@
+// Package leakcheck is a stdlib-only goroutine-leak detector for tests, in
+// the style of go.uber.org/goleak (which the repo's no-new-dependencies rule
+// keeps out). A long-lived scheduling service must not shed goroutines under
+// churn — every fan-out, watchdog and drained work queue has to account for
+// everything it started — so the robustness suites assert "zero leaked
+// goroutines" as a hard invariant rather than an aspiration.
+//
+// Two entry points cover the two useful scopes:
+//
+//   - Check(t) snapshots the live goroutines when called and registers a
+//     cleanup that fails the test if goroutines born during the test are
+//     still running when it ends (after a settle grace period, since
+//     legitimate teardown is asynchronous).
+//   - MainRun(m.Run) wraps a package's TestMain: after the whole package has
+//     run, any surviving non-benign goroutine fails the package. This
+//     catches leaks that individual tests hand to each other.
+//
+// Detection parses runtime.Stack(all=true) output. That format is not
+// formally versioned, but its first-line shape ("goroutine N [state]:") has
+// been stable across every Go release this module supports, and the parser
+// degrades safely: an unparsable block is treated as leaked, never ignored.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB the checker needs; taking the interface
+// keeps the package importable from non-test helpers.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// settleTimeout is how long a cleanup waits for asynchronous teardown
+// (worker exits, context propagation) before declaring a leak.
+const settleTimeout = 2 * time.Second
+
+// ignoredStacks marks goroutines that are part of the runtime or the testing
+// harness rather than the code under test. Matching is by substring over the
+// whole stack, the same heuristic goleak uses.
+var ignoredStacks = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*T).Run(",
+	"testing.runFuzzing(",
+	"testing.runTests(",
+	"runtime.goexit0(",
+	"created by runtime.gc",
+	"runtime.MHeap_Scavenger",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"runtime.runfinq",
+	"runtime.ensureSigM",
+	"runtime.ReadTrace",
+	"signal.signal_recv",
+	"os/signal.loop",
+	"leakcheck.stacks",
+}
+
+// goroutine is one parsed stack block.
+type goroutine struct {
+	id    string
+	stack string
+}
+
+// stacks returns every live goroutine except the calling one and the
+// runtime/testing goroutines on the ignore list.
+func stacks() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []goroutine
+	for i, block := range strings.Split(string(buf), "\n\n") {
+		if i == 0 {
+			continue // the first block is the goroutine running stacks()
+		}
+		if ignored(block) {
+			continue
+		}
+		out = append(out, goroutine{id: goroutineID(block), stack: block})
+	}
+	return out
+}
+
+// goroutineID extracts the numeric id from a block's "goroutine N [state]:"
+// first line; an unparsable block returns the whole first line, which still
+// diffs correctly (and is never silently dropped).
+func goroutineID(block string) string {
+	line, _, _ := strings.Cut(block, "\n")
+	fields := strings.Fields(line)
+	if len(fields) >= 2 && fields[0] == "goroutine" {
+		return fields[1]
+	}
+	return line
+}
+
+// ignored reports whether the block belongs to the runtime or test harness.
+func ignored(block string) bool {
+	for _, pat := range ignoredStacks {
+		if strings.Contains(block, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// leakedSince returns the goroutines currently alive whose ids are not in
+// before (nil before means "anything alive is a leak"), retrying until the
+// deadline so asynchronous teardown gets a chance to finish.
+func leakedSince(before map[string]bool) []goroutine {
+	deadline := time.Now().Add(settleTimeout)
+	for {
+		var leaked []goroutine
+		for _, g := range stacks() {
+			if before == nil || !before[g.id] {
+				leaked = append(leaked, g)
+			}
+		}
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// snapshot returns the id set of the goroutines currently alive.
+func snapshot() map[string]bool {
+	ids := map[string]bool{}
+	for _, g := range stacks() {
+		ids[g.id] = true
+	}
+	return ids
+}
+
+// Check snapshots the goroutines alive now and registers a cleanup that
+// fails t if goroutines started during the test are still running when it
+// ends. Call it first thing in any test that starts servers, pools or
+// watchdogs.
+func Check(t TB) {
+	t.Helper()
+	before := snapshot()
+	t.Cleanup(func() {
+		report(t, leakedSince(before))
+	})
+}
+
+// report fails t with a readable dump of the leaked goroutines.
+func report(t TB, leaked []goroutine) {
+	if len(leaked) == 0 {
+		return
+	}
+	var b strings.Builder
+	for _, g := range leaked {
+		fmt.Fprintf(&b, "\n--- leaked goroutine %s ---\n%s\n", g.id, g.stack)
+	}
+	t.Errorf("leakcheck: %d goroutine(s) leaked:%s", len(leaked), b.String())
+}
+
+// MainRun wraps a package's test entry point: TestMain(m) should call
+// os.Exit(leakcheck.MainRun(m.Run)). When the package's tests pass, any
+// surviving non-benign goroutine turns the run into a failure (exit code 1)
+// with a stack dump on stderr.
+func MainRun(run func() int) int {
+	code := run()
+	if code != 0 {
+		return code
+	}
+	if leaked := leakedSince(nil); len(leaked) > 0 {
+		fmt.Printf("leakcheck: %d goroutine(s) leaked after all tests passed:\n", len(leaked))
+		for _, g := range leaked {
+			fmt.Printf("\n--- leaked goroutine %s ---\n%s\n", g.id, g.stack)
+		}
+		return 1
+	}
+	return code
+}

@@ -1,0 +1,86 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// LimiterConfig tunes a token-bucket admission controller.
+type LimiterConfig struct {
+	// Rate is the steady-state admission rate in requests per second.
+	// Values <= 0 select the default of 100.
+	Rate float64
+	// Burst is the bucket capacity — how far above Rate a short spike may
+	// go before shedding starts. Values <= 0 select Rate.
+	Burst float64
+	// Now substitutes the clock in tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// Limiter is a token-bucket admission controller: each admitted request
+// spends one token, tokens refill at Rate per second up to Burst, and a
+// request arriving at an empty bucket is shed. A nil *Limiter admits
+// everything.
+type Limiter struct {
+	mu     sync.Mutex
+	cfg    LimiterConfig
+	tokens float64
+	last   time.Time
+
+	admitted uint64
+	shed     uint64
+}
+
+// NewLimiter returns a limiter with a full bucket.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	if cfg.Rate <= 0 {
+		cfg.Rate = 100
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.Rate
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Limiter{cfg: cfg, tokens: cfg.Burst, last: cfg.Now()}
+}
+
+// Allow reports whether a request may proceed, spending one token if so.
+func (l *Limiter) Allow() bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.cfg.Now()
+	if el := now.Sub(l.last).Seconds(); el > 0 {
+		l.tokens += el * l.cfg.Rate
+		if l.tokens > l.cfg.Burst {
+			l.tokens = l.cfg.Burst
+		}
+		l.last = now
+	}
+	if l.tokens < 1 {
+		l.shed++
+		return false
+	}
+	l.tokens--
+	l.admitted++
+	return true
+}
+
+// LimiterStats is a point-in-time admission tally.
+type LimiterStats struct {
+	Admitted uint64 `json:"admitted"`
+	Shed     uint64 `json:"shed"`
+}
+
+// Stats returns the admission tallies so far.
+func (l *Limiter) Stats() LimiterStats {
+	if l == nil {
+		return LimiterStats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LimiterStats{Admitted: l.admitted, Shed: l.shed}
+}

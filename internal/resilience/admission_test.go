@@ -1,0 +1,73 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLimiterBurstThenShed checks the bucket admits up to Burst immediately
+// and sheds the overflow.
+func TestLimiterBurstThenShed(t *testing.T) {
+	clock := newFakeClock()
+	l := NewLimiter(LimiterConfig{Rate: 10, Burst: 3, Now: clock.Now})
+	for i := 0; i < 3; i++ {
+		if !l.Allow() {
+			t.Fatalf("request %d shed inside burst", i)
+		}
+	}
+	if l.Allow() {
+		t.Fatal("request admitted past an empty bucket")
+	}
+	s := l.Stats()
+	if s.Admitted != 3 || s.Shed != 1 {
+		t.Fatalf("stats %+v, want 3 admitted / 1 shed", s)
+	}
+}
+
+// TestLimiterRefill checks tokens return at Rate per second, capped at Burst.
+func TestLimiterRefill(t *testing.T) {
+	clock := newFakeClock()
+	l := NewLimiter(LimiterConfig{Rate: 10, Burst: 3, Now: clock.Now})
+	for i := 0; i < 3; i++ {
+		l.Allow()
+	}
+	// 100ms at 10 rps refills exactly one token.
+	clock.Advance(100 * time.Millisecond)
+	if !l.Allow() {
+		t.Fatal("refilled token not admitted")
+	}
+	if l.Allow() {
+		t.Fatal("second request admitted on a single refilled token")
+	}
+	// A long idle period refills only to Burst.
+	clock.Advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !l.Allow() {
+			t.Fatalf("request %d shed after refill to burst", i)
+		}
+	}
+	if l.Allow() {
+		t.Fatal("bucket exceeded Burst after idle refill")
+	}
+}
+
+// TestLimiterNilAdmitsAll checks the nil receiver is a no-op admit-all.
+func TestLimiterNilAdmitsAll(t *testing.T) {
+	var l *Limiter
+	for i := 0; i < 100; i++ {
+		if !l.Allow() {
+			t.Fatal("nil limiter shed a request")
+		}
+	}
+	if s := l.Stats(); s.Admitted != 0 || s.Shed != 0 {
+		t.Fatalf("nil limiter stats %+v", s)
+	}
+}
+
+// TestLimiterDefaults checks zero config selects sane defaults.
+func TestLimiterDefaults(t *testing.T) {
+	l := NewLimiter(LimiterConfig{})
+	if !l.Allow() {
+		t.Fatal("default limiter shed the first request")
+	}
+}

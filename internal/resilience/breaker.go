@@ -1,0 +1,288 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position.
+type State int
+
+const (
+	// Closed admits every request, recording outcomes into the window.
+	Closed State = iota
+	// Open fails every request fast until the cooldown elapses.
+	Open
+	// HalfOpen admits a bounded number of probe requests to test recovery.
+	HalfOpen
+)
+
+// String names the state for logs and stats.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// ErrBreakerOpen marks a request refused because the circuit breaker is
+// open (or half-open with all probe slots taken). Match with errors.Is.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// Outcome is what a permitted request reports back to the breaker.
+type Outcome int
+
+const (
+	// Success counts toward closing.
+	Success Outcome = iota
+	// Failure counts toward opening.
+	Failure
+	// Skipped releases the permit without judging the backend — used when
+	// the request never reached the protected work (queue saturation,
+	// client disconnect), so it must not skew the error rate.
+	Skipped
+)
+
+// BreakerConfig tunes a circuit breaker.
+type BreakerConfig struct {
+	// Window is the sliding outcome window size. Values < 1 select 32.
+	Window int
+	// MinSamples is how many outcomes the window needs before the error
+	// rate is trusted. Values < 1 select Window/2 (at least 1).
+	MinSamples int
+	// ErrorRate opens the breaker when failures/window >= this fraction.
+	// Values <= 0 select 0.5.
+	ErrorRate float64
+	// Cooldown is how long an open breaker waits before probing.
+	// Values <= 0 select 5s.
+	Cooldown time.Duration
+	// Probes is how many consecutive half-open successes close the breaker;
+	// it also caps concurrent half-open permits. Values < 1 select 3.
+	Probes int
+	// Now substitutes the clock in tests; nil means time.Now.
+	Now func() time.Time
+	// OnTransition, when non-nil, observes every state change. It is called
+	// outside the breaker's lock (so it may inspect the breaker), in the
+	// goroutine that caused the transition.
+	OnTransition func(from, to State)
+}
+
+// Breaker is a three-state circuit breaker keyed on the error rate over a
+// sliding window of request outcomes. A nil *Breaker admits everything and
+// never opens.
+type Breaker struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+
+	state State
+	gen   uint64 // bumped on every transition; stale permits are discarded
+
+	// Sliding outcome window (closed state only).
+	window   []bool // true = failure
+	idx      int
+	filled   int
+	failures int
+
+	openedAt time.Time
+
+	// Half-open probe accounting.
+	probesInFlight int
+	probeSuccesses int
+
+	opens     uint64
+	fastFails uint64
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Window < 1 {
+		cfg.Window = 32
+	}
+	if cfg.MinSamples < 1 {
+		cfg.MinSamples = cfg.Window / 2
+		if cfg.MinSamples < 1 {
+			cfg.MinSamples = 1
+		}
+	}
+	if cfg.ErrorRate <= 0 {
+		cfg.ErrorRate = 0.5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	if cfg.Probes < 1 {
+		cfg.Probes = 3
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{cfg: cfg, window: make([]bool, cfg.Window)}
+}
+
+// permit remembers the state a request was admitted under, so a late report
+// from before a transition cannot corrupt the new state's accounting.
+type permit struct {
+	state State
+	gen   uint64
+}
+
+// Allow asks to pass the breaker. On success it returns a report function
+// that must be called exactly once with the request's outcome (extra calls
+// are ignored). On refusal it returns an error wrapping ErrBreakerOpen.
+// A nil *Breaker always allows and returns a no-op report.
+func (b *Breaker) Allow() (report func(Outcome), err error) {
+	if b == nil {
+		return func(Outcome) {}, nil
+	}
+	var fire []func()
+	b.mu.Lock()
+	if b.state == Open {
+		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.transitionLocked(HalfOpen, &fire)
+			b.probesInFlight, b.probeSuccesses = 0, 0
+		} else {
+			wait := b.cfg.Cooldown - b.cfg.Now().Sub(b.openedAt)
+			b.fastFails++
+			b.mu.Unlock()
+			return nil, fmt.Errorf("%w: cooling down for another %s", ErrBreakerOpen, wait.Round(time.Millisecond))
+		}
+	}
+	if b.state == HalfOpen && b.probesInFlight+b.probeSuccesses >= b.cfg.Probes {
+		b.fastFails++
+		b.mu.Unlock()
+		for _, f := range fire {
+			f()
+		}
+		return nil, fmt.Errorf("%w: half-open probe quota in use", ErrBreakerOpen)
+	}
+	if b.state == HalfOpen {
+		b.probesInFlight++
+	}
+	p := permit{state: b.state, gen: b.gen}
+	b.mu.Unlock()
+	for _, f := range fire {
+		f()
+	}
+	var once sync.Once
+	return func(o Outcome) { once.Do(func() { b.settle(p, o) }) }, nil
+}
+
+// settle applies a permitted request's outcome to the state machine.
+func (b *Breaker) settle(p permit, o Outcome) {
+	var fire []func()
+	b.mu.Lock()
+	if p.gen != b.gen {
+		// The breaker transitioned since this permit was issued; its probe
+		// accounting was reset, so the stale report carries no information.
+		b.mu.Unlock()
+		return
+	}
+	switch b.state {
+	case Closed:
+		if o != Skipped {
+			b.pushLocked(o == Failure)
+			if b.filled >= b.cfg.MinSamples &&
+				float64(b.failures)/float64(b.filled) >= b.cfg.ErrorRate {
+				b.tripLocked(&fire)
+			}
+		}
+	case HalfOpen:
+		b.probesInFlight--
+		switch o {
+		case Failure:
+			b.tripLocked(&fire)
+		case Success:
+			b.probeSuccesses++
+			if b.probeSuccesses >= b.cfg.Probes {
+				b.resetWindowLocked()
+				b.transitionLocked(Closed, &fire)
+			}
+		}
+	case Open:
+		// A permit can only be settled while Open if gen matched, which a
+		// trip prevents; nothing to do.
+	}
+	b.mu.Unlock()
+	for _, f := range fire {
+		f()
+	}
+}
+
+// tripLocked opens the breaker and starts the cooldown.
+func (b *Breaker) tripLocked(fire *[]func()) {
+	b.openedAt = b.cfg.Now()
+	b.opens++
+	b.resetWindowLocked()
+	b.transitionLocked(Open, fire)
+}
+
+// pushLocked records one outcome into the sliding window.
+func (b *Breaker) pushLocked(fail bool) {
+	if b.filled == len(b.window) {
+		if b.window[b.idx] {
+			b.failures--
+		}
+	} else {
+		b.filled++
+	}
+	b.window[b.idx] = fail
+	if fail {
+		b.failures++
+	}
+	b.idx = (b.idx + 1) % len(b.window)
+}
+
+// resetWindowLocked clears the outcome window (on any trip or close, so the
+// next episode is judged on fresh evidence).
+func (b *Breaker) resetWindowLocked() {
+	b.idx, b.filled, b.failures = 0, 0, 0
+}
+
+// transitionLocked moves to state to, queuing the OnTransition callback to
+// run after the lock is released.
+func (b *Breaker) transitionLocked(to State, fire *[]func()) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	b.gen++
+	if cb := b.cfg.OnTransition; cb != nil {
+		*fire = append(*fire, func() { cb(from, to) })
+	}
+}
+
+// State returns the breaker's current position (for stats; racing callers
+// should rely on Allow, not State).
+func (b *Breaker) State() State {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerStats is a point-in-time breaker tally.
+type BreakerStats struct {
+	State     string `json:"state"`
+	Opens     uint64 `json:"opens"`
+	FastFails uint64 `json:"fast_fails"`
+}
+
+// Stats returns the breaker tallies so far.
+func (b *Breaker) Stats() BreakerStats {
+	if b == nil {
+		return BreakerStats{State: Closed.String()}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{State: b.state.String(), Opens: b.opens, FastFails: b.fastFails}
+}

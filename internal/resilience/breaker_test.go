@@ -1,0 +1,267 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for driving time-based state.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// transitionLog records breaker transitions for assertions.
+type transitionLog struct {
+	mu   sync.Mutex
+	seen []string
+}
+
+func (l *transitionLog) record(from, to State) {
+	l.mu.Lock()
+	l.seen = append(l.seen, fmt.Sprintf("%s->%s", from, to))
+	l.mu.Unlock()
+}
+
+func (l *transitionLog) list() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.seen...)
+}
+
+// mustAllow fails the test if the breaker refuses.
+func mustAllow(t *testing.T, b *Breaker) func(Outcome) {
+	t.Helper()
+	report, err := b.Allow()
+	if err != nil {
+		t.Fatalf("Allow refused in state %v: %v", b.State(), err)
+	}
+	return report
+}
+
+// TestBreakerStateTransitions drives the full closed -> open -> half-open ->
+// closed cycle, plus the half-open relapse, as a table of steps.
+func TestBreakerStateTransitions(t *testing.T) {
+	type step struct {
+		advance   time.Duration
+		outcome   Outcome // applied if allowed
+		wantAllow bool
+		wantState State // state after the step
+	}
+	cases := []struct {
+		name            string
+		steps           []step
+		wantTransitions []string
+	}{
+		{
+			name: "trip then recover",
+			steps: []step{
+				{outcome: Success, wantAllow: true, wantState: Closed},
+				{outcome: Failure, wantAllow: true, wantState: Closed},
+				// 2 failures / 3 samples >= 0.5 with MinSamples=3: trips.
+				{outcome: Failure, wantAllow: true, wantState: Open},
+				// Cooling down: fast-fail.
+				{advance: time.Second, wantAllow: false, wantState: Open},
+				// Cooldown elapsed: probes admitted, two successes close it.
+				{advance: 5 * time.Second, outcome: Success, wantAllow: true, wantState: HalfOpen},
+				{outcome: Success, wantAllow: true, wantState: Closed},
+			},
+			wantTransitions: []string{"closed->open", "open->half-open", "half-open->closed"},
+		},
+		{
+			name: "half-open relapse reopens",
+			steps: []step{
+				{outcome: Failure, wantAllow: true, wantState: Closed},
+				{outcome: Failure, wantAllow: true, wantState: Closed},
+				{outcome: Failure, wantAllow: true, wantState: Open},
+				{advance: 6 * time.Second, outcome: Failure, wantAllow: true, wantState: Open},
+				// Freshly reopened: cooldown restarts.
+				{advance: time.Second, wantAllow: false, wantState: Open},
+			},
+			wantTransitions: []string{"closed->open", "open->half-open", "half-open->open"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clock := newFakeClock()
+			log := &transitionLog{}
+			b := NewBreaker(BreakerConfig{
+				Window:       8,
+				MinSamples:   3,
+				ErrorRate:    0.5,
+				Cooldown:     5 * time.Second,
+				Probes:       2,
+				Now:          clock.Now,
+				OnTransition: log.record,
+			})
+			for i, s := range tc.steps {
+				clock.Advance(s.advance)
+				report, err := b.Allow()
+				if (err == nil) != s.wantAllow {
+					t.Fatalf("step %d: Allow err=%v, want allow=%v", i, err, s.wantAllow)
+				}
+				if err != nil && !errors.Is(err, ErrBreakerOpen) {
+					t.Fatalf("step %d: refusal %v does not wrap ErrBreakerOpen", i, err)
+				}
+				if err == nil {
+					report(s.outcome)
+				}
+				if got := b.State(); got != s.wantState {
+					t.Fatalf("step %d: state %v, want %v", i, got, s.wantState)
+				}
+			}
+			if got := log.list(); fmt.Sprint(got) != fmt.Sprint(tc.wantTransitions) {
+				t.Fatalf("transitions %v, want %v", got, tc.wantTransitions)
+			}
+		})
+	}
+}
+
+// TestBreakerHalfOpenProbeQuota checks that only Probes permits are issued
+// while half-open and the overflow fast-fails.
+func TestBreakerHalfOpenProbeQuota(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{
+		Window: 4, MinSamples: 1, ErrorRate: 0.5,
+		Cooldown: time.Second, Probes: 2, Now: clock.Now,
+	})
+	mustAllow(t, b)(Failure) // trips immediately (MinSamples=1)
+	if b.State() != Open {
+		t.Fatalf("state %v after trip, want open", b.State())
+	}
+	clock.Advance(2 * time.Second)
+	r1 := mustAllow(t, b) // probe 1 (in flight)
+	r2 := mustAllow(t, b) // probe 2 (in flight)
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("third probe err=%v, want ErrBreakerOpen", err)
+	}
+	r1(Success)
+	// One success banked + quota still charged: a new probe may not start.
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("probe past quota err=%v, want ErrBreakerOpen", err)
+	}
+	r2(Success)
+	if b.State() != Closed {
+		t.Fatalf("state %v after %d successes, want closed", b.State(), 2)
+	}
+}
+
+// TestBreakerSkippedOutcomeNeutral checks Skipped neither trips nor closes.
+func TestBreakerSkippedOutcomeNeutral(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{Window: 4, MinSamples: 2, ErrorRate: 0.5, Now: clock.Now})
+	for i := 0; i < 10; i++ {
+		mustAllow(t, b)(Skipped)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state %v after skipped outcomes, want closed", b.State())
+	}
+	// One real failure is below MinSamples: still closed.
+	mustAllow(t, b)(Failure)
+	if b.State() != Closed {
+		t.Fatalf("state %v after one failure, want closed", b.State())
+	}
+	mustAllow(t, b)(Failure)
+	if b.State() != Open {
+		t.Fatalf("state %v after two failures, want open", b.State())
+	}
+}
+
+// TestBreakerStaleReportDiscarded checks an outcome reported after a
+// transition cannot corrupt the new state's accounting.
+func TestBreakerStaleReportDiscarded(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{
+		Window: 4, MinSamples: 1, ErrorRate: 0.5,
+		Cooldown: time.Second, Probes: 1, Now: clock.Now,
+	})
+	stale := mustAllow(t, b) // permit issued while closed
+	mustAllow(t, b)(Failure) // trips
+	clock.Advance(2 * time.Second)
+	probe := mustAllow(t, b) // half-open probe
+	stale(Failure)           // stale closed-state report: must be ignored
+	if b.State() != HalfOpen {
+		t.Fatalf("stale report changed state to %v", b.State())
+	}
+	probe(Success)
+	if b.State() != Closed {
+		t.Fatalf("state %v after probe success, want closed", b.State())
+	}
+}
+
+// TestBreakerReportIdempotent checks double-reporting is harmless.
+func TestBreakerReportIdempotent(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{Window: 4, MinSamples: 2, ErrorRate: 0.5, Now: clock.Now})
+	r := mustAllow(t, b)
+	r(Failure)
+	r(Failure) // ignored: one permit, one report
+	if b.State() != Closed {
+		t.Fatalf("duplicate report tripped the breaker (state %v)", b.State())
+	}
+}
+
+// TestBreakerNilNoOp checks the nil receiver admits everything.
+func TestBreakerNilNoOp(t *testing.T) {
+	var b *Breaker
+	report, err := b.Allow()
+	if err != nil {
+		t.Fatalf("nil breaker refused: %v", err)
+	}
+	report(Failure)
+	if got := b.State(); got != Closed {
+		t.Fatalf("nil breaker state %v, want closed", got)
+	}
+	if s := b.Stats(); s.Opens != 0 || s.State != "closed" {
+		t.Fatalf("nil breaker stats %+v", s)
+	}
+}
+
+// TestBreakerConcurrentTraffic hammers the breaker from many goroutines
+// under -race; the invariant is only that it never deadlocks or panics and
+// stats stay coherent.
+func TestBreakerConcurrentTraffic(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Window: 16, MinSamples: 4, ErrorRate: 0.5, Cooldown: time.Millisecond, Probes: 2})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				report, err := b.Allow()
+				if err != nil {
+					continue
+				}
+				if (g+i)%3 == 0 {
+					report(Failure)
+				} else {
+					report(Success)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := b.Stats()
+	if s.State == "" {
+		t.Fatal("empty state string")
+	}
+}

@@ -1,0 +1,32 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// Clamp resolves a client-requested deadline budget against server policy:
+// a non-positive request selects def, and no request may exceed max. When
+// def or max are non-positive they default to 2s and 30s respectively.
+func Clamp(requested, def, max time.Duration) time.Duration {
+	if def <= 0 {
+		def = 2 * time.Second
+	}
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	d := requested
+	if d <= 0 {
+		d = def
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// WithBudget derives a context carrying the clamped per-request deadline.
+// The returned cancel must be called when the request finishes.
+func WithBudget(ctx context.Context, requested, def, max time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, Clamp(requested, def, max))
+}

@@ -1,0 +1,44 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestClamp checks request/default/max resolution.
+func TestClamp(t *testing.T) {
+	def, max := 2*time.Second, 10*time.Second
+	cases := []struct {
+		requested time.Duration
+		want      time.Duration
+	}{
+		{0, def},            // no ask: default
+		{-time.Second, def}, // nonsense ask: default
+		{time.Second, time.Second},
+		{time.Minute, max}, // over policy: clamped
+		{max, max},
+	}
+	for _, tc := range cases {
+		if got := Clamp(tc.requested, def, max); got != tc.want {
+			t.Fatalf("Clamp(%v) = %v, want %v", tc.requested, got, tc.want)
+		}
+	}
+	// Zero policy values get library defaults rather than zero budgets.
+	if got := Clamp(0, 0, 0); got <= 0 {
+		t.Fatalf("Clamp with zero policy = %v, want positive", got)
+	}
+}
+
+// TestWithBudget checks the derived context carries the clamped deadline.
+func TestWithBudget(t *testing.T) {
+	ctx, cancel := WithBudget(context.Background(), time.Hour, 2*time.Second, 5*time.Second)
+	defer cancel()
+	dl, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("no deadline set")
+	}
+	if until := time.Until(dl); until > 5*time.Second || until < 4*time.Second {
+		t.Fatalf("deadline %v out, want about 5s (clamped)", until)
+	}
+}

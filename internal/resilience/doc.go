@@ -1,0 +1,33 @@
+// Package resilience is the dependency-free robustness toolkit the sosd
+// scheduling service runs behind. The ROADMAP's north star is a service that
+// survives heavy, continuous traffic; once arrivals are a stream rather than
+// a batch, the dominant failure modes stop being simulator bugs and become
+// overload, retry storms and cascading failure. This package provides the
+// standard defenses as small, independently testable primitives:
+//
+//   - Limiter: token-bucket admission control. Requests beyond the
+//     provisioned rate are shed at the door (HTTP 429) instead of queuing
+//     unboundedly — shedding early keeps latency bounded for the requests
+//     that are admitted.
+//   - Breaker: a three-state (closed / open / half-open) circuit breaker
+//     keyed on the error rate over a sliding window of outcomes. A sick
+//     backend fails fast instead of soaking up queue slots; after a cooldown
+//     a bounded number of probes decide whether to close again.
+//   - Do + Budget: retry with full-jitter exponential backoff, capped by a
+//     per-client retry budget so a single failing client cannot multiply its
+//     own load (the retry-storm defense).
+//   - Clamp / WithBudget: per-request deadline propagation. Every admitted
+//     request carries a context deadline derived from the client's ask,
+//     clamped by server policy, so no request waits past its deadline no
+//     matter where in the pipeline it sits.
+//   - Queue: a bounded work queue with backpressure. Saturation is an
+//     immediate, explicit error (HTTP 503), and draining stops intake while
+//     letting in-flight work finish.
+//
+// Everything takes an injectable clock / sleeper / jitter source, so the
+// service can make retry timing deterministic per request seed and the tests
+// can drive state machines without wall-clock sleeps. Nil receivers are
+// valid no-ops wherever a caller might reasonably not configure a primitive
+// (a nil *Limiter admits everything, a nil *Breaker never opens), matching
+// the repo's nil-Recorder / nil-Watchdog convention.
+package resilience

@@ -1,0 +1,163 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrSaturated marks a request rejected because the work queue is full —
+// the backpressure signal (HTTP 503 with Retry-After at the service layer).
+var ErrSaturated = errors.New("resilience: work queue saturated")
+
+// ErrDraining marks a request rejected because the queue has stopped
+// accepting work for shutdown.
+var ErrDraining = errors.New("resilience: queue draining")
+
+// QueueConfig tunes a bounded work queue.
+type QueueConfig struct {
+	// Depth is the queue capacity beyond the running workers. Values < 1
+	// select 64.
+	Depth int
+	// Workers is the number of concurrent task runners. Values < 1 select 4.
+	Workers int
+}
+
+// queueTask is one submitted unit of work.
+type queueTask struct {
+	ctx  context.Context
+	fn   func(context.Context) error
+	done chan error // buffered(1): the worker never blocks on a departed caller
+}
+
+// Queue is a bounded work queue with backpressure: Do either enqueues
+// immediately or fails with ErrSaturated — it never blocks the caller on a
+// full queue, so saturation surfaces as an explicit shed instead of
+// unbounded queueing. Drain stops intake and waits for in-flight work.
+type Queue struct {
+	mu       sync.Mutex
+	tasks    chan *queueTask
+	draining bool
+	wg       sync.WaitGroup
+
+	drainOnce sync.Once
+	drained   chan struct{}
+
+	submitted uint64
+	rejected  uint64
+	maxDepth  int
+}
+
+// NewQueue starts the worker pool and returns the queue.
+func NewQueue(cfg QueueConfig) *Queue {
+	if cfg.Depth < 1 {
+		cfg.Depth = 64
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 4
+	}
+	q := &Queue{
+		tasks:   make(chan *queueTask, cfg.Depth),
+		drained: make(chan struct{}),
+	}
+	q.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+// worker runs queued tasks, skipping any whose context expired while queued.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for t := range q.tasks {
+		if err := t.ctx.Err(); err != nil {
+			t.done <- err
+			continue
+		}
+		t.done <- t.fn(t.ctx)
+	}
+}
+
+// Do submits fn and waits for its result or for ctx. A caller whose context
+// fires while the task is still queued gets the context error immediately
+// (no request waits past its deadline); the worker later observes the
+// expired context and skips the task. Returns ErrSaturated when the queue
+// is full and ErrDraining after Drain has begun.
+func (q *Queue) Do(ctx context.Context, fn func(context.Context) error) error {
+	t := &queueTask{ctx: ctx, fn: fn, done: make(chan error, 1)}
+	q.mu.Lock()
+	if q.draining {
+		q.rejected++
+		q.mu.Unlock()
+		return ErrDraining
+	}
+	select {
+	case q.tasks <- t:
+		q.submitted++
+		if d := len(q.tasks); d > q.maxDepth {
+			q.maxDepth = d
+		}
+	default:
+		q.rejected++
+		q.mu.Unlock()
+		return ErrSaturated
+	}
+	q.mu.Unlock()
+	select {
+	case err := <-t.done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Drain stops intake and waits for the workers to finish the queued and
+// in-flight tasks, or for ctx to fire first — in which case the workers are
+// still running and the caller should escalate (cancel the tasks' contexts)
+// rather than assume they stopped. Safe to call more than once.
+func (q *Queue) Drain(ctx context.Context) error {
+	q.mu.Lock()
+	if !q.draining {
+		q.draining = true
+		close(q.tasks) // sends hold the same mutex, so no send-on-closed race
+	}
+	q.mu.Unlock()
+	q.drainOnce.Do(func() {
+		go func() {
+			q.wg.Wait()
+			close(q.drained)
+		}()
+	})
+	select {
+	case <-q.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// QueueStats is a point-in-time queue tally.
+type QueueStats struct {
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	MaxDepth  int    `json:"max_depth"`
+	Depth     int    `json:"depth"`
+	Cap       int    `json:"cap"`
+	Draining  bool   `json:"draining"`
+}
+
+// Stats returns the queue tallies so far. MaxDepth never exceeding Cap is
+// the soak test's bounded-queue assertion.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QueueStats{
+		Submitted: q.submitted,
+		Rejected:  q.rejected,
+		MaxDepth:  q.maxDepth,
+		Depth:     len(q.tasks),
+		Cap:       cap(q.tasks),
+		Draining:  q.draining,
+	}
+}

@@ -1,0 +1,190 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestQueueRunsWork checks a submitted task runs and its result returns.
+func TestQueueRunsWork(t *testing.T) {
+	q := NewQueue(QueueConfig{Depth: 2, Workers: 1})
+	defer q.Drain(context.Background())
+	ran := false
+	if err := q.Do(context.Background(), func(context.Context) error { ran = true; return nil }); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if !ran {
+		t.Fatal("task did not run")
+	}
+	want := errors.New("boom")
+	if err := q.Do(context.Background(), func(context.Context) error { return want }); !errors.Is(err, want) {
+		t.Fatalf("Do err = %v, want boom", err)
+	}
+}
+
+// TestQueueSaturationSheds checks a full queue rejects immediately with
+// ErrSaturated instead of blocking, and depth stays bounded.
+func TestQueueSaturationSheds(t *testing.T) {
+	q := NewQueue(QueueConfig{Depth: 2, Workers: 1})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	block := func(context.Context) error { <-release; return nil }
+	// One task occupies the worker...
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = q.Do(context.Background(), func(context.Context) error {
+			close(started)
+			<-release
+			return nil
+		})
+	}()
+	<-started
+	// ...then two more fill the queue while the worker is pinned.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); _ = q.Do(context.Background(), block) }()
+	}
+	waitFor(t, func() bool { return q.Stats().Depth == 2 })
+	start := time.Now()
+	err := q.Do(context.Background(), block)
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("Do on full queue err = %v, want ErrSaturated", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("saturation rejection blocked for %v", elapsed)
+	}
+	close(release)
+	wg.Wait()
+	s := q.Stats()
+	if s.MaxDepth > s.Cap {
+		t.Fatalf("MaxDepth %d exceeds Cap %d", s.MaxDepth, s.Cap)
+	}
+	if s.Rejected != 1 || s.Submitted != 3 {
+		t.Fatalf("stats %+v, want 3 submitted / 1 rejected", s)
+	}
+	if err := q.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+// TestQueueDeadlineReturnsEarly checks a caller whose context fires while
+// queued gets the context error without waiting for a worker, and the
+// worker later skips the expired task.
+func TestQueueDeadlineReturnsEarly(t *testing.T) {
+	q := NewQueue(QueueConfig{Depth: 2, Workers: 1})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = q.Do(context.Background(), func(context.Context) error {
+			close(started)
+			<-release
+			return nil
+		})
+	}()
+	<-started // the only worker is now pinned; the next task can only queue
+	var skipped atomic.Bool
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := q.Do(ctx, func(context.Context) error { skipped.Store(true); return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("caller waited %v past its deadline", elapsed)
+	}
+	close(release)
+	wg.Wait()
+	if err := q.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if skipped.Load() {
+		t.Fatal("worker ran a task whose context had expired")
+	}
+}
+
+// TestQueueDrainWaitsForInFlight checks Drain blocks intake immediately but
+// lets queued and running tasks finish.
+func TestQueueDrainWaitsForInFlight(t *testing.T) {
+	q := NewQueue(QueueConfig{Depth: 4, Workers: 2})
+	var done atomic.Int32
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = q.Do(context.Background(), func(context.Context) error {
+				<-release
+				done.Add(1)
+				return nil
+			})
+		}()
+	}
+	waitFor(t, func() bool { return q.Stats().Submitted == 3 })
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- q.Drain(context.Background()) }()
+	// Intake must be closed even while the drain is pending.
+	waitFor(t, func() bool { return q.Stats().Draining })
+	if err := q.Do(context.Background(), func(context.Context) error { return nil }); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Do during drain err = %v, want ErrDraining", err)
+	}
+	close(release)
+	if err := <-drainErr; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	wg.Wait()
+	if got := done.Load(); got != 3 {
+		t.Fatalf("%d tasks completed across drain, want 3", got)
+	}
+	// Drain is idempotent.
+	if err := q.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain: %v", err)
+	}
+}
+
+// TestQueueDrainTimeout checks a drain bounded by a context reports the
+// context error when in-flight work will not finish in time.
+func TestQueueDrainTimeout(t *testing.T) {
+	q := NewQueue(QueueConfig{Depth: 1, Workers: 1})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = q.Do(context.Background(), func(context.Context) error { <-release; return nil })
+	}()
+	waitFor(t, func() bool { return q.Stats().Submitted == 1 })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := q.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain err = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	wg.Wait()
+	if err := q.Drain(context.Background()); err != nil {
+		t.Fatalf("final Drain: %v", err)
+	}
+}
+
+// waitFor polls cond until true or the test deadline budget is spent.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

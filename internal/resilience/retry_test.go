@@ -1,0 +1,217 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+var errTransient = errors.New("transient")
+
+// instantSleep records requested delays without waiting.
+type instantSleep struct {
+	mu     sync.Mutex
+	delays []time.Duration
+}
+
+func (s *instantSleep) sleep(ctx context.Context, d time.Duration) error {
+	s.mu.Lock()
+	s.delays = append(s.delays, d)
+	s.mu.Unlock()
+	return ctx.Err()
+}
+
+// TestDoRetriesUntilSuccess checks a transient failure is retried and the
+// eventual success is returned.
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	sl := &instantSleep{}
+	calls := 0
+	err := Do(context.Background(), RetryConfig{MaxAttempts: 5, Sleep: sl.sleep}, nil, nil,
+		func(attempt int) error {
+			calls++
+			if attempt < 2 {
+				return errTransient
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if len(sl.delays) != 2 {
+		t.Fatalf("slept %d times, want 2", len(sl.delays))
+	}
+}
+
+// TestDoStopsOnNonRetryable checks the classifier short-circuits retries.
+func TestDoStopsOnNonRetryable(t *testing.T) {
+	fatal := errors.New("fatal")
+	calls := 0
+	err := Do(context.Background(), RetryConfig{MaxAttempts: 5, Sleep: (&instantSleep{}).sleep}, nil,
+		func(err error) bool { return errors.Is(err, errTransient) },
+		func(int) error { calls++; return fatal })
+	if !errors.Is(err, fatal) {
+		t.Fatalf("err = %v, want fatal", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+// TestDoExhaustsAttempts checks the last error surfaces when attempts run out.
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), RetryConfig{MaxAttempts: 3, Sleep: (&instantSleep{}).sleep}, nil, nil,
+		func(int) error { calls++; return errTransient })
+	if !errors.Is(err, errTransient) {
+		t.Fatalf("err = %v, want errTransient", err)
+	}
+	if errors.Is(err, ErrBudgetExhausted) {
+		t.Fatal("attempt exhaustion mislabeled as budget exhaustion")
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+// TestDoBudgetExhaustion checks a dry budget suppresses retries and the
+// error matches both ErrBudgetExhausted and the underlying failure.
+func TestDoBudgetExhaustion(t *testing.T) {
+	// Ratio so small the single starting token is all the credit there is.
+	budget := NewBudget(BudgetConfig{Ratio: 1e-9, Cap: 1})
+	cfg := RetryConfig{MaxAttempts: 10, Sleep: (&instantSleep{}).sleep}
+	calls := 0
+	fail := func(int) error { calls++; return errTransient }
+
+	// First call: 1 banked token allows exactly one retry, then dry.
+	err := Do(context.Background(), cfg, budget, nil, fail)
+	if !errors.Is(err, ErrBudgetExhausted) || !errors.Is(err, errTransient) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted wrapping errTransient", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (one attempt + one budgeted retry)", calls)
+	}
+
+	// Second call: no credit left at all — fails after the first attempt.
+	calls = 0
+	err = Do(context.Background(), cfg, budget, nil, fail)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if budget.Exhausted() != 2 {
+		t.Fatalf("Exhausted() = %d, want 2", budget.Exhausted())
+	}
+}
+
+// TestBudgetDepositsEarnRetries checks successful traffic rebuilds credit at
+// the configured ratio, bounded by the cap.
+func TestBudgetDepositsEarnRetries(t *testing.T) {
+	b := NewBudget(BudgetConfig{Ratio: 0.5, Cap: 2})
+	if !b.TryWithdraw() { // spend the starting token
+		t.Fatal("starting token missing")
+	}
+	if b.TryWithdraw() {
+		t.Fatal("withdraw from empty budget succeeded")
+	}
+	b.Deposit()
+	b.Deposit() // 1.0 banked
+	if !b.TryWithdraw() {
+		t.Fatal("two deposits at ratio 0.5 did not fund one retry")
+	}
+	for i := 0; i < 10; i++ {
+		b.Deposit()
+	}
+	if got := b.Tokens(); got != 2 {
+		t.Fatalf("tokens = %v, want capped at 2", got)
+	}
+}
+
+// TestBudgetPoolPerClient checks budgets are isolated per client key.
+func TestBudgetPoolPerClient(t *testing.T) {
+	p := NewBudgetPool(BudgetConfig{Ratio: 0.1, Cap: 5})
+	a, b := p.Get("a"), p.Get("b")
+	if a == b {
+		t.Fatal("distinct clients share a budget")
+	}
+	if p.Get("a") != a {
+		t.Fatal("repeat Get returned a different budget")
+	}
+	a.TryWithdraw()
+	if !b.TryWithdraw() {
+		t.Fatal("client a's withdrawal drained client b")
+	}
+}
+
+// TestDoBackoffDeterministicJitter checks delays follow the injected jitter
+// exactly: delay_k = jitter(k) * min(MaxDelay, Base<<k).
+func TestDoBackoffDeterministicJitter(t *testing.T) {
+	sl := &instantSleep{}
+	cfg := RetryConfig{
+		MaxAttempts: 4,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    25 * time.Millisecond,
+		Jitter:      func(int) float64 { return 0.5 },
+		Sleep:       sl.sleep,
+	}
+	_ = Do(context.Background(), cfg, nil, nil, func(int) error { return errTransient })
+	want := []time.Duration{
+		5 * time.Millisecond,     // 0.5 * 10ms
+		10 * time.Millisecond,    // 0.5 * 20ms
+		12500 * time.Microsecond, // 0.5 * 25ms (capped)
+	}
+	if len(sl.delays) != len(want) {
+		t.Fatalf("delays %v, want %v", sl.delays, want)
+	}
+	for i := range want {
+		if sl.delays[i] != want[i] {
+			t.Fatalf("delay[%d] = %v, want %v", i, sl.delays[i], want[i])
+		}
+	}
+}
+
+// TestDoHonorsContext checks a cancelled context ends the loop with the
+// context error wrapping the last attempt's failure.
+func TestDoHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Do(ctx, RetryConfig{MaxAttempts: 10, Sleep: SleepContext, BaseDelay: time.Nanosecond}, nil, nil,
+		func(int) error {
+			calls++
+			cancel()
+			return errTransient
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !errors.Is(err, errTransient) {
+		t.Fatalf("err = %v, want to wrap last attempt error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+// TestNilBudgetUnlimited checks a nil *Budget never suppresses retries.
+func TestNilBudgetUnlimited(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), RetryConfig{MaxAttempts: 6, Sleep: (&instantSleep{}).sleep}, nil, nil,
+		func(int) error { calls++; return errTransient })
+	if errors.Is(err, ErrBudgetExhausted) {
+		t.Fatal("nil budget reported exhaustion")
+	}
+	if calls != 6 {
+		t.Fatalf("calls = %d, want 6", calls)
+	}
+	var b *Budget
+	if !b.TryWithdraw() || b.Exhausted() != 0 || b.Tokens() != 0 {
+		t.Fatal("nil budget methods not no-ops")
+	}
+	b.Deposit()
+}
