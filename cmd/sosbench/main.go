@@ -7,6 +7,7 @@
 //	         [-workers N] [-cpuprofile out.pprof] [-memprofile out.pprof]
 //	         [-checkpoint snap.ckpt] [-resume snap.ckpt] [-checkpoint-every N]
 //	         [-deadline 30m] [-stall-factor 8] [-stall-floor 30s]
+//	         [-trace-out spans.jsonl]
 //
 // Output is plain text formatted like the paper's tables; weighted speedups
 // are measured at the selected scale (see internal/experiments for the
@@ -41,6 +42,7 @@ import (
 	"symbios/internal/checkpoint"
 	"symbios/internal/core"
 	"symbios/internal/experiments"
+	"symbios/internal/obs"
 	"symbios/internal/parallel"
 	"symbios/internal/report"
 )
@@ -85,6 +87,7 @@ func realMain() int {
 		deadline   = flag.Duration("deadline", 0, "abort (with a resumable snapshot) after this wall time, e.g. 30m")
 		stallFct   = flag.Float64("stall-factor", 8, "flag a stall when one window exceeds this multiple of the median window wall-time (0 disables)")
 		stallFlr   = flag.Duration("stall-floor", 30*time.Second, "never flag a stall before a window is at least this old")
+		traceOut   = flag.String("trace-out", "", "write SOS phase and shard spans to this file as JSON lines")
 		version    = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Usage = func() {
@@ -186,6 +189,25 @@ Exit codes:
 		ctx = checkpoint.WithRecorder(ctx, rec)
 	}
 
+	// The tracer rides the same context: every SOS phase and experiment shard
+	// emits one JSONL span. Tracing is observational only — outputs stay
+	// bit-identical with it on or off (see the obs determinism tests).
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sosbench:", err)
+			return exitInternal
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "sosbench: trace close:", err)
+			}
+		}()
+		tracer = obs.NewTracer(f, nil)
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+
 	if *stallFct > 0 && (rec != nil || *deadline > 0) {
 		wd := checkpoint.NewWatchdog(checkpoint.WatchdogConfig{
 			Factor: *stallFct,
@@ -230,6 +252,12 @@ Exit codes:
 			resumeHint(rec)
 			return exitDeadline
 		default:
+			return exitInternal
+		}
+	}
+	if tracer != nil {
+		if err := tracer.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "sosbench: trace write:", err)
 			return exitInternal
 		}
 	}

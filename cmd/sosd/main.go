@@ -31,6 +31,7 @@ import (
 	"symbios/internal/checkpoint"
 	"symbios/internal/experiments"
 	"symbios/internal/faults"
+	"symbios/internal/obs"
 	"symbios/internal/resilience"
 	"symbios/internal/rng"
 )
@@ -57,6 +58,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		ckpt    = fs.String("checkpoint", "", "response-cache checkpoint file (resumed when it exists)")
 		every   = fs.Int("checkpoint-every", 8, "flush the checkpoint every N recorded responses")
 		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		pprofOn = fs.Bool("pprof", false, "mount net/http/pprof endpoints under /debug/pprof/")
 		version = fs.Bool("version", false, "print version and exit")
 
 		deadlineDef = fs.Duration("deadline-default", 5*time.Second, "per-request deadline when the client sets none")
@@ -155,11 +157,17 @@ Flags:
 		}
 	}
 
+	// Metrics are always on in the daemon: the registry is atomic counters
+	// and observability never feeds back into scheduling. Tests cover the
+	// nil-registry (disabled) configuration.
+	reg := obs.NewRegistry()
+
 	srv := newServer(serverConfig{
 		Scale:       *scale,
 		Chaos:       *chaos,
 		DeadlineDef: *deadlineDef,
 		DeadlineMax: *deadlineMax,
+		Pprof:       *pprofOn,
 
 		Rate:    *rate,
 		Burst:   *burst,
@@ -177,7 +185,7 @@ Flags:
 		RetryMax:         *retryMax,
 		RetryBudgetRatio: *budgetRatio,
 		RetryBudgetCap:   *budgetCap,
-	}, eval, rec, logger, func(from, to resilience.State) {
+	}, eval, rec, reg, logger, func(from, to resilience.State) {
 		logger.Printf("breaker: %s -> %s", from, to)
 	})
 

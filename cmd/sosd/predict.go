@@ -30,6 +30,9 @@ type evaluator struct {
 	// request's machine (the -chaos flag). Per-request Fault blocks override
 	// it for that request.
 	chaos *faults.Config
+	// sim, when non-nil, aggregates every request machine's cycles, commits
+	// and per-resource conflicts into the registry (set by newServer).
+	sim *core.SimMetrics
 }
 
 // evaluate answers one decoded request. The attempt ordinal keeps retried
@@ -80,6 +83,7 @@ func (e *evaluator) rank(ctx context.Context, req ScheduleRequest, mix workload.
 	if err != nil {
 		return nil, err
 	}
+	m.SetSimMetrics(e.sim)
 	if inj := e.injectorFor(req, attempt); inj != nil {
 		m.SetCounterReader(inj)
 	}
@@ -148,6 +152,7 @@ func (e *evaluator) adaptive(ctx context.Context, req ScheduleRequest, mix workl
 	if err != nil {
 		return nil, err
 	}
+	m.SetSimMetrics(e.sim)
 	if inj := e.injectorFor(req, attempt); inj != nil {
 		m.SetCounterReader(inj)
 	}

@@ -9,11 +9,13 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync/atomic"
 	"time"
 
 	"symbios/internal/checkpoint"
 	"symbios/internal/core"
+	"symbios/internal/obs"
 	"symbios/internal/resilience"
 	"symbios/internal/rng"
 	"symbios/internal/workload"
@@ -25,6 +27,7 @@ type serverConfig struct {
 	Chaos       float64 // -chaos: FailRate injected into every request
 	DeadlineDef time.Duration
 	DeadlineMax time.Duration
+	Pprof       bool // -pprof: mount net/http/pprof under /debug/pprof/
 
 	Rate    float64
 	Burst   float64
@@ -65,12 +68,17 @@ type server struct {
 
 	draining atomic.Bool
 	logger   *log.Logger
+
+	// obs is never nil; with a nil registry every handle inside is a
+	// no-op. Observability never feeds back into scheduling decisions.
+	obs *serverObs
 }
 
-// newServer wires the pipeline. rec may be nil (no response cache).
-func newServer(cfg serverConfig, eval *evaluator, rec *checkpoint.Recorder, logger *log.Logger, onTransition func(from, to resilience.State)) *server {
+// newServer wires the pipeline. rec may be nil (no response cache); reg
+// may be nil (metrics disabled, /metrics answers 404).
+func newServer(cfg serverConfig, eval *evaluator, rec *checkpoint.Recorder, reg *obs.Registry, logger *log.Logger, onTransition func(from, to resilience.State)) *server {
 	base, cancel := context.WithCancel(context.Background())
-	return &server{
+	srv := &server{
 		cfg:  cfg,
 		eval: eval,
 		limiter: resilience.NewLimiter(resilience.LimiterConfig{
@@ -91,7 +99,13 @@ func newServer(cfg serverConfig, eval *evaluator, rec *checkpoint.Recorder, logg
 		base:     base,
 		hardStop: cancel,
 		logger:   logger,
+		obs:      newServerObs(reg),
 	}
+	srv.obs.registerPipelineGauges(srv)
+	// The evaluator shares the registry's simulator counters: every machine
+	// it builds reports cycles, commits and per-resource conflicts.
+	eval.sim = core.NewSimMetrics(reg)
+	return srv
 }
 
 // handler builds the route table.
@@ -102,7 +116,15 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statz", s.handleStatz)
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.obs.instrument(mux)
 }
 
 // httpError writes a JSON error body with the given status.
@@ -140,17 +162,22 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
-	if !s.limiter.Allow() {
+	t0 := time.Now()
+	allowed := s.limiter.Allow()
+	s.obs.stageLimiter.ObserveSince(t0)
+	if !allowed {
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "admission rate exceeded")
 		return
 	}
+	t0 = time.Now()
 	body, err := io.ReadAll(io.LimitReader(r.Body, MaxRequestBytes+1))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
 	req, err := DecodeScheduleRequest(body)
+	s.obs.stageDecode.ObserveSince(t0)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -161,13 +188,19 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := req.Fingerprint()
+	t0 = time.Now()
 	var cached json.RawMessage
-	if hit, err := s.rec.Lookup(key, &cached); err == nil && hit {
+	hit, lerr := s.rec.Lookup(key, &cached)
+	s.obs.stageCache.ObserveSince(t0)
+	if lerr == nil && hit {
+		s.obs.cacheHits.Inc()
 		s.writeResponse(w, cached, true)
 		return
 	}
 
+	t0 = time.Now()
 	report, err := s.breaker.Allow()
+	s.obs.stageBreaker.ObserveSince(t0)
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
@@ -181,19 +214,27 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	stop := context.AfterFunc(s.base, cancel)
 	defer stop()
+	// SOS phase spans from the evaluator land in obs_span_seconds; a nil
+	// tracer (metrics disabled) is carried as a no-op.
+	ctx = obs.WithTracer(ctx, s.obs.tracer)
 
 	var resp *ScheduleResponse
+	tQueue := time.Now()
 	qerr := s.queue.Do(ctx, func(ctx context.Context) error {
+		tRetry := time.Now()
 		var werr error
 		resp, werr = s.predictWithRetry(ctx, req, clientID(r))
+		s.obs.stageRetry.ObserveSince(tRetry)
 		return werr
 	})
+	s.obs.stageQueue.ObserveSince(tQueue)
 
 	switch {
 	case qerr == nil:
 		report(resilience.Success)
 		raw, merr := json.Marshal(resp)
 		if merr != nil {
+			s.obs.encodeFailures.Inc()
 			httpError(w, http.StatusInternalServerError, "encoding response: %v", merr)
 			return
 		}
@@ -258,10 +299,27 @@ func (s *server) writeResponse(w http.ResponseWriter, raw []byte, hit bool) {
 	w.Write([]byte("\n"))
 }
 
+// writeJSON marshals v fully before touching the ResponseWriter, so an
+// encoding failure yields a clean 500 instead of a silently truncated 200
+// (json.NewEncoder(w).Encode commits the status line before it can fail).
+// Failures are tallied in sosd_encode_failures_total.
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		s.obs.encodeFailures.Inc()
+		s.logger.Printf("encoding %T response: %v", v, err)
+		httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
 // handleMixes lists the schedulable jobmix labels.
 func (s *server) handleMixes(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(workload.MixLabels())
+	s.writeJSON(w, http.StatusOK, workload.MixLabels())
 }
 
 // handleHealthz is liveness: the process is up.
@@ -317,8 +375,7 @@ func (s *server) stats() serverStats {
 
 // handleStatz reports the pipeline counters.
 func (s *server) handleStatz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(s.stats())
+	s.writeJSON(w, http.StatusOK, s.stats())
 }
 
 // shutdown drains the server: stop accepting, let in-flight work finish

@@ -18,6 +18,7 @@ import (
 	"symbios/internal/experiments"
 	"symbios/internal/faults"
 	"symbios/internal/leakcheck"
+	"symbios/internal/obs"
 	"symbios/internal/resilience"
 )
 
@@ -38,6 +39,7 @@ type testServerOpts struct {
 	chaos   *faults.Config
 	cfg     func(*serverConfig)
 	rec     *checkpoint.Recorder
+	reg     *obs.Registry
 	onTrans func(from, to resilience.State)
 }
 
@@ -69,7 +71,7 @@ func newTestServer(t *testing.T, opts testServerOpts) (*server, *httptest.Server
 	}
 	eval := &evaluator{scale: testScale(), chaos: opts.chaos}
 	logger := log.New(io.Discard, "", 0)
-	srv := newServer(cfg, eval, opts.rec, logger, opts.onTrans)
+	srv := newServer(cfg, eval, opts.rec, opts.reg, logger, opts.onTrans)
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(func() {
 		ts.Close()

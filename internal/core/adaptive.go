@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"symbios/internal/obs"
 	"symbios/internal/parallel"
 	"symbios/internal/rng"
 	"symbios/internal/schedule"
@@ -137,6 +138,7 @@ type adaptiveState struct {
 	jobSolo [][]float64 // per job, per thread; nil when no solo rates
 	res     *AdaptiveResult
 	warmed  bool
+	tr      *obs.Tracer // from the context; nil is a free no-op
 }
 
 // interrupted reports why the run must stop early: the context's error when
@@ -201,6 +203,7 @@ func RunAdaptiveCtx(ctx context.Context, m *Machine, y, z int, solo []float64, o
 		r:    rng.New(opt.Seed),
 		jobs: m.Jobs(),
 		res:  &res,
+		tr:   obs.TracerFrom(ctx),
 	}
 	if solo != nil {
 		var err error
@@ -239,7 +242,9 @@ func RunAdaptiveCtx(ctx context.Context, m *Machine, y, z int, solo []float64, o
 		if nextChurn < len(churn) && churn[nextChurn].AtSlice-done < w {
 			w = churn[nextChurn].AtSlice - done
 		}
+		endWin := a.tr.Span("sos/symbios", "")
 		run, err := m.RunScheduleCtx(ctx, p.sched, w)
+		endWin()
 		if err != nil {
 			return res, err
 		}
@@ -278,9 +283,9 @@ func RunAdaptiveCtx(ctx context.Context, m *Machine, y, z int, solo []float64, o
 		}
 
 		if run.ReadFailures == 0 && p.predIPC > 0 {
-			obs := meanIPC(run.SliceIPCs)
-			if obs < (1-opt.AnomalyTolerance)*p.predIPC {
-				a.event("anomaly at slice %d: observed IPC %.3f below predicted %.3f", done, obs, p.predIPC)
+			observed := meanIPC(run.SliceIPCs)
+			if observed < (1-opt.AnomalyTolerance)*p.predIPC {
+				a.event("anomaly at slice %d: observed IPC %.3f below predicted %.3f", done, observed, p.predIPC)
 				p, err = a.replan("anomaly")
 				if err != nil {
 					return res, err
@@ -329,6 +334,7 @@ func (a *adaptiveState) replan(cause string) (plan, error) {
 	}
 	a.res.Resamples++
 	a.event("resampling on %s (%d/%d)", cause, a.res.Resamples, a.opt.MaxResamples)
+	a.tr.Event("sos/resample")
 	return a.samplePlan()
 }
 
@@ -349,24 +355,31 @@ func (a *adaptiveState) samplePlan() (plan, error) {
 		rounds := int(a.opt.WarmupCycles/(uint64(rot)*a.m.SliceCycles)) + 1
 		// Warmup work is unmeasured; lost counter reads during it are
 		// harmless and ignored.
-		if _, err := a.m.RunScheduleCtx(a.ctx, scheds[0], rot*rounds); err != nil {
+		endWarm := a.tr.Span("sos/warmup", "")
+		_, err := a.m.RunScheduleCtx(a.ctx, scheds[0], rot*rounds)
+		endWarm()
+		if err != nil {
 			return plan{}, err
 		}
 	}
 
+	endSample := a.tr.Span("sos/sample", "")
 	var samples []Sample
 	for _, s := range scheds {
 		if err := a.interrupted(); err != nil {
+			endSample()
 			return plan{}, err
 		}
 		sample, ok, err := a.evalWithRetry(s)
 		if err != nil {
+			endSample()
 			return plan{}, err
 		}
 		if ok {
 			samples = append(samples, sample)
 		}
 	}
+	endSample()
 
 	if len(samples) < len(scheds) {
 		return a.fallbackPlan(fmt.Sprintf("only %d of %d samples evaluated", len(samples), len(scheds)))
@@ -374,7 +387,9 @@ func (a *adaptiveState) samplePlan() (plan, error) {
 	if reason, bad := degenerateSamples(samples); bad {
 		return a.fallbackPlan("degenerate samples: " + reason)
 	}
+	endOpt := a.tr.Span("sos/optimize", "")
 	idx := Pick(samples, a.opt.Predictor)
+	endOpt()
 	return plan{sched: samples[idx].Sched, predIPC: samples[idx].IPC}, nil
 }
 
@@ -400,10 +415,12 @@ func (a *adaptiveState) evalWithRetry(s schedule.Schedule) (Sample, bool, error)
 		if attempt >= a.opt.MaxSampleRetries {
 			a.res.SkippedSamples++
 			a.event("sample %s skipped after %d transient failures", s, attempt+1)
+			a.tr.Event("sos/sample-skipped")
 			return Sample{}, false, nil
 		}
 		a.res.Retries++
 		a.event("sample %s attempt %d lost %d counter reads; backing off %d slices", s, attempt+1, run.ReadFailures, backoff)
+		a.tr.Event("sos/retry")
 		if rr, err := RoundRobin(a.m.NumTasks(), a.y); err == nil {
 			// Backoff work is unmeasured; lost reads during it are harmless,
 			// and a context abort here is caught by the next poll above.
@@ -424,11 +441,13 @@ func (a *adaptiveState) fallbackPlan(reason string) (plan, error) {
 		return plan{}, fmt.Errorf("core: building round-robin fallback: %w", err)
 	}
 	a.event("fallback to round-robin: %s", reason)
+	a.tr.Event("sos/fallback")
 	return plan{sched: rr, fallback: true}, nil
 }
 
 // applyChurn mutates the job list per ev and rebinds the machine.
 func (a *adaptiveState) applyChurn(ev ChurnEvent, atSlice int) error {
+	a.tr.Event("sos/churn")
 	for _, id := range ev.Depart {
 		found := false
 		for i, j := range a.jobs {

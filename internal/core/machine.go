@@ -79,6 +79,10 @@ type Machine struct {
 	// reader, when non-nil, interposes on every counter read the scheduler
 	// performs (fault injection); nil reads the counters directly.
 	reader CounterReader
+
+	// sim, when non-nil, receives each timeslice's true counter delta
+	// (registry observability). It never feeds back into scheduling.
+	sim *SimMetrics
 }
 
 // NewMachine constructs a machine for cfg over the given jobs. Tasks are
@@ -137,6 +141,13 @@ func (m *Machine) SetTasks(jobs []*workload.Job) error {
 // stateful and the determinism contract requires the read sequence be a
 // function of this machine's activity alone.
 func (m *Machine) SetCounterReader(r CounterReader) { m.reader = r }
+
+// SetSimMetrics attaches registry counter handles that receive each
+// timeslice's true delta (nil detaches). Purely observational: results
+// are bit-identical with metrics attached or not, and the per-slice cost
+// is a handful of atomic adds with zero allocations. One SimMetrics may
+// be shared by many machines; the counters aggregate.
+func (m *Machine) SetSimMetrics(sm *SimMetrics) { m.sim = sm }
 
 // Tasks returns the schedulable entries in index order.
 func (m *Machine) Tasks() []Task { return m.tasks }
@@ -265,6 +276,9 @@ func (m *Machine) RunScheduleCtx(ctx context.Context, s schedule.Schedule, slice
 
 		snap := m.Core.Snapshot()
 		d := snap.Sub(prev)
+		// Observability sees the true delta, before any fault-injected
+		// reader corrupts the scheduler's view.
+		m.sim.recordSlice(d)
 		if m.reader != nil {
 			// The scheduler reads the counters through the interposed
 			// (possibly faulty) reader; progress accounting below stays
@@ -280,6 +294,7 @@ func (m *Machine) RunScheduleCtx(ctx context.Context, s schedule.Schedule, slice
 				res.SliceIPCs = append(res.SliceIPCs, d.IPC())
 			case errors.Is(err, ErrCounterRead):
 				res.ReadFailures++
+				m.sim.recordReadFailure()
 			default:
 				m.DetachAll()
 				return RunResult{}, fmt.Errorf("core: slice %d: %w", slice, err)

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"symbios/internal/counters"
+	"symbios/internal/obs"
+)
+
+// SimMetrics is the simulator's registry wiring: counter handles resolved
+// once at setup so the per-timeslice path in RunScheduleCtx is pure atomic
+// adds — no map lookups, no allocations, nothing that could perturb the
+// cycle loop (BenchmarkCoreCycles must stay at 0 allocs/op).
+//
+// The handles aggregate across every machine they are attached to, which
+// is what a service wants: sosd attaches one SimMetrics to all evaluator
+// machines and /metrics reports fleet-wide simulated work. A nil
+// *SimMetrics (from a nil registry) is a free no-op.
+type SimMetrics struct {
+	// Slices counts executed timeslices; Cycles and Committed aggregate
+	// the true per-slice machine deltas (never the fault-injected view).
+	Slices    *obs.Counter
+	Cycles    *obs.Counter
+	Committed *obs.Counter
+	// ReadFailures counts timeslices whose interposed counter read failed
+	// transiently (ErrCounterRead).
+	ReadFailures *obs.Counter
+	// Conflicts[r] accumulates cycles lost to a fetch/issue conflict on
+	// resource r, per counters.Resource.
+	Conflicts [counters.NumResources]*obs.Counter
+}
+
+// NewSimMetrics registers the simulator counter families on reg and
+// returns the resolved handles. A nil registry yields a nil (no-op)
+// SimMetrics.
+func NewSimMetrics(reg *obs.Registry) *SimMetrics {
+	if reg == nil {
+		return nil
+	}
+	sm := &SimMetrics{
+		Slices:    reg.Counter("sim_slices_total", "Timeslices executed across all machines."),
+		Cycles:    reg.Counter("sim_cycles_total", "Simulated cycles executed across all machines."),
+		Committed: reg.Counter("sim_committed_total", "Instructions committed across all machines."),
+		ReadFailures: reg.Counter("sim_counter_read_failures_total",
+			"Timeslices whose performance-counter read failed transiently."),
+	}
+	for r := counters.Resource(0); r < counters.NumResources; r++ {
+		sm.Conflicts[r] = reg.Counter("sim_conflict_cycles_total",
+			"Cycles a hardware resource blocked fetch or issue.",
+			obs.L("resource", r.String()))
+	}
+	return sm
+}
+
+// recordSlice feeds one true timeslice delta into the registry. Atomic
+// adds only; safe from concurrent machines and on a nil receiver.
+func (sm *SimMetrics) recordSlice(d counters.Set) {
+	if sm == nil {
+		return
+	}
+	sm.Slices.Add(1)
+	sm.Cycles.Add(d.Cycles)
+	sm.Committed.Add(d.Committed)
+	for r := 0; r < int(counters.NumResources); r++ {
+		sm.Conflicts[r].Add(d.ConflictCycles[r])
+	}
+}
+
+// recordReadFailure tallies one transient counter-read failure.
+func (sm *SimMetrics) recordReadFailure() {
+	if sm == nil {
+		return
+	}
+	sm.ReadFailures.Inc()
+}

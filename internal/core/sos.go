@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"symbios/internal/metrics"
+	"symbios/internal/obs"
 	"symbios/internal/rng"
 	"symbios/internal/schedule"
 )
@@ -26,6 +27,10 @@ type Options struct {
 	WarmupCycles uint64
 	// Seed drives schedule sampling.
 	Seed uint64
+	// Tracer, when non-nil, receives phase spans (sos/warmup, sos/sample,
+	// sos/optimize, sos/symbios). Observability only — a tracer never
+	// changes what Run computes.
+	Tracer *obs.Tracer
 }
 
 // Result reports a full SOS run.
@@ -89,12 +94,17 @@ func Run(m *Machine, y, z int, soloIPC []float64, opt Options) (Result, error) {
 	if opt.WarmupCycles > 0 {
 		rot := scheds[0].CycleSlices()
 		rounds := int(opt.WarmupCycles/(uint64(rot)*m.SliceCycles)) + 1
-		if _, err := m.RunSchedule(scheds[0], rot*rounds); err != nil {
+		endWarm := opt.Tracer.Span("sos/warmup", "")
+		_, err := m.RunSchedule(scheds[0], rot*rounds)
+		endWarm()
+		if err != nil {
 			return Result{}, err
 		}
 	}
 
+	endSample := opt.Tracer.Span("sos/sample", "")
 	samples, err := SamplePhase(m, scheds)
+	endSample()
 	if err != nil {
 		return Result{}, err
 	}
@@ -103,10 +113,14 @@ func Run(m *Machine, y, z int, soloIPC []float64, opt Options) (Result, error) {
 		sampleCycles += uint64(s.CycleSlices()) * m.SliceCycles
 	}
 
+	endOpt := opt.Tracer.Span("sos/optimize", "")
 	idx := Pick(samples, opt.Predictor)
 	chosen := samples[idx].Sched
+	endOpt()
 
+	endSym := opt.Tracer.Span("sos/symbios", "")
 	sym, err := m.RunSchedule(chosen, opt.SymbiosSlices)
+	endSym()
 	if err != nil {
 		return Result{}, err
 	}

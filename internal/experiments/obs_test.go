@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"symbios/internal/obs"
+)
+
+// TestFigure1ObsDeterminism is the no-feedback regression test on the
+// batch side: Figure 1 shard outputs must be bit-identical with the obs
+// tracer+registry carried in the context versus a plain context, at
+// workers 1 and 8. The eval cache is cleared between runs so every run
+// recomputes rather than replaying memoized results.
+func TestFigure1ObsDeterminism(t *testing.T) {
+	sc := QuickScale()
+	sc.CalibWarmup, sc.CalibMeasure = 200_000, 100_000
+	sc.WarmupCycles, sc.SymbiosCycles = 200_000, 400_000
+	labels := []string{"Jsb(4,2,2)", "Jsb(6,3,3)"}
+
+	run := func(workers int, traced bool) ([]Figure1Row, string) {
+		var rows []Figure1Row
+		var err error
+		var buf bytes.Buffer
+		withWorkers(t, workers, func() {
+			ClearEvalCache()
+			ctx := context.Background()
+			if traced {
+				ctx = obs.WithTracer(ctx, obs.NewTracer(&buf, obs.NewRegistry()))
+			}
+			rows, err = Figure1Ctx(ctx, sc, labels)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows, buf.String()
+	}
+
+	base, _ := run(1, false)
+	for _, workers := range []int{1, 8} {
+		traced, jsonl := run(workers, true)
+		if !reflect.DeepEqual(base, traced) {
+			t.Fatalf("workers=%d: rows differ with obs enabled:\n%+v\nvs\n%+v", workers, base, traced)
+		}
+		// The trace must actually cover the run: SOS phases and one shard
+		// span per mix.
+		shards := 0
+		for _, line := range strings.Split(strings.TrimSpace(jsonl), "\n") {
+			var ev obs.SpanEvent
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				t.Fatalf("workers=%d: bad JSONL line %q: %v", workers, line, err)
+			}
+			if ev.Name == "shard" {
+				shards++
+			}
+		}
+		if shards != len(labels) {
+			t.Errorf("workers=%d: %d shard spans, want %d", workers, shards, len(labels))
+		}
+		for _, span := range []string{`"name":"sos/calibrate"`, `"name":"sos/sample"`, `"name":"sos/symbios"`} {
+			if !strings.Contains(jsonl, span) {
+				t.Errorf("workers=%d: trace missing %s", workers, span)
+			}
+		}
+	}
+	ClearEvalCache() // leave no quick-scale entries for other tests
+}

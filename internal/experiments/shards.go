@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"symbios/internal/checkpoint"
+	"symbios/internal/obs"
 	"symbios/internal/parallel"
 )
 
@@ -41,6 +42,7 @@ func shardedMap[T, R any](ctx context.Context, exp string, items []T, opts paral
 	}
 	rec := checkpoint.RecorderFrom(ctx)
 	wd := checkpoint.WatchdogFrom(ctx)
+	tr := obs.TracerFrom(ctx)
 	opts.Context = ctx
 	out, err := parallel.Map(items, opts, func(i int, item T) (R, error) {
 		key := shardKey(exp, i)
@@ -53,7 +55,11 @@ func shardedMap[T, R any](ctx context.Context, exp string, items []T, opts paral
 			return r, nil
 		}
 		end := wd.Begin(key)
+		// Span computed shards only: a checkpoint replay above is not work,
+		// and tracing it would skew the shard-duration histogram.
+		endSpan := tr.Span("shard", key)
 		r, ferr := fn(ctx, i, item)
+		endSpan()
 		end()
 		if ferr != nil {
 			return r, ferr

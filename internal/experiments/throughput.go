@@ -7,6 +7,7 @@ import (
 	"symbios/internal/arch"
 	"symbios/internal/core"
 	"symbios/internal/metrics"
+	"symbios/internal/obs"
 	"symbios/internal/parallel"
 	"symbios/internal/rng"
 	"symbios/internal/schedule"
@@ -72,12 +73,15 @@ func EvalMixSchedules(mix workload.Mix, scheds []schedule.Schedule, sc Scale) (*
 func EvalMixSchedulesCtx(ctx context.Context, mix workload.Mix, scheds []schedule.Schedule, sc Scale) (*MixEval, error) {
 	cfg := arch.Default21264(mix.SMTLevel)
 	slice := sc.sliceFor(mix)
+	tr := obs.TracerFrom(ctx)
 
 	jobs, seeds, err := buildJobs(mix, sc.Seed)
 	if err != nil {
 		return nil, err
 	}
+	endCal := tr.Span("sos/calibrate", mix.Label)
 	solo, err := core.SoloRates(cfg, jobs, seeds, sc.CalibWarmup, sc.CalibMeasure)
+	endCal()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", mix.Label, err)
 	}
@@ -91,24 +95,32 @@ func EvalMixSchedulesCtx(ctx context.Context, mix workload.Mix, scheds []schedul
 	if err != nil {
 		return nil, err
 	}
-	if err := warm(ctx, m, scheds[0], sc.WarmupCycles); err != nil {
+	endWarm := tr.Span("sos/warmup", mix.Label)
+	err = warm(ctx, m, scheds[0], sc.WarmupCycles)
+	endWarm()
+	if err != nil {
 		return nil, err
 	}
+	endSample := tr.Span("sos/sample", mix.Label)
 	for _, s := range scheds {
 		res, err := m.RunScheduleCtx(ctx, s, s.CycleSlices()*sc.SampleRounds)
 		if err != nil {
+			endSample()
 			return nil, err
 		}
 		ev.Samples = append(ev.Samples, core.NewSample(s, res))
 	}
+	endSample()
 
 	// Symbios validation: run each sampled schedule from an identical
 	// starting state and record its weighted speedup. Each run builds its
 	// own jobs and machine from the same seed, so the runs are independent
 	// and fan out across workers with bit-identical results.
+	endSym := tr.Span("sos/symbios", mix.Label)
 	ev.WS, err = parallel.Map(scheds, parallel.Options{Context: ctx}, func(_ int, s schedule.Schedule) (float64, error) {
 		return symbiosWS(ctx, mix, cfg, slice, sc, s, solo)
 	})
+	endSym()
 	if err != nil {
 		return nil, err
 	}

@@ -39,55 +39,69 @@ func WeightedSpeedup(cycles uint64, committed []uint64, soloIPC []float64) (floa
 	return ws, nil
 }
 
-// Mean returns the arithmetic mean of xs (0 for an empty slice).
-func Mean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	sum := 0.0
-	for _, x := range xs {
-		sum += x
-	}
-	return sum / float64(len(xs))
+// The stat helpers below come from fault-tolerance review: IPC series can
+// legitimately be empty (a window cancelled before its first slice) or
+// carry NaN/Inf (a division on corrupted counter reads), and a predictor
+// must degrade to a defined zero rather than panic or poison every
+// downstream aggregate. Non-finite elements are skipped, and the empty
+// (or all-non-finite) input yields 0.
+
+// finite reports whether x can participate in an aggregate.
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
 }
 
-// StdDev returns the population standard deviation of xs.
-func StdDev(xs []float64) float64 {
-	if len(xs) < 2 {
+// Mean returns the arithmetic mean of the finite elements of xs (0 when
+// none are finite).
+func Mean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if finite(x) {
+			sum += x
+			n++
+		}
+	}
+	if n == 0 {
 		return 0
 	}
-	m := Mean(xs)
+	return sum / float64(n)
+}
+
+// StdDev returns the population standard deviation of the finite elements
+// of xs (0 when fewer than two are finite).
+func StdDev(xs []float64) float64 {
+	m, n := Mean(xs), 0
 	ss := 0.0
 	for _, x := range xs {
-		d := x - m
-		ss += d * d
+		if finite(x) {
+			d := x - m
+			ss += d * d
+			n++
+		}
 	}
-	return math.Sqrt(ss / float64(len(xs)))
+	if n < 2 {
+		return 0
+	}
+	return math.Sqrt(ss / float64(n))
 }
 
-// Min returns the smallest element; it panics on an empty slice.
+// Min returns the smallest finite element of xs (0 when none are finite).
 func Min(xs []float64) float64 {
-	if len(xs) == 0 {
-		panic("metrics: Min of empty slice")
-	}
-	m := xs[0]
-	for _, x := range xs[1:] {
-		if x < m {
-			m = x
+	m, found := 0.0, false
+	for _, x := range xs {
+		if finite(x) && (!found || x < m) {
+			m, found = x, true
 		}
 	}
 	return m
 }
 
-// Max returns the largest element; it panics on an empty slice.
+// Max returns the largest finite element of xs (0 when none are finite).
 func Max(xs []float64) float64 {
-	if len(xs) == 0 {
-		panic("metrics: Max of empty slice")
-	}
-	m := xs[0]
-	for _, x := range xs[1:] {
-		if x > m {
-			m = x
+	m, found := 0.0, false
+	for _, x := range xs {
+		if finite(x) && (!found || x > m) {
+			m, found = x, true
 		}
 	}
 	return m

@@ -109,16 +109,41 @@ func TestStats(t *testing.T) {
 	}
 }
 
-// TestMinMaxPanics: Min/Max of nothing is a programming error.
-func TestMinMaxPanics(t *testing.T) {
-	for _, f := range []func(){func() { Min(nil) }, func() { Max(nil) }} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("empty-slice extremum did not panic")
-				}
-			}()
-			f()
-		}()
+// TestStatsDegenerate pins the fault-tolerance contract of every helper:
+// empty, single-element and NaN/Inf-poisoned inputs yield defined values
+// (the finite aggregate, or zero) instead of panicking or propagating the
+// poison into downstream predictor scores.
+func TestStatsDegenerate(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name                     string
+		xs                       []float64
+		mean, stddev, xmin, xmax float64
+	}{
+		{"nil", nil, 0, 0, 0, 0},
+		{"empty", []float64{}, 0, 0, 0, 0},
+		{"single", []float64{3}, 3, 0, 3, 3},
+		{"single NaN", []float64{nan}, 0, 0, 0, 0},
+		{"all non-finite", []float64{nan, inf, -inf}, 0, 0, 0, 0},
+		{"NaN amid values", []float64{2, nan, 4}, 3, 1, 2, 4},
+		{"Inf amid values", []float64{2, inf, 4, -inf}, 3, 1, 2, 4},
+		{"one finite one NaN", []float64{5, nan}, 5, 0, 5, 5},
+		{"negatives", []float64{-2, -8}, -5, 3, -8, -2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Mean(c.xs); got != c.mean {
+				t.Errorf("Mean = %v, want %v", got, c.mean)
+			}
+			if got := StdDev(c.xs); got != c.stddev {
+				t.Errorf("StdDev = %v, want %v", got, c.stddev)
+			}
+			if got := Min(c.xs); got != c.xmin {
+				t.Errorf("Min = %v, want %v", got, c.xmin)
+			}
+			if got := Max(c.xs); got != c.xmax {
+				t.Errorf("Max = %v, want %v", got, c.xmax)
+			}
+		})
 	}
 }

@@ -1,0 +1,28 @@
+// Package obs is the repo's dependency-free observability layer: an
+// atomic metrics registry with Prometheus text-format exposition, and a
+// phase-span tracer that brackets the SOS loop (sample → optimize →
+// symbios) and each experiments shard.
+//
+// Two invariants shape every type here:
+//
+//   - Nil no-ops. Like internal/resilience, every handle tolerates a nil
+//     receiver: a nil *Registry hands out nil *Counter / *Gauge /
+//     *Histogram, and Inc/Set/Observe on those are free no-ops. Callers
+//     wire metrics unconditionally and the "observability off"
+//     configuration is simply a nil registry — no flags threaded through
+//     the simulator.
+//
+//   - No feedback. Observability is read-only with respect to scheduling:
+//     nothing in this package is ever consulted by the sampler, the
+//     predictor, or the adaptive monitor loop. /v1/schedule responses and
+//     experiment output are byte-identical with the registry on or off,
+//     and determinism tests in cmd/sosd and internal/experiments enforce
+//     that.
+//
+// Hot-loop discipline: Counter.Add and Histogram.Observe are single
+// atomic operations with zero allocations, so per-timeslice simulator
+// counters (core.SimMetrics) can feed the registry without perturbing
+// BenchmarkCoreCycles' 0 allocs/op. Registration (Registry.Counter etc.)
+// takes a mutex and allocates — resolve handles once at setup, never per
+// event.
+package obs

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4). Output is deterministic: families
+// sorted by name, series sorted by label string, buckets in bound order.
+// A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := r.families[name]
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			writeSeries(bw, f, f.series[k])
+		}
+	}
+	r.mu.Unlock()
+	return bw.Flush()
+}
+
+func writeSeries(w io.Writer, f *family, s *series) {
+	switch {
+	case s.c != nil:
+		fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.c.Value())
+	case s.gf != nil:
+		fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(s.gf()))
+	case s.g != nil:
+		fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(s.g.Value()))
+	case s.h != nil:
+		writeHistogram(w, f, s)
+	}
+}
+
+func writeHistogram(w io.Writer, f *family, s *series) {
+	h := s.h
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			withLE(s.labels, formatFloat(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLE(s.labels, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, h.Count())
+}
+
+// withLE splices an le="bound" label into an already-rendered label set.
+func withLE(labels, bound string) string {
+	if labels == "" {
+		return `{le="` + bound + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + bound + `"}`
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

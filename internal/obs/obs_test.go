@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock hands out instants advancing by a fixed step per call, so
+// exposition output and span durations are exact.
+type fakeClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	step time.Duration
+}
+
+func newFakeClock(step time.Duration) *fakeClock {
+	return &fakeClock{t: time.Unix(1000, 0), step: step}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c_total", "help")
+	g := r.Gauge("g", "help")
+	h := r.Histogram("h_seconds", "help", nil)
+	r.GaugeFunc("gf", "help", func() float64 { return 1 })
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(0.5)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil-registry handles must read as zero")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, err %v", buf.String(), err)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("requests_total", "reqs", L("code", "200"))
+	b := r.Counter("requests_total", "reqs", L("code", "200"))
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	other := r.Counter("requests_total", "reqs", L("code", "500"))
+	if a == other {
+		t.Fatal("different labels must return distinct series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter name as a gauge must panic")
+		}
+	}()
+	r.Gauge("requests_total", "reqs")
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	g := r.Gauge("g", "")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	h := r.Histogram("h", "", []float64{1, 2})
+	for _, v := range []float64{0.5, 1.5, 5, math.NaN()} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("histogram count = %d, want 3 (NaN dropped)", h.Count())
+	}
+	if h.Sum() != 7 {
+		t.Fatalf("histogram sum = %v, want 7", h.Sum())
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "b counter", L("k", "v")).Add(2)
+	r.Gauge("a_gauge", "a gauge").Set(1.5)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+	r.GaugeFunc("fn_gauge", "computed", func() float64 { return 7 })
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_gauge a gauge
+# TYPE a_gauge gauge
+a_gauge 1.5
+# HELP b_total b counter
+# TYPE b_total counter
+b_total{k="v"} 2
+# HELP fn_gauge computed
+# TYPE fn_gauge gauge
+fn_gauge 7
+# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="1"} 2
+lat_seconds_bucket{le="+Inf"} 3
+lat_seconds_sum 3.55
+lat_seconds_count 3
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestParseTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "requests", L("code", "200")).Inc()
+	r.Histogram("stage_seconds", "stages", nil, L("stage", "decode")).Observe(0.01)
+	r.Gauge("depth", "queue depth").Set(3)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(&buf)
+	if err != nil {
+		t.Fatalf("our own exposition failed to parse: %v", err)
+	}
+	want := map[string]string{"reqs_total": "counter", "stage_seconds": "histogram", "depth": "gauge"}
+	for name, kind := range want {
+		if fams[name] != kind {
+			t.Fatalf("family %q = %q, want %q (all: %v)", name, fams[name], kind, fams)
+		}
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"undeclared sample", "foo 1\n"},
+		{"bad value", "# TYPE foo counter\nfoo abc\n"},
+		{"bad type", "# TYPE foo widget\n"},
+		{"bare histogram sample", "# TYPE h histogram\nh 3\n"},
+		{"histogram missing +Inf", "# TYPE h histogram\nh_sum 1\nh_count 1\n"},
+		{"malformed labels", "# TYPE foo counter\nfoo{k=unquoted} 1\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseText(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: ParseText accepted %q", tc.name, tc.in)
+		}
+	}
+}
+
+func TestTracerSpansAndEvents(t *testing.T) {
+	clock := newFakeClock(time.Millisecond)
+	reg := NewRegistry()
+	reg.SetNow(clock.Now)
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, reg)
+	tr.SetNow(clock.Now)
+
+	end := tr.Span("sos/sample", "mix-1")
+	end()
+	tr.Event("sos/retry")
+
+	var spans []SpanEvent
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev SpanEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		spans = append(spans, ev)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d records, want 2: %+v", len(spans), spans)
+	}
+	if spans[0].Name != "sos/sample" || spans[0].Detail != "mix-1" || spans[0].DurNS != int64(time.Millisecond) {
+		t.Fatalf("span record wrong: %+v", spans[0])
+	}
+	if spans[1].Name != "sos/retry" || spans[1].DurNS != 0 {
+		t.Fatalf("event record wrong: %+v", spans[1])
+	}
+
+	var expo bytes.Buffer
+	if err := reg.WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	out := expo.String()
+	if !strings.Contains(out, `obs_span_seconds_count{span="sos/sample"} 1`) {
+		t.Fatalf("span histogram missing from exposition:\n%s", out)
+	}
+	if !strings.Contains(out, `obs_events_total{event="sos/retry"} 1`) {
+		t.Fatalf("event counter missing from exposition:\n%s", out)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	end := tr.Span("x", "")
+	end()
+	tr.Event("y")
+	if tr.Err() != nil {
+		t.Fatal("nil tracer must not error")
+	}
+	if TracerFrom(nil) != nil {
+		t.Fatal("TracerFrom(nil ctx) must be nil")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestTracerSurfacesWriteError(t *testing.T) {
+	tr := NewTracer(failWriter{}, nil)
+	tr.Span("s", "")()
+	if tr.Err() == nil {
+		t.Fatal("write error must surface via Err")
+	}
+}
+
+// TestHotPathAllocations is the bench guard for the registry side: the
+// per-timeslice simulator counters and per-request stage histograms ride
+// on these exact operations, which must not allocate.
+func TestHotPathAllocations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", nil)
+	var nilTr *Tracer
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Add", func() { c.Add(1) }},
+		{"Gauge.Set", func() { g.Set(1) }},
+		{"Histogram.Observe", func() { h.Observe(0.001) }},
+		{"nil Tracer.Span", func() { nilTr.Span("x", "")() }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestConcurrentUse hammers one registry from many goroutines while a
+// scraper renders it; run under -race in CI this is the data-race gate.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(io.Discard, r)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := r.Counter("c_total", "", L("w", string(rune('a'+i))))
+			h := r.Histogram("h_seconds", "", nil)
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				h.Observe(float64(j) * 1e-4)
+				tr.Span("phase", "")()
+				if j%50 == 0 {
+					tr.Event("tick")
+				}
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Errorf("scrape %d: %v", i, err)
+				return
+			}
+			if _, err := ParseText(&buf); err != nil {
+				t.Errorf("scrape %d unparsable: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+}

@@ -1,0 +1,345 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// DefBuckets are the default latency histogram bounds in seconds, spanning
+// sub-microsecond registry operations up to minute-scale experiment shards.
+var DefBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Registry owns a set of metric families and exposes them in Prometheus
+// text format. A nil *Registry is valid and hands out nil handles whose
+// methods are no-ops, so callers never branch on "metrics enabled".
+//
+// Registration is idempotent: asking for the same (name, labels) series
+// twice returns the same handle. Asking for the same name with a
+// different metric kind panics — that is a programming error, not a
+// runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	now      func() time.Time
+	families map[string]*family
+}
+
+// family groups all series sharing one metric name.
+type family struct {
+	name    string
+	help    string
+	kind    string // "counter", "gauge", "histogram"
+	buckets []float64
+	series  map[string]*series // keyed by canonical label string
+}
+
+type series struct {
+	labels string // canonical rendered label string, "" when unlabeled
+	c      *Counter
+	g      *Gauge
+	gf     func() float64
+	h      *Histogram
+}
+
+// NewRegistry returns an empty registry using the real clock.
+func NewRegistry() *Registry {
+	return &Registry{now: time.Now, families: make(map[string]*family)}
+}
+
+// SetNow injects a clock for tests. It affects histograms created after
+// the call, so set it before registering metrics.
+func (r *Registry) SetNow(fn func() time.Time) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.now = fn
+	r.mu.Unlock()
+}
+
+// Counter registers (or finds) a monotonically increasing counter.
+// Returns nil on a nil registry.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.register(name, help, "counter", nil, labels)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	r.mu.Unlock()
+	return s.c
+}
+
+// Gauge registers (or finds) a settable instantaneous value.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.register(name, help, "gauge", nil, labels)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	r.mu.Unlock()
+	return s.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time. fn runs with the registry lock held, so it must not call back
+// into the registry (it may take other locks, e.g. a Stats() method).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil || fn == nil {
+		return
+	}
+	s := r.register(name, help, "gauge", nil, labels)
+	s.gf = fn
+	r.mu.Unlock()
+}
+
+// Histogram registers (or finds) a fixed-bucket histogram. buckets are
+// upper bounds in increasing order; nil means DefBuckets. An implicit
+// +Inf bucket is always appended.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	s := r.register(name, help, "histogram", buckets, labels)
+	if s.h == nil {
+		s.h = newHistogram(r.now, r.families[name].buckets)
+	}
+	r.mu.Unlock()
+	return s.h
+}
+
+// register locates or creates the (family, series) pair. It returns with
+// r.mu HELD so the caller can fill in the handle race-free; every caller
+// must unlock.
+func (r *Registry) register(name, help, kind string, buckets []float64, labels []Label) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Name) || l.Name == "le" {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l.Name, name))
+		}
+	}
+	key := renderLabels(labels)
+	r.mu.Lock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		if kind == "histogram" {
+			f.buckets = append([]float64(nil), buckets...)
+			for i := 1; i < len(f.buckets); i++ {
+				if f.buckets[i] <= f.buckets[i-1] {
+					r.mu.Unlock()
+					panic(fmt.Sprintf("obs: histogram %q buckets not strictly increasing", name))
+				}
+			}
+		}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		r.mu.Unlock()
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: key}
+		f.series[key] = s
+	}
+	return s
+}
+
+// validName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels produces the canonical {k="v",...} form, sorted by label
+// name so registration and exposition agree on series identity.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Counter is a monotonically increasing uint64. All methods are safe on
+// a nil receiver and from concurrent goroutines; Add is one atomic op
+// with zero allocations.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64. Nil-safe, atomic, allocation-free.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by delta via CAS.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Observe is lock-free
+// (one atomic add per bucket/count, one CAS loop for the float sum) and
+// allocation-free. Nil-safe.
+type Histogram struct {
+	now     func() time.Time
+	bounds  []float64 // upper bounds, strictly increasing; +Inf implicit
+	counts  []atomic.Uint64
+	total   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(now func() time.Time, bounds []float64) *Histogram {
+	return &Histogram{now: now, bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one sample. NaN observations are dropped (a NaN sum
+// would poison the whole series forever).
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// Bucket search: linear over the typical ~20 bounds beats binary
+	// search's branch misses at this size, and stays allocation-free.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed seconds from t0 to the histogram's
+// clock now.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(h.now().Sub(t0).Seconds())
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanEvent is one JSONL record emitted by a Tracer: a span (DurNS > 0
+// covers [StartNS, StartNS+DurNS]) or a point event (DurNS == 0).
+type SpanEvent struct {
+	Name    string `json:"name"`
+	Detail  string `json:"detail,omitempty"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// Tracer records phase spans and point events. It can sink to a JSONL
+// writer (sosbench -trace-out), feed duration histograms and event
+// counters in a Registry, or both; either sink may be nil. A nil *Tracer
+// is a free no-op, so the simulator brackets phases unconditionally.
+//
+// Span names are low-cardinality phase identifiers ("sos/sample") that
+// become histogram labels; per-item context (a shard key, a mix label)
+// goes in detail, which reaches only the JSONL sink.
+type Tracer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	err   error
+	now   func() time.Time
+	reg   *Registry
+	spans map[string]*Histogram
+	evs   map[string]*Counter
+}
+
+// noopEnd is the shared end function returned by nil tracers so that
+// bracketing a phase on the "observability off" path allocates nothing.
+var noopEnd = func() {}
+
+// NewTracer returns a tracer writing JSONL records to w (nil to skip)
+// and span/event metrics to reg (nil to skip).
+func NewTracer(w io.Writer, reg *Registry) *Tracer {
+	return &Tracer{
+		w:     w,
+		now:   time.Now,
+		reg:   reg,
+		spans: make(map[string]*Histogram),
+		evs:   make(map[string]*Counter),
+	}
+}
+
+// SetNow injects a clock for tests.
+func (t *Tracer) SetNow(fn func() time.Time) {
+	if t == nil || fn == nil {
+		return
+	}
+	t.mu.Lock()
+	t.now = fn
+	t.mu.Unlock()
+}
+
+// Span starts a span and returns the function that ends it. Call the
+// returned func exactly once; it is safe to call on every exit path via
+// defer. detail is free-form per-item context for the JSONL record.
+func (t *Tracer) Span(name, detail string) func() {
+	if t == nil {
+		return noopEnd
+	}
+	t.mu.Lock()
+	start := t.now()
+	t.mu.Unlock()
+	return func() {
+		t.mu.Lock()
+		end := t.now()
+		t.mu.Unlock()
+		t.record(name, detail, start, end.Sub(start))
+	}
+}
+
+// Event records a zero-duration point event (a retry, a resample, a
+// churn arrival).
+func (t *Tracer) Event(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	now := t.now()
+	t.mu.Unlock()
+	t.record(name, "", now, 0)
+	t.counterFor(name).Inc()
+}
+
+// Err returns the first JSONL write error, if any, so batch drivers can
+// surface a failed -trace-out at exit instead of silently truncating.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+func (t *Tracer) record(name, detail string, start time.Time, dur time.Duration) {
+	if dur > 0 {
+		t.histFor(name).Observe(dur.Seconds())
+	}
+	if t.w == nil {
+		return
+	}
+	rec := SpanEvent{Name: name, Detail: detail, StartNS: start.UnixNano(), DurNS: dur.Nanoseconds()}
+	buf, err := json.Marshal(rec)
+	if err != nil { // struct of strings and ints: cannot happen
+		return
+	}
+	buf = append(buf, '\n')
+	t.mu.Lock()
+	if _, werr := t.w.Write(buf); werr != nil && t.err == nil {
+		t.err = werr
+	}
+	t.mu.Unlock()
+}
+
+func (t *Tracer) histFor(name string) *Histogram {
+	if t.reg == nil {
+		return nil
+	}
+	t.mu.Lock()
+	h, ok := t.spans[name]
+	if !ok {
+		h = t.reg.Histogram("obs_span_seconds",
+			"Duration of traced phases (SOS sample/optimize/symbios, experiment shards).",
+			nil, L("span", name))
+		t.spans[name] = h
+	}
+	t.mu.Unlock()
+	return h
+}
+
+func (t *Tracer) counterFor(name string) *Counter {
+	if t.reg == nil {
+		return nil
+	}
+	t.mu.Lock()
+	c, ok := t.evs[name]
+	if !ok {
+		c = t.reg.Counter("obs_events_total",
+			"Point events from traced components (retry, resample, churn, fallback).",
+			L("event", name))
+		t.evs[name] = c
+	}
+	t.mu.Unlock()
+	return c
+}
+
+type tracerKey struct{}
+
+// WithTracer returns a context carrying tr, following the same
+// capability-injection pattern as checkpoint.WithRecorder.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, tracerKey{}, tr)
+}
+
+// TracerFrom extracts the tracer from ctx; nil (a no-op tracer) when
+// absent or when ctx itself is nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return tr
+}

@@ -1,44 +1,79 @@
 #!/usr/bin/env bash
 # bench.sh — run the root benchmarks and emit a BENCH_<date>.json perf
-# snapshot (ns/op, allocs/op, B/op and reported metrics per table/figure)
-# so future optimisation PRs have a trajectory to compare against.
+# snapshot (min/median ns/op, allocs/op, B/op and reported metrics per
+# table/figure) so future optimisation PRs have a trajectory to compare
+# against.
 #
 # Usage:
-#   scripts/bench.sh [bench-regex] [benchtime]
+#   scripts/bench.sh [bench-regex] [benchtime] [count]
 #
-# Defaults: the fast structural benchmarks plus the simulator hot loop.
-# Pass '.' to run everything (slow: the full figure suite simulates
-# hundreds of millions of cycles).
+# Defaults: the fast structural benchmarks plus the simulator hot loop,
+# 5 repetitions at a pinned -benchtime so run-to-run noise is visible in
+# the snapshot instead of silently folded into a single sample. Pass '.'
+# to run everything (slow: the full figure suite simulates hundreds of
+# millions of cycles).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 PATTERN="${1:-BenchmarkCoreCycles|BenchmarkTraceAt|BenchmarkScheduleSample|BenchmarkSOSRun}"
 BENCHTIME="${2:-1x}"
+COUNT="${3:-5}"
+if [ "$COUNT" -lt 5 ]; then
+    echo "bench.sh: count must be >= 5 (got $COUNT); single-digit samples make min/median meaningless" >&2
+    exit 1
+fi
 OUT="BENCH_$(date +%Y%m%d).json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-echo "running: go test -run ^\$ -bench \"$PATTERN\" -benchtime $BENCHTIME -benchmem" >&2
-go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem | tee "$RAW"
+echo "running: go test -run ^\$ -bench \"$PATTERN\" -benchtime $BENCHTIME -count $COUNT -benchmem" >&2
+go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -count "$COUNT" -benchmem | tee "$RAW"
 
-# Convert `go test -bench` lines into a JSON snapshot. Each benchmark line
-# has the shape:
+# Aggregate the repeated `go test -bench` lines into a JSON snapshot.
+# Each benchmark line has the shape:
 #   BenchmarkName  N  t ns/op [m unit ...]  b B/op  a allocs/op
-python3 - "$RAW" "$OUT" <<'EOF'
-import json, re, sys, datetime, subprocess
+# and appears $COUNT times; the snapshot records min and median per
+# metric. A benchmark that produced fewer than 2 samples fails the run:
+# one sample means the regex matched a benchmark that crashed or was
+# skipped partway, and a snapshot built on it would record pure noise.
+python3 - "$RAW" "$OUT" "$COUNT" "$BENCHTIME" <<'EOF'
+import json, re, sys, datetime, statistics, subprocess
 
-raw, out = sys.argv[1], sys.argv[2]
-benches = {}
+raw, out, want, benchtime = sys.argv[1], sys.argv[2], int(sys.argv[3]), sys.argv[4]
+samples = {}
 for line in open(raw):
-    m = re.match(r'^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+(.*)$', line)
+    m = re.match(r'^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$', line)
     if not m:
         continue
     name, iters, rest = m.group(1), int(m.group(2)), m.group(3)
     metrics = {}
     for val, unit in re.findall(r'([0-9.e+]+)\s+(\S+)', rest):
         metrics[unit] = float(val)
-    benches[name] = {"iterations": iters, "metrics": metrics}
+    samples.setdefault(name, []).append({"iterations": iters, "metrics": metrics})
+
+if not samples:
+    sys.exit("bench.sh: no benchmark lines matched; check the pattern")
+
+benches = {}
+bad = []
+for name, runs in sorted(samples.items()):
+    if len(runs) < 2:
+        bad.append(f"{name}: {len(runs)} sample(s), want {want}")
+        continue
+    units = sorted({u for r in runs for u in r["metrics"]})
+    agg = {}
+    for u in units:
+        vals = [r["metrics"][u] for r in runs if u in r["metrics"]]
+        agg[u] = {"min": min(vals), "median": statistics.median(vals)}
+    benches[name] = {
+        "samples": len(runs),
+        "iterations": min(r["iterations"] for r in runs),
+        "metrics": agg,
+    }
+if bad:
+    sys.exit("bench.sh: benchmarks with too few samples to aggregate:\n  "
+             + "\n  ".join(bad))
 
 commit = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
                         capture_output=True, text=True).stdout.strip()
@@ -47,10 +82,11 @@ snapshot = {
     "commit": commit,
     "go": subprocess.run(["go", "version"], capture_output=True,
                          text=True).stdout.strip(),
+    "benchtime": benchtime,
     "benchmarks": benches,
 }
 with open(out, "w") as f:
     json.dump(snapshot, f, indent=2, sort_keys=True)
     f.write("\n")
-print(f"wrote {out} ({len(benches)} benchmarks)", file=sys.stderr)
+print(f"wrote {out} ({len(benches)} benchmarks, {want} samples each)", file=sys.stderr)
 EOF

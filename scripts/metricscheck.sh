@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# metricscheck.sh — boot a live sosd, drive one rank and one adaptive
+# request through the full pipeline, scrape /metrics, and validate the
+# exposition with scripts/promcheck: well-formed Prometheus text format,
+# with every pipeline-stage, request, simulator and SOS-span family
+# present. CI's lint job runs this so a scrape regression fails fast.
+#
+# Usage:
+#   scripts/metricscheck.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+cleanup() {
+    [ -f "$TMP/sosd.pid" ] && kill "$(cat "$TMP/sosd.pid")" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/sosd" ./cmd/sosd
+
+# Launch on an ephemeral port and parse the bound address from the logged
+# contract line (same handshake as soak.sh).
+LOG="$TMP/sosd.log"
+"$TMP/sosd" -addr 127.0.0.1:0 </dev/null >/dev/null 2>"$LOG" &
+PID=$!
+echo "$PID" >"$TMP/sosd.pid"
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/.*listening on \(.*\)/\1/p' "$LOG" | head -n1)"
+    [ -n "$ADDR" ] && break
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "FAIL: sosd died on startup:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "FAIL: sosd never logged its address" >&2
+    exit 1
+fi
+echo "sosd up at $ADDR" >&2
+
+# One request per mode, so both the rank path and the adaptive SOS loop
+# (whose phase spans feed obs_span_seconds) have reported latencies.
+curl -fsS -X POST -H 'X-Client-ID: metricscheck' \
+    -d '{"mix":"Jsb(4,2,2)","seed":7,"samples":4}' \
+    "http://$ADDR/v1/schedule" >/dev/null
+curl -fsS -X POST -H 'X-Client-ID: metricscheck' \
+    -d '{"mix":"Jsb(4,2,2)","seed":7,"samples":3,"mode":"adaptive"}' \
+    "http://$ADDR/v1/schedule" >/dev/null
+
+SCRAPE="$TMP/metrics.txt"
+curl -fsS "http://$ADDR/metrics" >"$SCRAPE"
+
+go run ./scripts/promcheck -require \
+    sosd_stage_seconds,sosd_http_request_seconds,sosd_http_requests_total,sosd_limiter_admitted,sosd_limiter_shed,sosd_breaker_state,sosd_breaker_opens,sosd_queue_depth,sosd_queue_rejected,sosd_retry_budget_exhausted,sosd_draining,sim_slices_total,sim_cycles_total,sim_committed_total,sim_conflict_cycles_total,obs_span_seconds \
+    <"$SCRAPE"
+
+# Every pipeline stage must have recorded at least the rank request.
+for stage in limiter decode cache breaker queue retry; do
+    if ! grep -q "sosd_stage_seconds_count{stage=\"$stage\"}" "$SCRAPE"; then
+        echo "FAIL: /metrics has no latency series for pipeline stage '$stage'" >&2
+        exit 1
+    fi
+done
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+rm -f "$TMP/sosd.pid"
+echo "PASS: /metrics exposition valid and complete" >&2

@@ -1,0 +1,47 @@
+// Command promcheck validates a Prometheus text-format exposition read
+// from stdin, using the same parser the unit tests run against the
+// in-process registry (internal/obs.ParseText). CI pipes a live sosd
+// /metrics scrape through it so a malformed exposition — or a pipeline
+// stage that silently stopped reporting — fails the lint job.
+//
+// Usage:
+//
+//	curl -s http://$ADDR/metrics | go run ./scripts/promcheck \
+//	    -require sosd_stage_seconds,sosd_http_requests_total
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"symbios/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric families that must be present")
+	flag.Parse()
+
+	families, err := obs.ParseText(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	var missing []string
+	for _, fam := range strings.Split(*require, ",") {
+		fam = strings.TrimSpace(fam)
+		if fam == "" {
+			continue
+		}
+		if _, ok := families[fam]; !ok {
+			missing = append(missing, fam)
+		}
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "promcheck: exposition valid but missing required families: %s\n",
+			strings.Join(missing, ", "))
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %d families OK\n", len(families))
+}
