@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"symbios/internal/arch"
+	"symbios/internal/obs"
+	"symbios/internal/schedule"
+	"symbios/internal/workload"
+)
+
+// Machine-level golden suite: RunSchedule outputs (full RunResult — counter
+// deltas, per-task commits, slice IPCs) pinned against the seed kernel, with
+// observability metrics attached and detached. The obs-on run must be
+// byte-identical to the obs-off run: metrics observe, they never perturb.
+// Fault injection is layered in the experiments golden suite, which owns a
+// CounterReader path; here the clean machine semantics are the contract.
+// Regenerate with:
+//
+//	go test ./internal/core -run TestGoldenMachine -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_machine.json from the current kernel")
+
+const machineGoldenPath = "testdata/golden_machine.json"
+
+type machineGolden struct {
+	Name   string    `json:"name"`
+	Result RunResult `json:"result"`
+}
+
+func runMachineGolden(t *testing.T) []machineGolden {
+	t.Helper()
+	var out []machineGolden
+	for _, tc := range []struct {
+		name  string
+		mix   string
+		seed  uint64
+		slice uint64
+	}{
+		{"jsb422-default", "Jsb(4,2,2)", 7, 40_000},
+		{"jsb633-default", "Jsb(6,3,3)", 11, 25_000},
+	} {
+		mix := workload.MustMix(tc.mix)
+		jobs, err := mix.Build(tc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := arch.Default21264(mix.SMTLevel)
+		m, err := NewMachine(cfg, jobs, tc.slice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := schedule.Schedule{Order: make([]int, len(jobs)), Y: mix.SMTLevel, Z: mix.Swap}
+		for i := range s.Order {
+			s.Order[i] = i
+		}
+		slices := 3 * s.CycleSlices()
+		res, err := m.RunScheduleCtx(context.Background(), s, slices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, machineGolden{Name: tc.name, Result: res})
+
+		// Same run with observability attached: SimMetrics must be a pure
+		// observer. Jobs carry progress state, so the replay machine gets a
+		// freshly built (identically seeded) jobmix.
+		jobs2, err := mix.Build(tc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := NewMachine(cfg, jobs2, tc.slice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2.SetSimMetrics(NewSimMetrics(obs.NewRegistry()))
+		res2, err := m2.RunScheduleCtx(context.Background(), s, slices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, res2) {
+			t.Errorf("%s: obs-on run diverged from obs-off run", tc.name)
+		}
+	}
+	return out
+}
+
+func TestGoldenMachine(t *testing.T) {
+	got := runMachineGolden(t)
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(machineGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(machineGoldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", machineGoldenPath)
+		return
+	}
+	data, err := os.ReadFile(machineGoldenPath)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update-golden on a trusted kernel): %v", err)
+	}
+	var want []machineGolden
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		for i := range want {
+			if i < len(got) && !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("case %s diverged:\n got %+v\nwant %+v", want[i].Name, got[i].Result, want[i].Result)
+			}
+		}
+		if !t.Failed() {
+			t.Error("machine golden diverged (case list changed?)")
+		}
+	}
+}
