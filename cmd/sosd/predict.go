@@ -92,6 +92,12 @@ func (e *evaluator) rank(ctx context.Context, req ScheduleRequest, mix workload.
 	if err := warm(ctx, m, scheds[0], e.scale.WarmupCycles); err != nil {
 		return nil, err
 	}
+	// The sample phase is inherently sequential: every candidate schedule
+	// must be observed on this one machine, whose jobs keep progressing
+	// across samples (the paper's overhead-free sample phase). Batched
+	// evaluation (core.EvalBatch) applies to the fan-outs around it — the
+	// solo calibrations (core.SoloRates) and the experiments' symbios
+	// validations — not to this loop.
 	samples := make([]core.Sample, 0, len(scheds))
 	for _, s := range scheds {
 		run, err := m.RunScheduleCtx(ctx, s, s.CycleSlices()*e.scale.SampleRounds)

@@ -9,6 +9,12 @@ import (
 	"symbios/internal/workload"
 )
 
+// soloBatch is how many calibration cores one worker drives as a single
+// cpu.Batch work item. Batching only regroups the work — each job still
+// runs alone on its own fresh core for the same cycles, so the measured
+// rates are bit-identical to the one-job-per-work-item fan-out.
+const soloBatch = 4
+
 // SoloRates measures each task's natural offer rate — the single-threaded
 // IPC that forms the weighted-speedup denominator. Each job is run alone on
 // a fresh machine (all of a multithreaded job's threads together, per the
@@ -26,55 +32,86 @@ func SoloRates(cfg arch.Config, jobs []*workload.Job, seeds []uint64, warmup, me
 	if measure == 0 {
 		return nil, fmt.Errorf("core: zero measurement interval")
 	}
-	// Each calibration runs the job alone on a fresh machine, so the jobs
-	// fan out across workers; per-job rate groups are flattened in job
-	// order, identical to the serial sweep.
-	perJob, err := parallel.Map(jobs, parallel.Options{}, func(i int, j *workload.Job) ([]float64, error) {
-		solo, err := soloJob(cfg, j.Spec, j.ID, seeds[i], warmup, measure)
-		if err != nil {
-			return nil, fmt.Errorf("core: calibrating %s: %w", j.Name(), err)
-		}
-		return solo, nil
+	// Each calibration runs its job alone on a fresh core; the cores are
+	// independent, so groups of them advance together as one cpu.Batch and
+	// the groups fan out across workers. Per-job rate groups are flattened
+	// in job order, identical to the serial sweep.
+	groups := chunkRanges(len(jobs), soloBatch)
+	perGroup, err := parallel.Map(groups, parallel.Options{}, func(_ int, g [2]int) ([][]float64, error) {
+		return soloGroup(cfg, jobs[g[0]:g[1]], seeds[g[0]:g[1]], warmup, measure)
 	})
 	if err != nil {
 		return nil, err
 	}
 	var rates []float64
-	for _, solo := range perJob {
-		rates = append(rates, solo...)
+	for _, group := range perGroup {
+		for _, solo := range group {
+			rates = append(rates, solo...)
+		}
 	}
 	return rates, nil
 }
 
-// soloJob returns the per-thread solo IPC of one job.
-func soloJob(cfg arch.Config, spec workload.Spec, id int, seed uint64, warmup, measure uint64) ([]float64, error) {
-	if spec.Threads > cfg.Contexts {
-		return nil, fmt.Errorf("%d threads exceed %d contexts", spec.Threads, cfg.Contexts)
+// chunkRanges splits [0,n) into half-open [lo,hi) ranges of at most size.
+func chunkRanges(n, size int) [][2]int {
+	var out [][2]int
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
 	}
-	j, err := workload.NewJob(spec, id, seed)
-	if err != nil {
-		return nil, err
+	return out
+}
+
+// soloGroup calibrates a group of jobs on one cpu.Batch: every job gets
+// its own core, the batch advances them all through warmup and then the
+// measurement window.
+func soloGroup(cfg arch.Config, jobs []*workload.Job, seeds []uint64, warmup, measure uint64) ([][]float64, error) {
+	var batch cpu.Batch
+	cores := make([]*cpu.Core, len(jobs))
+	rebuilt := make([]*workload.Job, len(jobs))
+	for i, j := range jobs {
+		if j.Spec.Threads > cfg.Contexts {
+			return nil, fmt.Errorf("core: calibrating %s: %d threads exceed %d contexts",
+				j.Name(), j.Spec.Threads, cfg.Contexts)
+		}
+		r, err := workload.NewJob(j.Spec, j.ID, seeds[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: calibrating %s: %w", j.Name(), err)
+		}
+		c, err := cpu.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: calibrating %s: %w", j.Name(), err)
+		}
+		for t := 0; t < r.Threads(); t++ {
+			c.Attach(t, r.Source(t), 0, r.Gate(), t)
+		}
+		cores[i], rebuilt[i] = c, r
+		batch.Add(c)
 	}
-	c, err := cpu.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	for t := 0; t < j.Threads(); t++ {
-		c.Attach(t, j.Source(t), 0, j.Gate(), t)
-	}
-	c.Run(warmup)
-	before := make([]uint64, j.Threads())
-	for t := range before {
-		before[t] = c.ThreadCommitted(t)
-	}
-	c.Run(measure)
-	rates := make([]float64, j.Threads())
-	for t := range rates {
-		delta := c.ThreadCommitted(t) - before[t]
-		rates[t] = float64(delta) / float64(measure)
-		if rates[t] <= 0 {
-			return nil, fmt.Errorf("thread %d made no progress alone", t)
+	batch.Run(warmup)
+	before := make([][]uint64, len(jobs))
+	for i, c := range cores {
+		before[i] = make([]uint64, rebuilt[i].Threads())
+		for t := range before[i] {
+			before[i][t] = c.ThreadCommitted(t)
 		}
 	}
-	return rates, nil
+	batch.Run(measure)
+	out := make([][]float64, len(jobs))
+	for i, c := range cores {
+		rates := make([]float64, rebuilt[i].Threads())
+		for t := range rates {
+			delta := c.ThreadCommitted(t) - before[i][t]
+			rates[t] = float64(delta) / float64(measure)
+			if rates[t] <= 0 {
+				return nil, fmt.Errorf("core: calibrating %s: thread %d made no progress alone",
+					jobs[i].Name(), t)
+			}
+		}
+		out[i] = rates
+	}
+	return out, nil
 }

@@ -1,0 +1,122 @@
+package cpu
+
+// Per-stage microbenchmarks. Each one drives a single pipeline stage on
+// fabricated steady-state SoA state (re-primed off the clock as the stage
+// drains it), so a throughput regression localizes to fetch, issue, or
+// retire instead of hiding inside the whole-cycle number.
+
+import (
+	"testing"
+
+	"symbios/internal/arch"
+	"symbios/internal/trace"
+)
+
+// BenchmarkFetch measures the fetch/rename/dispatch stage: two threads of
+// real generated instruction stream, with the downstream pipeline drained
+// off the clock every cycle so fetch never stalls on a full window or
+// queue.
+func BenchmarkFetch(b *testing.B) {
+	cfg := arch.Default21264(2)
+	c, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Attach(0, mkSource(b, "GCC", 11, 0), 0, nil, 0)
+	c.Attach(1, mkSource(b, "FP", 12, 1), 0, nil, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Drain the pipeline: empty queues, free registers and window
+		// slots, clear stalls. A handful of stores per cycle, dwarfed by
+		// the fetch work itself.
+		c.intQ = c.intQ[:0]
+		c.fpQ = c.fpQ[:0]
+		c.intRegsFree, c.fpRegsFree = cfg.IntRenameRegs, cfg.FPRenameRegs
+		for ctx := 0; ctx < cfg.Contexts; ctx++ {
+			c.tCount[ctx], c.tUnissued[ctx] = 0, 0
+			c.tStall[ctx], c.tWait[ctx] = 0, noSeq
+		}
+		c.conf = 0
+		c.fetch()
+		c.cycle++
+	}
+}
+
+// BenchmarkIssue measures the issue stage over a full integer queue of
+// ready instructions; the queue is re-primed once the scan drains it.
+func BenchmarkIssue(b *testing.B) {
+	cfg := arch.Default21264(1)
+	c, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.tLive[0] = true
+	c.tGen[0] = 1
+	prime := func() {
+		c.intQ = c.intQ[:0]
+		for k := 0; k < cfg.IntQueue; k++ {
+			gi := int32(k)
+			c.uOp[gi] = trace.IALU
+			c.uState[gi] = stQueued
+			c.uReady[gi] = 0
+			c.uPending[gi] = 0
+			c.uGen[gi] = 1
+			c.wakeHead[gi] = -1
+			c.intQ = append(c.intQ, qent{gi: gi, gen: 1})
+		}
+		c.tUnissued[0] = cfg.IntQueue
+		c.intMinRetry = 0
+		for i := range c.wheel {
+			c.wheel[i] = c.wheel[i][:0]
+		}
+		c.pendingWheel = 0
+		for k := range c.ialuBusy {
+			c.ialuBusy[k] = 0
+		}
+	}
+	prime()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.conf = 0
+		c.issue()
+		c.cycle++
+		if len(c.intQ) < cfg.IssueWidth {
+			b.StopTimer()
+			prime()
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkRetire measures the in-order retire stage over a window full of
+// completed instructions; the window is refilled once it empties.
+func BenchmarkRetire(b *testing.B) {
+	cfg := arch.Default21264(1)
+	c, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.tLive[0] = true
+	prime := func() {
+		for slot := 0; slot < cfg.WindowSize; slot++ {
+			c.uOp[slot] = trace.IALU
+			c.uState[slot] = stDone
+		}
+		c.tHead[0], c.tCount[0] = 0, cfg.WindowSize
+		c.tHeadSeq[0], c.tCommitted[0] = 0, 0
+		c.intRegsFree = 0
+	}
+	prime()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.retire()
+		if c.tCount[0] == 0 {
+			b.StopTimer()
+			prime()
+			b.StartTimer()
+		}
+	}
+}

@@ -28,11 +28,28 @@
 // jobscheduler; detaching a context squashes its in-flight instructions and
 // reports the sequence number to resume from, so a job's execution replays
 // exactly regardless of how it is timesliced.
+//
+// # Implementation
+//
+// The kernel is organised for throughput (DESIGN.md §12). Pipeline state
+// lives in flat structure-of-arrays storage indexed by a global window index
+// gi = ctx<<winShift | slot, so the hot loops walk dense arrays instead of
+// chasing per-thread pointers. The issue stage caches a readiness lower
+// bound per queue entry (and per window slot, so dependants of queued
+// producers inherit transitively tight bounds) and skips whole-queue scans
+// while no entry can possibly act. On top of that, Run detects quiescent
+// cycles — no fetch, issue, completion, or retirement, and no thread state
+// change — and jumps directly to the next event (earliest completion-wheel
+// entry, fetch-stall expiry, or functional-unit release), attributing every
+// skipped cycle the exact per-resource conflict pattern the quiescent cycle
+// latched. All of this is observably equivalent to stepping cycle by cycle;
+// the golden suite in golden_test.go pins that equivalence bit for bit.
 package cpu
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"symbios/internal/arch"
 	"symbios/internal/branch"
@@ -58,7 +75,7 @@ type SyncGate interface {
 const noSeq = math.MaxUint64
 
 // uopState tracks an instruction's progress through the pipeline.
-type uopState uint8
+type uopState = uint8
 
 const (
 	stQueued uopState = iota // dispatched, waiting in IQ/FQ
@@ -66,87 +83,95 @@ const (
 	stDone                   // completed, awaiting in-order retire
 )
 
-// uop is one in-flight instruction occupying a window slot.
-type uop struct {
-	op         trace.Op
-	seq        uint64
-	dep1, dep2 uint64 // producer sequence numbers; noSeq when absent
-	addr       uint64
-	pc         uint64
-	taken      bool
-	mispred    bool
-	isFP       bool // claims an fp rename register and the FQ
-	state      uopState
-	doneAt     uint64 // completion cycle, valid once issued
-}
-
-// thread is the per-context state.
-type thread struct {
-	src  Source
-	gate SyncGate
-	id   int // thread id passed to the gate
-
-	seq       uint64 // next instruction to fetch
-	committed uint64 // instructions retired since attach
-
-	// Reorder window: a ring of window slots (power-of-two length).
-	win   []uop
-	mask  int // len(win)-1
-	head  int // index of oldest
-	count int
-
-	headSeq uint64 // seq of the oldest in-flight instruction (== seq when empty)
-
-	unissued int // ICOUNT: instructions fetched but not yet issued
-
-	fetchStallUntil uint64 // icache miss or post-mispredict refill
-	waitBranch      uint64 // seq of unresolved mispredicted branch, or noSeq
-	blockedBarrier  uint64 // barrier index the thread is blocked on, or noSeq
-	curLine         uint64 // last icache line fetched (1 + line address; 0 = none)
-
-	gen uint32 // attach generation, to invalidate stale wheel entries
-}
-
-func (t *thread) windowFull() bool { return t.count == len(t.win) }
-
-// slotIndex returns the ring index for in-window sequence number s.
-func (t *thread) slotIndex(s uint64) int {
-	off := int(s - t.headSeq)
-	return (t.head + off) & t.mask
-}
-
-// qent is a queue/wheel reference to a window slot. retry caches the
-// instruction's earliest possible readiness cycle so the issue scan can
-// skip it without touching the window.
+// qent is a queue reference to a window slot; the entry's readiness bound
+// lives in Core.uReady[gi].
 type qent struct {
-	ctx   int32
-	slot  int32
-	gen   uint32
-	retry uint64
+	gi  int32 // global window index; -1 tombstones an issued entry
+	gen uint32
 }
 
 const wheelSize = 1024 // > worst-case instruction latency
 
-// Core is the simulated SMT processor.
+// wheel entries pack (generation, global window index) into one word.
+func wheelRef(gen uint32, gi int32) uint64 { return uint64(gen)<<32 | uint64(uint32(gi)) }
+
+// Core is the simulated SMT processor. Per-instruction and per-thread
+// pipeline state is held in parallel arrays ("structure of arrays") indexed
+// by gi = ctx<<winShift | slot for instructions and by ctx for threads; the
+// arrays are allocated once in New and recycled across Attach/Detach, so
+// steady-state simulation performs no allocation.
 type Core struct {
 	cfg arch.Config
 	mem *cache.Hierarchy
 	bp  *branch.Predictor
 
-	threads []*thread // nil when the context is idle
-	ctxGen  []uint32  // per-context attach generation; survives detach
+	winShift int // log2(WindowSize)
+	winMask  int // WindowSize-1
 
-	// Recycled per-context allocations. A jobscheduler attaches and
-	// detaches a task on every timeslice; allocating a fresh window ring
-	// (and thread struct) each time dominated the simulator's allocation
-	// profile. Stale window contents are harmless: the wheel and issue
-	// queues are purged/generation-checked on detach, and dependency
-	// lookups only ever read slots occupied by live instructions.
-	winPool    [][]uop   // spare window ring per context
-	threadPool []*thread // spare thread struct per context
+	// Per-instruction state, indexed by gi. Slots hold stale contents from
+	// earlier attachments (exactly like the recycled window rings they
+	// replace); every read is guarded by a seq or generation check.
+	uOp      []trace.Op
+	uState   []uopState
+	uMispred []bool
+	uSeq     []uint64
+	uDep1    []uint64
+	uDep2    []uint64
+	uAddr    []uint64
+	uDoneAt  []uint64
+	// uReady caches the slot's readiness bound while queued. It is exact —
+	// the max of the producers' completion cycles — once uPending[gi] hits
+	// zero; until then it is a lower bound and the issue scan re-polls on
+	// expiry. uGen stamps the attach generation that dispatched the slot, so
+	// producer state is only trusted for slots of the current attachment.
+	uReady []uint64
+	uGen   []uint32
+
+	// Forward wakeup edges: when an instruction issues, it pushes its exact
+	// completion cycle to dependants dispatched while it was still queued,
+	// instead of each dependant polling its producers. uPending counts a
+	// slot's unresolved producers; wakeHead/wakeNext form per-producer
+	// singly-linked waiter lists where edge id = consumer<<1 | depIndex
+	// (each consumer has at most two outgoing edges, so edge storage is
+	// preallocated and allocation-free).
+	uPending []uint8
+	wakeHead []int32
+	wakeNext []int32
+
+	// Per-thread (hardware context) state, indexed by ctx.
+	tSrc       []Source
+	tGate      []SyncGate
+	tID        []int
+	tLive      []bool
+	tSeq       []uint64 // next instruction to fetch
+	tCommitted []uint64 // instructions retired since attach
+	tHeadSeq   []uint64 // seq of the oldest in-flight instruction
+	tHead      []int    // ring index of oldest
+	tCount     []int
+	tUnissued  []int    // ICOUNT: fetched but not yet issued
+	tStall     []uint64 // fetch stalled until this cycle (icache miss, refill)
+	tWait      []uint64 // seq of unresolved mispredicted branch, or noSeq
+	tBarrier   []uint64 // barrier index the thread is blocked on, or noSeq
+	tCurLine   []uint64 // last icache line fetched (1 + line address; 0 = none)
+	tGen       []uint32 // attach generation; survives detach
+
+	// One-instruction fetch memo per context. Fetch often breaks on a line
+	// fill, a full window, or a structural latch and retries the same seq
+	// next cycle; sources are pure functions of seq, so the regenerated
+	// instruction is identical and the (expensive) generation is skipped.
+	tMemoSeq []uint64 // seq the memo holds, or noSeq
+	tMemoIn  []trace.Inst
+
+	liveCount int
 
 	intQ []qent // age-ordered
 	fpQ  []qent
+
+	// Earliest cycle at which the next scan of each queue could issue,
+	// latch a conflict, or tighten a bound; while cycle < minRetry the scan
+	// is provably a no-op and is skipped entirely.
+	intMinRetry uint64
+	fpMinRetry  uint64
 
 	intRegsFree int
 	fpRegsFree  int
@@ -155,14 +180,21 @@ type Core struct {
 	fpuBusy  []uint64
 	lsuBusy  []uint64
 
-	wheel [wheelSize][]qent
+	wheel        [wheelSize][]uint64
+	pendingWheel int // entries (live or stale) currently on the wheel
 
 	cycle uint64
 	ctr   counters.Set
 
-	// per-cycle conflict latches
-	conf [counters.NumResources]bool
+	// per-cycle conflict latches, bit r = counters.Resource r
+	conf uint32
 
+	// skipOK gates quiescent-cycle jumps: under round-robin fetch with >1
+	// thread the fetch priority rotates with the cycle number, so repeated
+	// cycles are not guaranteed identical and skipping would be unsound.
+	skipOK bool
+
+	latMin   [16]uint64 // lower bound on latency() per op
 	lineMask uint64
 }
 
@@ -179,22 +211,74 @@ func New(cfg arch.Config) (*Core, error) {
 	if cfg.WindowSize&(cfg.WindowSize-1) != 0 {
 		return nil, fmt.Errorf("cpu: WindowSize %d must be a power of two", cfg.WindowSize)
 	}
+	n := cfg.Contexts
+	size := n * cfg.WindowSize
 	c := &Core{
-		cfg:         cfg,
-		mem:         cache.NewHierarchy(cfg),
-		bp:          branch.New(cfg.BranchPHTBits, cfg.BranchHistBits, cfg.Contexts),
-		threads:     make([]*thread, cfg.Contexts),
-		ctxGen:      make([]uint32, cfg.Contexts),
-		winPool:     make([][]uop, cfg.Contexts),
-		threadPool:  make([]*thread, cfg.Contexts),
+		cfg:      cfg,
+		mem:      cache.NewHierarchy(cfg),
+		bp:       branch.New(cfg.BranchPHTBits, cfg.BranchHistBits, n),
+		winShift: bits.TrailingZeros(uint(cfg.WindowSize)),
+		winMask:  cfg.WindowSize - 1,
+
+		uOp:      make([]trace.Op, size),
+		uState:   make([]uopState, size),
+		uMispred: make([]bool, size),
+		uSeq:     make([]uint64, size),
+		uDep1:    make([]uint64, size),
+		uDep2:    make([]uint64, size),
+		uAddr:    make([]uint64, size),
+		uDoneAt:  make([]uint64, size),
+		uReady:   make([]uint64, size),
+		uGen:     make([]uint32, size),
+		uPending: make([]uint8, size),
+		wakeHead: make([]int32, size),
+		wakeNext: make([]int32, 2*size),
+
+		tSrc:       make([]Source, n),
+		tGate:      make([]SyncGate, n),
+		tID:        make([]int, n),
+		tLive:      make([]bool, n),
+		tSeq:       make([]uint64, n),
+		tCommitted: make([]uint64, n),
+		tHeadSeq:   make([]uint64, n),
+		tHead:      make([]int, n),
+		tCount:     make([]int, n),
+		tUnissued:  make([]int, n),
+		tStall:     make([]uint64, n),
+		tWait:      make([]uint64, n),
+		tBarrier:   make([]uint64, n),
+		tCurLine:   make([]uint64, n),
+		tGen:       make([]uint32, n),
+		tMemoSeq:   make([]uint64, n),
+		tMemoIn:    make([]trace.Inst, n),
+
 		intQ:        make([]qent, 0, cfg.IntQueue),
 		fpQ:         make([]qent, 0, cfg.FPQueue),
+		intMinRetry: noSeq,
+		fpMinRetry:  noSeq,
 		intRegsFree: cfg.IntRenameRegs,
 		fpRegsFree:  cfg.FPRenameRegs,
 		ialuBusy:    make([]uint64, cfg.IntALUs),
 		fpuBusy:     make([]uint64, cfg.FPUnits),
 		lsuBusy:     make([]uint64, cfg.LSUnits),
 		lineMask:    ^uint64(cfg.L1ILineBytes - 1),
+	}
+	// Lower bounds on execution latency per op class, used for dependant
+	// wake-up bounds. LOAD can never beat an L1 hit; STORE completes in one
+	// cycle through the write buffer.
+	c.latMin[trace.IALU] = uint64(cfg.IntALULatency)
+	c.latMin[trace.SYNC] = uint64(cfg.IntALULatency)
+	c.latMin[trace.IMUL] = uint64(cfg.IntMulLatency)
+	c.latMin[trace.FADD] = uint64(cfg.FPAddLatency)
+	c.latMin[trace.FMUL] = uint64(cfg.FPMulLatency)
+	c.latMin[trace.FDIV] = uint64(cfg.FPDivLatency)
+	c.latMin[trace.BRANCH] = uint64(cfg.BranchLatency)
+	c.latMin[trace.LOAD] = uint64(cfg.L1DHitLatency)
+	c.latMin[trace.STORE] = 1
+	for i := range c.latMin {
+		if c.latMin[i] == 0 {
+			c.latMin[i] = 1
+		}
 	}
 	// Pre-size the completion-wheel buckets out of one backing array so the
 	// issue stage's bucket appends never grow storage in the steady state
@@ -205,11 +289,22 @@ func New(cfg arch.Config) (*Core, error) {
 	if bucketCap < 4 {
 		bucketCap = 4
 	}
-	backing := make([]qent, wheelSize*bucketCap)
+	backing := make([]uint64, wheelSize*bucketCap)
 	for i := range c.wheel {
 		c.wheel[i] = backing[i*bucketCap : i*bucketCap : (i+1)*bucketCap]
 	}
+	for i := range c.wakeHead {
+		c.wakeHead[i] = -1
+	}
+	for i := range c.tMemoSeq {
+		c.tMemoSeq[i] = noSeq
+	}
+	c.updateSkipOK()
 	return c, nil
+}
+
+func (c *Core) updateSkipOK() {
+	c.skipOK = c.cfg.FetchPolicy != arch.FetchRoundRobin || c.liveCount <= 1
 }
 
 // Config returns the architecture configuration.
@@ -226,38 +321,30 @@ func (c *Core) Mem() *cache.Hierarchy { return c.mem }
 // gate for barrier coordination. Attach panics if the context is occupied or
 // out of range, which indicates a scheduler bug.
 func (c *Core) Attach(ctx int, src Source, startSeq uint64, gate SyncGate, threadID int) {
-	if ctx < 0 || ctx >= len(c.threads) {
-		panic(fmt.Sprintf("cpu: Attach to context %d of %d", ctx, len(c.threads)))
+	if ctx < 0 || ctx >= len(c.tLive) {
+		panic(fmt.Sprintf("cpu: Attach to context %d of %d", ctx, len(c.tLive)))
 	}
-	if c.threads[ctx] != nil {
+	if c.tLive[ctx] {
 		panic(fmt.Sprintf("cpu: context %d already occupied", ctx))
 	}
-	c.ctxGen[ctx]++
-	win := c.winPool[ctx]
-	if win == nil {
-		win = make([]uop, c.cfg.WindowSize)
-	} else {
-		c.winPool[ctx] = nil
-	}
-	t := c.threadPool[ctx]
-	if t == nil {
-		t = &thread{}
-	} else {
-		c.threadPool[ctx] = nil
-	}
-	*t = thread{
-		src:            src,
-		gate:           gate,
-		id:             threadID,
-		seq:            startSeq,
-		headSeq:        startSeq,
-		win:            win,
-		mask:           c.cfg.WindowSize - 1,
-		waitBranch:     noSeq,
-		blockedBarrier: noSeq,
-		gen:            c.ctxGen[ctx],
-	}
-	c.threads[ctx] = t
+	c.tGen[ctx]++
+	c.tSrc[ctx] = src
+	c.tGate[ctx] = gate
+	c.tID[ctx] = threadID
+	c.tLive[ctx] = true
+	c.tSeq[ctx] = startSeq
+	c.tCommitted[ctx] = 0
+	c.tHeadSeq[ctx] = startSeq
+	c.tHead[ctx] = 0
+	c.tCount[ctx] = 0
+	c.tUnissued[ctx] = 0
+	c.tStall[ctx] = 0
+	c.tWait[ctx] = noSeq
+	c.tBarrier[ctx] = noSeq
+	c.tCurLine[ctx] = 0
+	c.tMemoSeq[ctx] = noSeq
+	c.liveCount++
+	c.updateSkipOK()
 	c.bp.ResetHistory(ctx)
 }
 
@@ -266,14 +353,14 @@ func (c *Core) Attach(ctx int, src Source, startSeq uint64, gate SyncGate, threa
 // oldest unretired instruction) along with the number of instructions it
 // committed while attached.
 func (c *Core) Detach(ctx int) (resumeSeq, committed uint64) {
-	t := c.threads[ctx]
-	if t == nil {
+	if !c.tLive[ctx] {
 		panic(fmt.Sprintf("cpu: Detach of idle context %d", ctx))
 	}
 	// Reclaim rename registers held by in-flight instructions.
-	for i := 0; i < t.count; i++ {
-		u := &t.win[(t.head+i)&t.mask]
-		if u.isFP {
+	base := ctx << c.winShift
+	head, count := c.tHead[ctx], c.tCount[ctx]
+	for i := 0; i < count; i++ {
+		if c.uOp[base|((head+i)&c.winMask)].IsFP() {
 			c.fpRegsFree++
 		} else {
 			c.intRegsFree++
@@ -281,35 +368,47 @@ func (c *Core) Detach(ctx int) (resumeSeq, committed uint64) {
 	}
 	// Purge queue entries belonging to this context. Wheel entries are
 	// invalidated lazily via the generation check.
-	c.intQ = purge(c.intQ, ctx)
-	c.fpQ = purge(c.fpQ, ctx)
-	resume, n := t.headSeq, t.committed
-	c.winPool[ctx], c.threadPool[ctx] = t.win, t
-	t.src, t.gate, t.win = nil, nil, nil // drop references until reuse
-	c.threads[ctx] = nil
+	c.intQ = purge(c.intQ, ctx, c.winShift)
+	c.fpQ = purge(c.fpQ, ctx, c.winShift)
+	resume, n := c.tHeadSeq[ctx], c.tCommitted[ctx]
+	c.tSrc[ctx], c.tGate[ctx] = nil, nil // drop references until reuse
+	c.tLive[ctx] = false
+	c.liveCount--
+	c.updateSkipOK()
 	return resume, n
 }
 
 // Occupied reports whether context ctx has a thread attached.
-func (c *Core) Occupied(ctx int) bool { return c.threads[ctx] != nil }
+func (c *Core) Occupied(ctx int) bool { return c.tLive[ctx] }
 
 // ThreadCommitted returns instructions committed by the thread on ctx since
 // it was attached.
 func (c *Core) ThreadCommitted(ctx int) uint64 {
-	if t := c.threads[ctx]; t != nil {
-		return t.committed
+	if c.tLive[ctx] {
+		return c.tCommitted[ctx]
 	}
 	return 0
 }
 
-func purge(q []qent, ctx int) []qent {
-	out := q[:0]
-	for _, e := range q {
-		if int(e.ctx) != ctx {
-			out = append(out, e)
+// purge compacts q in place, removing entries of the detached context. The
+// common case — no entry belongs to the context — is a pure scan with no
+// writes; otherwise entries shift left from the first removal on.
+func purge(q []qent, ctx, winShift int) []qent {
+	i := 0
+	for i < len(q) && int(q[i].gi)>>winShift != ctx {
+		i++
+	}
+	if i == len(q) {
+		return q
+	}
+	out := i
+	for ; i < len(q); i++ {
+		if int(q[i].gi)>>winShift != ctx {
+			q[out] = q[i]
+			out++
 		}
 	}
-	return out
+	return q[:out]
 }
 
 // Snapshot returns the current counter totals, including memory-system and
@@ -326,69 +425,180 @@ func (c *Core) Snapshot() counters.Set {
 	return s
 }
 
-// Run simulates n cycles.
+// Run simulates n cycles. Quiescent stretches — cycles that provably repeat
+// the previous cycle's (non-)activity — are jumped in one step with exact
+// counter attribution; see skipAhead.
 func (c *Core) Run(n uint64) {
-	for i := uint64(0); i < n; i++ {
-		c.step()
+	target := c.cycle + n
+	for c.cycle < target {
+		if c.step() && c.skipOK {
+			c.skipAhead(target)
+		}
 	}
 }
 
-// step advances the core by one cycle.
-func (c *Core) step() {
+// step advances the core by one cycle and reports whether the cycle was
+// quiescent: no instruction completed, retired, issued, or fetched, and no
+// thread fetch state changed. After a quiescent cycle the core is at a
+// fixed point that only an already-scheduled event can disturb.
+func (c *Core) step() bool {
 	c.cycle++
-	c.conf = [counters.NumResources]bool{}
+	c.conf = 0
 
-	c.complete()
-	c.retire()
-	c.issue()
-	c.fetch()
+	quiet := !c.complete()
+	quiet = c.retire() == 0 && quiet
+	quiet = c.issue() == 0 && quiet
+	fetched, mutated := c.fetch()
+	quiet = fetched == 0 && !mutated && quiet
 
-	for r := counters.Resource(0); r < counters.NumResources; r++ {
-		if c.conf[r] {
-			c.ctr.ConflictCycles[r]++
-		}
+	m := c.conf
+	for m != 0 {
+		c.ctr.ConflictCycles[bits.TrailingZeros32(m)]++
+		m &= m - 1
 	}
+	return quiet
 }
 
-// complete processes instructions whose execution finishes this cycle.
-func (c *Core) complete() {
-	slot := &c.wheel[c.cycle%wheelSize]
-	for _, e := range *slot {
-		t := c.threads[int(e.ctx)]
-		if t == nil || t.gen != e.gen {
-			continue // squashed
-		}
-		u := &t.win[e.slot]
-		if u.state != stIssued {
-			continue
-		}
-		u.state = stDone
-		if u.op == trace.BRANCH && u.mispred && t.waitBranch == u.seq {
-			// Resolve: fetch restarts after the refill penalty.
-			t.waitBranch = noSeq
-			t.fetchStallUntil = c.cycle + uint64(c.cfg.MispredictPenalty)
+// skipAhead jumps from the just-executed quiescent cycle to the next cycle
+// at which anything can change, bounded by target. Each skipped cycle
+// increments exactly the conflict counters the quiescent cycle latched —
+// which is what stepping would have done, because a quiescent core re-latches
+// the identical pattern until one of the bounding events fires:
+//
+//   - a completion-wheel entry for a live instruction (wakes dependants,
+//     resolves branches, unblocks retire — every queue/register/window
+//     transition descends from a completion);
+//   - a fetch-stall expiry on a live thread;
+//   - a functional-unit release, when the quiescent cycle latched a unit
+//     denial (only the denied classes can act before any completion).
+//
+// Barrier-blocked threads need no bound: TryPass is idempotent and its
+// verdict can only flip when a sibling progresses, which requires one of
+// the events above.
+func (c *Core) skipAhead(target uint64) {
+	cyc := c.cycle
+	if target <= cyc+1 {
+		return
+	}
+	event := target
+	for ctx, live := range c.tLive {
+		if live && c.tStall[ctx] > cyc && c.tStall[ctx] < event {
+			event = c.tStall[ctx]
 		}
 	}
-	*slot = (*slot)[:0]
-}
-
-// retire commits completed instructions in order, per thread.
-func (c *Core) retire() {
-	for _, t := range c.threads {
-		if t == nil {
-			continue
+	if c.conf&(1<<counters.IntUnits) != 0 {
+		event = minBusy(event, cyc, c.ialuBusy)
+	}
+	if c.conf&(1<<counters.FPUnits) != 0 {
+		event = minBusy(event, cyc, c.fpuBusy)
+	}
+	if c.conf&(1<<counters.LSUnits) != 0 {
+		event = minBusy(event, cyc, c.lsuBusy)
+	}
+	if c.pendingWheel > 0 {
+		maxd := event - cyc
+		if maxd > wheelSize {
+			maxd = wheelSize
 		}
-		for n := 0; n < c.cfg.RetireWidth && t.count > 0; n++ {
-			u := &t.win[t.head]
-			if u.state != stDone {
+		for d := uint64(1); d < maxd; d++ {
+			b := c.wheel[(cyc+d)&(wheelSize-1)]
+			if len(b) == 0 {
+				continue
+			}
+			// Stale entries (squashed by detach) may be jumped over: they
+			// are generation-checked whenever their bucket is eventually
+			// processed. A live entry is a hard event boundary.
+			for _, ref := range b {
+				gi := int32(uint32(ref))
+				ctx := int(gi) >> c.winShift
+				if c.tLive[ctx] && c.tGen[ctx] == uint32(ref>>32) {
+					event = cyc + d
+					break
+				}
+			}
+			if event == cyc+d {
 				break
 			}
-			if u.isFP {
+		}
+	}
+	if event <= cyc+1 {
+		return
+	}
+	skip := event - 1 - cyc
+	c.cycle = event - 1
+	m := c.conf
+	for m != 0 {
+		c.ctr.ConflictCycles[bits.TrailingZeros32(m)] += skip
+		m &= m - 1
+	}
+}
+
+// minBusy lowers event to the earliest unit release after cyc.
+func minBusy(event, cyc uint64, busy []uint64) uint64 {
+	for _, b := range busy {
+		if b > cyc && b < event {
+			event = b
+		}
+	}
+	return event
+}
+
+// complete processes instructions whose execution finishes this cycle. It
+// reports whether any live instruction completed.
+func (c *Core) complete() bool {
+	slot := &c.wheel[c.cycle&(wheelSize-1)]
+	if len(*slot) == 0 {
+		return false
+	}
+	active := false
+	for _, ref := range *slot {
+		gi := int32(uint32(ref))
+		ctx := int(gi) >> c.winShift
+		if !c.tLive[ctx] || c.tGen[ctx] != uint32(ref>>32) {
+			continue // squashed
+		}
+		if c.uState[gi] != stIssued {
+			continue
+		}
+		c.uState[gi] = stDone
+		active = true
+		if c.uOp[gi] == trace.BRANCH && c.uMispred[gi] && c.tWait[ctx] == c.uSeq[gi] {
+			// Resolve: fetch restarts after the refill penalty.
+			c.tWait[ctx] = noSeq
+			c.tStall[ctx] = c.cycle + uint64(c.cfg.MispredictPenalty)
+		}
+	}
+	c.pendingWheel -= len(*slot)
+	*slot = (*slot)[:0]
+	return active
+}
+
+// retire commits completed instructions in order, per thread, and returns
+// the number retired.
+func (c *Core) retire() int {
+	retired := 0
+	for ctx, live := range c.tLive {
+		if !live {
+			continue
+		}
+		base := ctx << c.winShift
+		head, count := c.tHead[ctx], c.tCount[ctx]
+		if count == 0 || c.uState[base|head] != stDone {
+			continue
+		}
+		committed := uint64(0)
+		for n := 0; n < c.cfg.RetireWidth && count > 0; n++ {
+			gi := base | head
+			if c.uState[gi] != stDone {
+				break
+			}
+			op := c.uOp[gi]
+			if op.IsFP() {
 				c.fpRegsFree++
 				c.ctr.FPCommitted++
 			} else {
 				c.intRegsFree++
-				switch u.op {
+				switch op {
 				case trace.LOAD:
 					c.ctr.LoadCommitted++
 				case trace.STORE:
@@ -400,65 +610,83 @@ func (c *Core) retire() {
 					c.ctr.IntCommitted++
 				}
 			}
-			c.ctr.Committed++
-			t.committed++
-			t.head = (t.head + 1) & t.mask
-			t.headSeq++
-			t.count--
+			committed++
+			head = (head + 1) & c.winMask
+			count--
+		}
+		if committed > 0 {
+			c.ctr.Committed += committed
+			c.tCommitted[ctx] += committed
+			c.tHeadSeq[ctx] += committed
+			c.tHead[ctx] = head
+			c.tCount[ctx] = count
+			retired += int(committed)
 		}
 	}
+	return retired
 }
 
-// availAt returns the earliest cycle u's producers could all be complete:
-// the current cycle if ready now, the producer's known completion cycle if
-// it is executing, or a near-future guess if it is still queued. The issue
-// logic uses this to skip re-checking instructions that cannot possibly
-// become ready yet.
-func (c *Core) availAt(t *thread, u *uop) uint64 {
-	a := c.depAvail(t, u.dep1)
-	if b := c.depAvail(t, u.dep2); b > a {
-		a = b
-	}
-	return a
-}
-
-func (c *Core) depAvail(t *thread, p uint64) uint64 {
-	if p == noSeq || p < t.headSeq {
+// depAvail returns the earliest cycle producer sequence p of thread ctx
+// could be complete: 0 if it is architecturally available, its known
+// completion cycle if executing, or a lower bound if still queued.
+// consumerFP tells which queue the consumer sits in, which determines
+// whether a queued producer could still issue in the current cycle (the
+// integer queue is scanned before the floating-point queue).
+func (c *Core) depAvail(ctx int, p uint64, consumerFP bool) uint64 {
+	if p == noSeq || p < c.tHeadSeq[ctx] {
 		return 0 // absent, retired or pre-attach: available
 	}
-	w := &t.win[t.slotIndex(p)]
-	if w.seq != p {
+	slot := (c.tHead[ctx] + int(p-c.tHeadSeq[ctx])) & c.winMask
+	gi := ctx<<c.winShift | slot
+	if c.uSeq[gi] != p {
 		// The producer was squashed by a detach and never re-fetched under
 		// this attachment; its value is architecturally available on resume.
 		return 0
 	}
-	switch w.state {
+	switch c.uState[gi] {
 	case stDone:
 		return 0
 	case stIssued:
-		return w.doneAt
-	default:
-		// Still queued: it needs to issue and execute first.
+		return c.uDoneAt[gi]
+	}
+	// Still queued: it must issue and execute first. For a producer
+	// dispatched by the current attachment the bound compounds the
+	// producer's own cached readiness bound with its minimum latency —
+	// exact enough that dependence chains wake when they can actually
+	// issue. A stale seq-colliding slot from an earlier attachment has no
+	// trustworthy bound; it is re-polled shortly, as the pre-SoA kernel
+	// polled every queued producer.
+	if c.uGen[gi] != c.tGen[ctx] {
 		return c.cycle + 2
 	}
-}
-
-// unitFor returns the busy array for u's unit class and the conflict
-// resource to charge when no unit is free.
-func (c *Core) unitFor(u *uop) ([]uint64, counters.Resource) {
-	switch {
-	case u.op.IsMem():
-		return c.lsuBusy, counters.LSUnits
-	case u.op.IsFP():
-		return c.fpuBusy, counters.FPUnits
-	default:
-		return c.ialuBusy, counters.IntUnits
+	op := c.uOp[gi]
+	// The producer can issue this cycle at the earliest — or next cycle if
+	// its queue's scan already passed it (same queue as the consumer, or
+	// the integer queue seen from a floating-point consumer).
+	base := c.cycle
+	if consumerFP || !op.IsFP() {
+		base++
 	}
+	if rb := c.uReady[gi]; rb > base {
+		base = rb
+	}
+	return base + c.latMin[op]
 }
 
-// latency returns u's execution latency; memory ops probe the hierarchy.
-func (c *Core) latency(u *uop) int {
-	switch u.op {
+// availAt returns the earliest cycle gi's producers could all be complete.
+func (c *Core) availAt(ctx int, gi int32, consumerFP bool) uint64 {
+	a := c.depAvail(ctx, c.uDep1[gi], consumerFP)
+	if d2 := c.uDep2[gi]; d2 != noSeq {
+		if b := c.depAvail(ctx, d2, consumerFP); b > a {
+			a = b
+		}
+	}
+	return a
+}
+
+// latency returns gi's execution latency; memory ops probe the hierarchy.
+func (c *Core) latency(gi int32, op trace.Op) int {
+	switch op {
 	case trace.IALU, trace.SYNC:
 		return c.cfg.IntALULatency
 	case trace.IMUL:
@@ -472,90 +700,153 @@ func (c *Core) latency(u *uop) int {
 	case trace.BRANCH:
 		return c.cfg.BranchLatency
 	case trace.LOAD:
-		lat, _ := c.mem.DataAccess(u.addr)
+		lat, _ := c.mem.DataAccess(c.uAddr[gi])
 		return lat
 	case trace.STORE:
 		// The store probes the cache for contention accounting, but the
 		// write buffer lets dependents proceed after a single cycle.
-		c.mem.DataAccess(u.addr)
+		c.mem.DataAccess(c.uAddr[gi])
 		return 1
 	}
 	panic("cpu: unknown op")
 }
 
-// issue selects ready instructions from the queues, oldest first.
-func (c *Core) issue() {
+// issue selects ready instructions from the queues, oldest first, and
+// returns the number issued. Queues whose minRetry bound lies in the future
+// are skipped without scanning: no entry can issue, be denied a unit, or
+// tighten a bound, so the scan would be observationally a no-op.
+func (c *Core) issue() int {
 	budget := c.cfg.IssueWidth
-	budget = c.issueQueue(&c.intQ, budget)
-	c.issueQueue(&c.fpQ, budget)
+	issued := 0
+	if c.cycle >= c.intMinRetry {
+		budget, issued = c.issueQueue(&c.intQ, &c.intMinRetry, budget, false)
+	}
+	if budget > 0 && c.cycle >= c.fpMinRetry {
+		_, n := c.issueQueue(&c.fpQ, &c.fpMinRetry, budget, true)
+		issued += n
+	}
+	return issued
 }
 
-func (c *Core) issueQueue(q *[]qent, budget int) int {
+func (c *Core) issueQueue(q *[]qent, minRetry *uint64, budget int, isFP bool) (int, int) {
 	issued := 0
+	cyc := c.cycle
+	newMin := uint64(noSeq)
+	firstDead := -1
 	qq := *q
 	for i := range qq {
-		e := &qq[i]
 		if budget == 0 {
+			// Entries past this point go unexamined this cycle; they must
+			// be rescanned next cycle.
+			if cyc+1 < newMin {
+				newMin = cyc + 1
+			}
 			break
 		}
-		if e.retry > c.cycle {
+		gi := qq[i].gi
+		if r := c.uReady[gi]; r > cyc {
+			if r < newMin {
+				newMin = r
+			}
 			continue
 		}
-		t := c.threads[int(e.ctx)]
-		u := &t.win[e.slot]
-		if avail := c.availAt(t, u); avail > c.cycle {
-			e.retry = avail
-			continue
+		ctx := int(gi) >> c.winShift
+		if c.uPending[gi] != 0 {
+			// Some producer is unresolved (squashed-slot collision or a
+			// stale bound): fall back to polling, exactly as the pre-SoA
+			// kernel polled every queued producer.
+			if avail := c.availAt(ctx, gi, isFP); avail > cyc {
+				c.uReady[gi] = avail
+				if avail < newMin {
+					newMin = avail
+				}
+				continue
+			}
 		}
-		busy, res := c.unitFor(u)
+		op := c.uOp[gi]
+		var busy []uint64
+		var res counters.Resource
+		switch {
+		case op.IsMem():
+			busy, res = c.lsuBusy, counters.LSUnits
+		case op.IsFP():
+			busy, res = c.fpuBusy, counters.FPUnits
+		default:
+			busy, res = c.ialuBusy, counters.IntUnits
+		}
 		unit := -1
 		for k := range busy {
-			if busy[k] <= c.cycle {
+			if busy[k] <= cyc {
 				unit = k
 				break
 			}
 		}
 		if unit < 0 {
-			c.conf[res] = true
+			c.conf |= 1 << res
+			// Denied a unit: the earliest anything changes is next cycle.
+			if cyc+1 < newMin {
+				newMin = cyc + 1
+			}
 			continue
 		}
-		lat := c.latency(u)
-		if u.op == trace.FDIV {
-			busy[unit] = c.cycle + uint64(lat) // divider is not pipelined
+		lat := uint64(c.latency(gi, op))
+		if op == trace.FDIV {
+			busy[unit] = cyc + lat // divider is not pipelined
 		} else {
-			busy[unit] = c.cycle + 1
+			busy[unit] = cyc + 1
 		}
-		u.state = stIssued
-		u.doneAt = c.cycle + uint64(lat)
-		c.wheel[u.doneAt%wheelSize] = append(c.wheel[u.doneAt%wheelSize], *e)
-		t.unissued--
-		e.ctx = -1 // tombstone
+		c.uState[gi] = stIssued
+		done := cyc + lat
+		c.uDoneAt[gi] = done
+		b := &c.wheel[done&(wheelSize-1)]
+		*b = append(*b, wheelRef(qq[i].gen, gi))
+		c.pendingWheel++
+		c.tUnissued[ctx]--
+		// Wake dependants: they now know this producer's exact completion.
+		for eid := c.wakeHead[gi]; eid >= 0; {
+			cons := eid >> 1
+			c.uPending[cons]--
+			if done > c.uReady[cons] {
+				c.uReady[cons] = done
+			}
+			eid = c.wakeNext[eid]
+		}
+		c.wakeHead[gi] = -1
+		qq[i].gi = -1 // tombstone
+		if firstDead < 0 {
+			firstDead = i
+		}
 		issued++
 		budget--
 	}
 	if issued > 0 {
-		out := qq[:0]
-		for _, e := range qq {
-			if e.ctx >= 0 {
-				out = append(out, e)
+		// Compact in place from the first tombstone; the clean prefix is
+		// untouched.
+		w := firstDead
+		for r := firstDead + 1; r < len(qq); r++ {
+			if qq[r].gi >= 0 {
+				qq[w] = qq[r]
+				w++
 			}
 		}
-		*q = out
+		*q = qq[:w]
 	}
-	return budget
+	*minRetry = newMin
+	return budget, issued
 }
 
 // fetch implements the fetch stage (ICOUNT.2.8 by default) plus rename and
-// dispatch.
-func (c *Core) fetch() {
+// dispatch. It returns the number of instructions fetched and whether any
+// thread fetch state changed without a fetch (icache line fill started,
+// barrier entered or passed) — either makes the cycle non-quiescent.
+func (c *Core) fetch() (int, bool) {
 	var order [16]int
 	n := 0
-	for ctx, t := range c.threads {
-		if t == nil {
-			continue
+	for ctx, live := range c.tLive {
+		if live {
+			order[n] = ctx
+			n++
 		}
-		order[n] = ctx
-		n++
 	}
 	if c.cfg.FetchPolicy == arch.FetchRoundRobin {
 		// Rotate priority by cycle, ignoring pipeline occupancy.
@@ -571,8 +862,7 @@ func (c *Core) fetch() {
 		// Insertion sort by unissued count (ICOUNT); context count is tiny.
 		for i := 1; i < n; i++ {
 			for j := i; j > 0; j-- {
-				a, b := c.threads[order[j-1]], c.threads[order[j]]
-				if b.unissued < a.unissued {
+				if c.tUnissued[order[j]] < c.tUnissued[order[j-1]] {
 					order[j-1], order[j] = order[j], order[j-1]
 				} else {
 					break
@@ -583,45 +873,66 @@ func (c *Core) fetch() {
 
 	budget := c.cfg.FetchWidth
 	threadsUsed := 0
+	fetched := 0
+	mutated := false
 	for i := 0; i < n && budget > 0 && threadsUsed < c.cfg.FetchThreads; i++ {
-		ctx := order[i]
-		got, attempted := c.fetchThread(ctx, budget)
+		got, attempted, mut := c.fetchThread(order[i], budget)
 		budget -= got
+		fetched += got
+		mutated = mutated || mut
 		if attempted {
 			threadsUsed++
 		}
 	}
+	return fetched, mutated
 }
 
 // fetchThread fetches up to max instructions for ctx. It returns how many
-// were fetched and whether the thread consumed a fetch port.
-func (c *Core) fetchThread(ctx, max int) (fetched int, attempted bool) {
-	t := c.threads[ctx]
-	if t.fetchStallUntil > c.cycle || t.waitBranch != noSeq {
-		return 0, false
+// were fetched, whether the thread consumed a fetch port, and whether any
+// fetch state mutated.
+func (c *Core) fetchThread(ctx, max int) (fetched int, attempted, mutated bool) {
+	cyc := c.cycle
+	if c.tStall[ctx] > cyc || c.tWait[ctx] != noSeq {
+		return 0, false, false
 	}
-	if t.blockedBarrier != noSeq {
-		if !t.gate.TryPass(t.id, t.blockedBarrier) {
-			return 0, false
+	if bar := c.tBarrier[ctx]; bar != noSeq {
+		if !c.tGate[ctx].TryPass(c.tID[ctx], bar) {
+			return 0, false, false
 		}
-		t.blockedBarrier = noSeq
-		t.seq++ // consume the SYNC marker
+		c.tBarrier[ctx] = noSeq
+		c.tSeq[ctx]++ // consume the SYNC marker
+		mutated = true
 	}
+	base := ctx << c.winShift
+	src := c.tSrc[ctx]
+	seq := c.tSeq[ctx]
+	head, count := c.tHead[ctx], c.tCount[ctx]
+	curLine := c.tCurLine[ctx]
+	gen := c.tGen[ctx]
+
 	for fetched < max {
-		if t.windowFull() {
-			c.conf[counters.Scoreboard] = true
+		if count > c.winMask { // window full
+			c.conf |= 1 << counters.Scoreboard
 			break
 		}
-		in := t.src.At(t.seq)
+		var in trace.Inst
+		if c.tMemoSeq[ctx] == seq {
+			in = c.tMemoIn[ctx]
+		} else {
+			in = src.At(seq)
+			c.tMemoSeq[ctx] = seq
+			c.tMemoIn[ctx] = in
+		}
 
 		if in.Op == trace.SYNC {
 			idx := in.Seq // barrier ordinal is encoded in Seq by the workload wrapper
-			if t.gate == nil || t.gate.TryPass(t.id, idx) {
-				t.seq++
+			if gate := c.tGate[ctx]; gate == nil || gate.TryPass(c.tID[ctx], idx) {
+				seq++
 				fetched++ // a consumed barrier occupies a fetch slot
 				continue
 			}
-			t.blockedBarrier = idx
+			c.tBarrier[ctx] = idx
+			mutated = true
 			break
 		}
 
@@ -629,74 +940,131 @@ func (c *Core) fetchThread(ctx, max int) (fetched int, attempted bool) {
 
 		// Instruction cache.
 		line := in.PC&c.lineMask + 1
-		if line != t.curLine {
+		if line != curLine {
 			if stall := c.mem.InstAccess(in.PC); stall > 0 {
-				t.fetchStallUntil = c.cycle + uint64(stall)
-				t.curLine = line // the miss fills the line
+				c.tStall[ctx] = cyc + uint64(stall)
+				curLine = line // the miss fills the line
+				mutated = true
 				break
 			}
-			t.curLine = line
+			curLine = line
+			mutated = true
 		}
 
 		// Rename register.
 		isFP := in.Op.IsFP()
 		if isFP {
 			if c.fpRegsFree == 0 {
-				c.conf[counters.FPRegs] = true
+				c.conf |= 1 << counters.FPRegs
 				break
 			}
 		} else if c.intRegsFree == 0 {
-			c.conf[counters.IntRegs] = true
+			c.conf |= 1 << counters.IntRegs
 			break
 		}
 
 		// Instruction queue slot.
 		if isFP {
 			if len(c.fpQ) == c.cfg.FPQueue {
-				c.conf[counters.FQ] = true
+				c.conf |= 1 << counters.FQ
 				break
 			}
 		} else if len(c.intQ) == c.cfg.IntQueue {
-			c.conf[counters.IQ] = true
+			c.conf |= 1 << counters.IQ
 			break
 		}
 
 		// All resources available: dispatch.
-		slot := (t.head + t.count) & t.mask
-		u := &t.win[slot]
-		*u = uop{
-			op:    in.Op,
-			seq:   t.seq,
-			dep1:  depSeq(t.seq, in.Dep1),
-			dep2:  depSeq(t.seq, in.Dep2),
-			addr:  in.Addr,
-			pc:    in.PC,
-			taken: in.Taken,
-			isFP:  isFP,
-			state: stQueued,
+		slot := (head + count) & c.winMask
+		gi := int32(base | slot)
+		c.uOp[gi] = in.Op
+		c.uState[gi] = stQueued
+		c.uMispred[gi] = false
+		c.uSeq[gi] = seq
+		d1 := depSeq(seq, in.Dep1)
+		d2 := depSeq(seq, in.Dep2)
+		c.uDep1[gi] = d1
+		c.uDep2[gi] = d2
+		c.uAddr[gi] = in.Addr
+		c.uGen[gi] = gen
+		c.uPending[gi] = 0
+		c.wakeHead[gi] = -1
+		ready := c.resolveDep(ctx, gi, 0, d1, cyc)
+		if d2 != noSeq {
+			if r2 := c.resolveDep(ctx, gi, 1, d2, cyc); r2 > ready {
+				ready = r2
+			}
 		}
+		c.uReady[gi] = ready
 		if isFP {
 			c.fpRegsFree--
-			c.fpQ = append(c.fpQ, qent{ctx: int32(ctx), slot: int32(slot), gen: t.gen})
+			c.fpQ = append(c.fpQ, qent{gi: gi, gen: gen})
+			c.fpMinRetry = 0
 		} else {
 			c.intRegsFree--
-			c.intQ = append(c.intQ, qent{ctx: int32(ctx), slot: int32(slot), gen: t.gen})
+			c.intQ = append(c.intQ, qent{gi: gi, gen: gen})
+			c.intMinRetry = 0
 		}
-		t.count++
-		t.unissued++
-		t.seq++
+		count++
+		c.tUnissued[ctx]++
+		dispSeq := seq
+		seq++
 		fetched++
 		c.ctr.Fetched++
 
 		if in.Op == trace.BRANCH {
 			if correct := c.bp.Lookup(ctx, in.PC, in.Taken); !correct {
-				u.mispred = true
-				t.waitBranch = u.seq
+				c.uMispred[gi] = true
+				c.tWait[ctx] = dispSeq
 				break
 			}
 		}
 	}
-	return fetched, attempted
+	c.tSeq[ctx] = seq
+	c.tCount[ctx] = count
+	c.tCurLine[ctx] = curLine
+	return fetched, attempted, mutated
+}
+
+// resolveDep computes, at dispatch time, the earliest cycle producer
+// sequence p could be complete, registering a wakeup edge (depIndex k) when
+// the producer is genuinely queued so the bound is later replaced by the
+// producer's exact completion cycle. Squashed-slot collisions get a finite
+// bound with no edge; uPending stays nonzero, keeping the consumer on the
+// issue scan's poll path, which re-derives the pre-SoA kernel's verdict
+// from current state at every expiry.
+func (c *Core) resolveDep(ctx int, consGi int32, k int, p, cyc uint64) uint64 {
+	if p == noSeq || p < c.tHeadSeq[ctx] {
+		return 0 // absent, retired or pre-attach: available
+	}
+	slot := (c.tHead[ctx] + int(p-c.tHeadSeq[ctx])) & c.winMask
+	pgi := int32(ctx<<c.winShift | slot)
+	if c.uSeq[pgi] != p {
+		return 0 // squashed and never re-fetched: available on resume
+	}
+	switch c.uState[pgi] {
+	case stDone:
+		return 0
+	case stIssued:
+		return c.uDoneAt[pgi]
+	}
+	c.uPending[consGi]++
+	if c.uGen[pgi] != c.tGen[ctx] {
+		// Stale queued slot from an earlier attachment: no wakeup will ever
+		// fire; poll from a conservative bound.
+		return cyc + 2
+	}
+	eid := consGi<<1 | int32(k)
+	c.wakeNext[eid] = c.wakeHead[pgi]
+	c.wakeHead[pgi] = eid
+	// The producer can issue next cycle at the earliest (fetch runs after
+	// issue), or at its own readiness bound; it then executes for at least
+	// its class's minimum latency.
+	b := cyc + 1
+	if r := c.uReady[pgi]; r > b {
+		b = r
+	}
+	return b + c.latMin[c.uOp[pgi]]
 }
 
 // depSeq converts a producer distance to an absolute sequence number.

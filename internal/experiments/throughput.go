@@ -115,16 +115,41 @@ func EvalMixSchedulesCtx(ctx context.Context, mix workload.Mix, scheds []schedul
 	// Symbios validation: run each sampled schedule from an identical
 	// starting state and record its weighted speedup. Each run builds its
 	// own jobs and machine from the same seed, so the runs are independent
-	// and fan out across workers with bit-identical results.
+	// and fan out across workers with bit-identical results — grouped into
+	// core.EvalBatch chunks so one worker drives several machines through
+	// warmup and the symbios window as a single coarse work item.
 	endSym := tr.Span("sos/symbios", mix.Label)
-	ev.WS, err = parallel.Map(scheds, parallel.Options{Context: ctx}, func(_ int, s schedule.Schedule) (float64, error) {
-		return symbiosWS(ctx, mix, cfg, slice, sc, s, solo)
+	groups := chunkRanges(len(scheds), symbiosBatch)
+	wsGroups, err := parallel.Map(groups, parallel.Options{Context: ctx}, func(_ int, g [2]int) ([]float64, error) {
+		return symbiosWSBatch(ctx, mix, cfg, slice, sc, scheds[g[0]:g[1]], solo)
 	})
 	endSym()
 	if err != nil {
 		return nil, err
 	}
+	for _, ws := range wsGroups {
+		ev.WS = append(ev.WS, ws...)
+	}
 	return ev, nil
+}
+
+// symbiosBatch is how many schedule evaluations one worker drives as a
+// single EvalBatch work item. Grouping only regroups the fan-out — every
+// schedule still runs on its own identically-seeded machine — so the
+// weighted speedups are bit-identical at any batch size or worker count.
+const symbiosBatch = 4
+
+// chunkRanges splits [0,n) into half-open [lo,hi) ranges of at most size.
+func chunkRanges(n, size int) [][2]int {
+	var out [][2]int
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
 }
 
 // EnumerateFor returns every distinct schedule of a mix (for mixes whose
@@ -150,24 +175,59 @@ func warm(ctx context.Context, m *core.Machine, s schedule.Schedule, cycles uint
 }
 
 // symbiosWS measures one schedule's symbios-phase weighted speedup on a
-// fresh machine (full warmup, then the symbios budget).
+// fresh machine (a batch of one).
 func symbiosWS(ctx context.Context, mix workload.Mix, cfg arch.Config, slice uint64, sc Scale, s schedule.Schedule, solo []float64) (float64, error) {
-	jobs, _, err := buildJobs(mix, sc.Seed)
+	ws, err := symbiosWSBatch(ctx, mix, cfg, slice, sc, []schedule.Schedule{s}, solo)
 	if err != nil {
 		return 0, err
 	}
-	m, err := core.NewMachine(cfg, jobs, slice)
+	return ws[0], nil
+}
+
+// symbiosWSBatch measures a group of schedules' symbios-phase weighted
+// speedups, each on its own fresh machine (full warmup, then the symbios
+// budget), with both phases advanced through one core.EvalBatch.
+func symbiosWSBatch(ctx context.Context, mix workload.Mix, cfg arch.Config, slice uint64, sc Scale, group []schedule.Schedule, solo []float64) ([]float64, error) {
+	ms := make([]*core.Machine, len(group))
+	var warmup core.EvalBatch
+	for i, s := range group {
+		jobs, _, err := buildJobs(mix, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.NewMachine(cfg, jobs, slice)
+		if err != nil {
+			return nil, err
+		}
+		ms[i] = m
+		// Whole warmup rotations, exactly as warm() computes them.
+		rot := s.CycleSlices()
+		rounds := int(sc.WarmupCycles/(uint64(rot)*m.SliceCycles)) + 1
+		if _, err := warmup.Add(m, s, rot*rounds); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := warmup.Run(ctx); err != nil {
+		return nil, err
+	}
+	var sym core.EvalBatch
+	for i, s := range group {
+		if _, err := sym.Add(ms[i], s, sc.symbiosSlices(slice, s.CycleSlices())); err != nil {
+			return nil, err
+		}
+	}
+	res, err := sym.Run(ctx)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	if err := warm(ctx, m, s, sc.WarmupCycles); err != nil {
-		return 0, err
+	ws := make([]float64, len(group))
+	for i, r := range res {
+		ws[i], err = metrics.WeightedSpeedup(r.Cycles, r.Committed, solo)
+		if err != nil {
+			return nil, err
+		}
 	}
-	res, err := m.RunScheduleCtx(ctx, s, sc.symbiosSlices(slice, s.CycleSlices()))
-	if err != nil {
-		return 0, err
-	}
-	return metrics.WeightedSpeedup(res.Cycles, res.Committed, solo)
+	return ws, nil
 }
 
 // Best, Worst and Avg summarize the symbios weighted speedups.

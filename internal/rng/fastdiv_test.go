@@ -1,0 +1,82 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDivisorExact cross-checks the reciprocal Div/Mod against the hardware
+// divide over divisor shapes the trace generator uses (powers of two, small
+// odds, large composites) and adversarial dividends (extremes, divisor
+// multiples ±1, and a pseudorandom sweep).
+func TestDivisorExact(t *testing.T) {
+	divisors := []uint64{1, 2, 3, 4, 5, 7, 8, 10, 12, 16, 56, 100, 1 << 10, 1<<10 + 3,
+		12 << 10, 96 << 10, 128 << 10, 512 << 10, 1<<32 - 1, 1<<32 + 1, 1<<40 + 7,
+		math.MaxUint64, math.MaxUint64 - 1}
+	for _, d := range divisors {
+		v := NewDivisor(d)
+		check := func(n uint64) {
+			if got, want := v.Div(n), n/d; got != want {
+				t.Fatalf("Div(%d, d=%d) = %d, want %d", n, d, got, want)
+			}
+			if got, want := v.Mod(n), n%d; got != want {
+				t.Fatalf("Mod(%d, d=%d) = %d, want %d", n, d, got, want)
+			}
+		}
+		check(0)
+		check(1)
+		check(d - 1)
+		check(d)
+		check(d + 1)
+		check(math.MaxUint64)
+		check(math.MaxUint64 - 1)
+		for k := uint64(1); k < 100; k++ {
+			m := d * k // wraparound is fine; still a valid test input
+			check(m - 1)
+			check(m)
+			check(m + 1)
+		}
+		st := New(d ^ 0x9e3779b97f4a7c15)
+		for i := 0; i < 20000; i++ {
+			check(st.Uint64())
+		}
+	}
+}
+
+// TestThreshold verifies the integer draw bound agrees with the float
+// comparison at every representable draw near the boundary, for a sweep of
+// probabilities including the exact profile constants used by workloads.
+func TestThreshold(t *testing.T) {
+	probs := []float64{0, 1, 0.02, 0.03, 0.05, 0.1, 0.12, 0.15, 0.22, 0.25,
+		0.3, 0.35, 0.45, 0.55, 0.65, 0.8, 0.82, 0.85, 1e-9, 1 - 1e-9, 0.5,
+		0.02 + (1-0.02)/2, -0.5, 1.5, math.SmallestNonzeroFloat64}
+	for _, p := range probs {
+		thr := Threshold(p)
+		// Check draws around the boundary and the extremes.
+		var cands []uint64
+		for d := int64(-2); d <= 2; d++ {
+			c := int64(thr) + d
+			if c >= 0 && c <= 1<<53 {
+				cands = append(cands, uint64(c))
+			}
+		}
+		cands = append(cands, 0, 1, 1<<53-1)
+		for _, c := range cands {
+			v := c << 11 // reconstruct a draw mapping to this mantissa
+			got := v>>11 < thr
+			want := Float01(v) < p
+			if got != want {
+				t.Fatalf("Threshold(%v)=%d: draw %d: int says %v, float says %v", p, thr, c, got, want)
+			}
+		}
+	}
+	// Dense random agreement sweep.
+	st := New(42)
+	for i := 0; i < 200000; i++ {
+		v := st.Uint64()
+		p := Float01(st.Uint64())
+		if (v>>11 < Threshold(p)) != (Float01(v) < p) {
+			t.Fatalf("disagreement at v=%d p=%v", v, p)
+		}
+	}
+}

@@ -155,7 +155,13 @@ func (p Params) Validate() error {
 
 // Stream generates instructions for one thread. At is a pure function of
 // the construction arguments and the sequence number; the struct carries
-// only a memo cache, so replay is exact.
+// only a memo cache and precomputed constants, so replay is exact.
+//
+// At runs for every simulated fetch, so its divisions by per-stream
+// constants use precomputed exact reciprocals (rng.Divisor) and its
+// probability draws use precomputed integer thresholds (rng.Threshold); both
+// are proven bit-identical to the plain / % and float-compare forms they
+// replace.
 type Stream struct {
 	params   Params
 	seed     uint64
@@ -165,6 +171,32 @@ type Stream struct {
 	// memory accesses, so streaming addresses advance one SeqStride per
 	// access rather than per instruction.
 	accessStep uint64
+
+	// Exact reciprocals for the per-stream-constant divisors.
+	divWS       rng.Divisor // params.WorkingSet
+	divHot      rng.Divisor // params.HotSet (unused when 0)
+	divMaxDep   rng.Divisor // params.MaxDep
+	divSites    rng.Divisor // params.BranchSites
+	divBlocks   rng.Divisor // params.CodeBlocks
+	divBlockLen rng.Divisor // params.BlockLen
+	divStep     rng.Divisor // accessStep
+
+	// Integer draw bounds for the profile probabilities (see rng.Threshold).
+	// Cumulative thresholds are built from the same float sums the direct
+	// comparisons used, preserving their rounding.
+	thrLoad      uint64 // LoadFrac
+	thrStore     uint64 // LoadFrac+StoreFrac
+	thrBranch    uint64 // LoadFrac+StoreFrac+BranchFrac
+	thrFP        uint64 // FPFrac
+	thrFDiv      uint64 // FPDivFrac
+	thrFMul      uint64 // FPDivFrac+(1-FPDivFrac)/2
+	thrIMul      uint64 // IMulFrac
+	thrDepShort  uint64 // DepShort
+	thrSecondDep uint64 // SecondDepFrac
+	thrSeq       uint64 // SeqFrac
+	thrHot       uint64 // SeqFrac+HotFrac
+	thrEntropy   uint64 // BranchEntropy
+	thrJumpFar   uint64 // JumpFarFrac
 
 	// Single-entry memo for the basic-block lookup, which At performs for
 	// every instruction but which only changes once per block visit. Purely
@@ -195,13 +227,36 @@ func NewStream(p Params, seed, space uint64) (*Stream, error) {
 	// without it every job's footprint would collide perfectly with every
 	// other's, which real virtual-to-physical mappings never do.
 	jitter := (rng.Hash(space, 0x0ff5e7) % (1 << 24)) &^ 8191
-	return &Stream{
+	s := &Stream{
 		params:     p,
 		seed:       seed,
 		dataBase:   (space+1)<<40 + jitter,
 		codeBase:   (space+1)<<40 | 1<<39 + jitter>>1&^8191,
 		accessStep: step,
-	}, nil
+
+		divWS:       rng.NewDivisor(p.WorkingSet),
+		divHot:      rng.NewDivisor(max(p.HotSet, 1)),
+		divMaxDep:   rng.NewDivisor(uint64(p.MaxDep)),
+		divSites:    rng.NewDivisor(uint64(p.BranchSites)),
+		divBlocks:   rng.NewDivisor(uint64(p.CodeBlocks)),
+		divBlockLen: rng.NewDivisor(uint64(p.BlockLen)),
+		divStep:     rng.NewDivisor(step),
+
+		thrLoad:      rng.Threshold(p.LoadFrac),
+		thrStore:     rng.Threshold(p.LoadFrac + p.StoreFrac),
+		thrBranch:    rng.Threshold(p.LoadFrac + p.StoreFrac + p.BranchFrac),
+		thrFP:        rng.Threshold(p.FPFrac),
+		thrFDiv:      rng.Threshold(p.FPDivFrac),
+		thrFMul:      rng.Threshold(p.FPDivFrac + (1-p.FPDivFrac)/2),
+		thrIMul:      rng.Threshold(p.IMulFrac),
+		thrDepShort:  rng.Threshold(p.DepShort),
+		thrSecondDep: rng.Threshold(p.SecondDepFrac),
+		thrSeq:       rng.Threshold(p.SeqFrac),
+		thrHot:       rng.Threshold(p.SeqFrac + p.HotFrac),
+		thrEntropy:   rng.Threshold(p.BranchEntropy),
+		thrJumpFar:   rng.Threshold(p.JumpFarFrac),
+	}
+	return s, nil
 }
 
 // Params returns the profile the stream was built with.
@@ -209,7 +264,6 @@ func (s *Stream) Params() Params { return s.params }
 
 // At returns instruction seq of the stream.
 func (s *Stream) At(seq uint64) Inst {
-	p := &s.params
 	// One counter-based draw per instruction; cheap derived draws for each
 	// independent decision.
 	h := rng.Hash2(s.seed, seq, 0)
@@ -219,30 +273,29 @@ func (s *Stream) At(seq uint64) Inst {
 
 	in := Inst{Seq: seq, PC: s.pcAt(seq)}
 
-	u := rng.Float01(r0)
+	u := r0 >> 11
 	switch {
-	case u < p.LoadFrac:
+	case u < s.thrLoad:
 		in.Op = LOAD
 		in.Addr = s.addrAt(seq, r1)
-	case u < p.LoadFrac+p.StoreFrac:
+	case u < s.thrStore:
 		in.Op = STORE
 		in.Addr = s.addrAt(seq, r1)
-	case u < p.LoadFrac+p.StoreFrac+p.BranchFrac:
+	case u < s.thrBranch:
 		in.Op = BRANCH
 		in.Taken = s.outcomeAt(in.PC, r1)
 	default:
-		v := rng.Float01(r1)
-		if v < p.FPFrac {
-			w := rng.Float01(rng.Hash(h, 3))
+		if r1>>11 < s.thrFP {
+			w := rng.Hash(h, 3) >> 11
 			switch {
-			case w < p.FPDivFrac:
+			case w < s.thrFDiv:
 				in.Op = FDIV
-			case w < p.FPDivFrac+(1-p.FPDivFrac)/2:
+			case w < s.thrFMul:
 				in.Op = FMUL
 			default:
 				in.Op = FADD
 			}
-		} else if rng.Float01(rng.Hash(h, 3)) < p.IMulFrac {
+		} else if rng.Hash(h, 3)>>11 < s.thrIMul {
 			in.Op = IMUL
 		} else {
 			in.Op = IALU
@@ -250,7 +303,7 @@ func (s *Stream) At(seq uint64) Inst {
 	}
 
 	in.Dep1 = s.depAt(seq, r2)
-	if p.SecondDepFrac > 0 && rng.Float01(rng.Hash(h, 4)) < p.SecondDepFrac {
+	if s.thrSecondDep > 0 && rng.Hash(h, 4)>>11 < s.thrSecondDep {
 		in.Dep2 = s.depAt(seq, rng.Hash(h, 5))
 	}
 	return in
@@ -261,34 +314,36 @@ func (s *Stream) depAt(seq, r uint64) uint32 {
 	if seq == 0 {
 		return 0
 	}
-	p := &s.params
-	maxd := uint64(p.MaxDep)
+	maxd := uint64(s.params.MaxDep)
+	useDiv := seq >= maxd
 	if seq < maxd {
 		maxd = seq
 	}
-	if rng.Float01(r) < p.DepShort {
+	if r>>11 < s.thrDepShort {
 		d := 1 + r%3
 		if d > maxd {
 			d = maxd
 		}
 		return uint32(d)
 	}
-	return uint32(1 + (r>>16)%maxd)
+	if useDiv {
+		return uint32(1 + s.divMaxDep.Mod(r>>16))
+	}
+	return uint32(1 + (r>>16)%maxd) // startup only: seq < MaxDep
 }
 
 // addrAt draws a data address: streaming, hot-region, or uniform over the
 // working set, all aligned to 8 bytes within this job's private region.
 func (s *Stream) addrAt(seq, r uint64) uint64 {
-	p := &s.params
-	u := rng.Float01(r)
+	u := r >> 11
 	var off uint64
 	switch {
-	case u < p.SeqFrac:
-		off = (seq / s.accessStep * p.SeqStride) % p.WorkingSet
-	case u < p.SeqFrac+p.HotFrac && p.HotSet > 0:
-		off = (r >> 8) % p.HotSet
+	case u < s.thrSeq:
+		off = s.divWS.Mod(s.divStep.Div(seq) * s.params.SeqStride)
+	case u < s.thrHot && s.params.HotSet > 0:
+		off = s.divHot.Mod(r >> 8)
 	default:
-		off = (r >> 8) % p.WorkingSet
+		off = s.divWS.Mod(r >> 8)
 	}
 	return s.dataBase + (off &^ 7)
 }
@@ -300,11 +355,10 @@ func (s *Stream) addrAt(seq, r uint64) uint64 {
 // learns the bias but not the noise, so the realized mispredict rate tracks
 // BranchEntropy plus table-interference effects.
 func (s *Stream) outcomeAt(pc, r uint64) bool {
-	p := &s.params
-	if rng.Float01(r) < p.BranchEntropy {
+	if r>>11 < s.thrEntropy {
 		return r&1 == 0
 	}
-	site := (pc >> 2) % uint64(p.BranchSites)
+	site := s.divSites.Mod(pc >> 2)
 	bias := rng.Hash2(s.seed, site, 0xb1a5)
 	return bias&1 == 0
 }
@@ -313,19 +367,19 @@ func (s *Stream) outcomeAt(pc, r uint64) bool {
 // blocks; most transitions are near (sequential code), a fraction jump far
 // (calls), producing an icache footprint proportional to CodeBlocks.
 func (s *Stream) pcAt(seq uint64) uint64 {
-	p := &s.params
-	blockVisit := seq / uint64(p.BlockLen)
-	within := seq % uint64(p.BlockLen)
+	blockLen := uint64(s.params.BlockLen)
+	blockVisit := s.divBlockLen.Div(seq)
+	within := seq - blockVisit*blockLen
 	if !s.memoValid || s.memoVisit != blockVisit {
 		h := rng.Hash2(s.seed, blockVisit, 0xc0de)
 		var block uint64
-		if rng.Float01(h) < p.JumpFarFrac {
-			block = (h >> 8) % uint64(p.CodeBlocks)
+		if h>>11 < s.thrJumpFar {
+			block = s.divBlocks.Mod(h >> 8)
 		} else {
 			// Walk nearby blocks to model loop bodies and straight-line code.
-			block = (blockVisit + (h>>8)%4) % uint64(p.CodeBlocks)
+			block = s.divBlocks.Mod(blockVisit + (h>>8)%4)
 		}
 		s.memoVisit, s.memoBlock, s.memoValid = blockVisit, block, true
 	}
-	return s.codeBase + s.memoBlock*uint64(p.BlockLen)*4 + within*4
+	return s.codeBase + s.memoBlock*blockLen*4 + within*4
 }

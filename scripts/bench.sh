@@ -1,57 +1,79 @@
 #!/usr/bin/env bash
-# bench.sh — run the root benchmarks and emit a BENCH_<date>.json perf
-# snapshot (min/median ns/op, allocs/op, B/op and reported metrics per
-# table/figure) so future optimisation PRs have a trajectory to compare
-# against.
+# bench.sh — run the root and per-stage benchmarks and emit a
+# BENCH_<date>.json perf snapshot (min/median ns/op, allocs/op, B/op,
+# reported metrics per table/figure, sim_cycles/sec for the simulator hot
+# loop, and the cold Figure-1 sweep wall-clock) so future optimisation PRs
+# have a trajectory to compare against.
 #
 # Usage:
 #   scripts/bench.sh [bench-regex] [benchtime] [count]
 #
-# Defaults: the fast structural benchmarks plus the simulator hot loop,
-# 5 repetitions at a pinned -benchtime so run-to-run noise is visible in
-# the snapshot instead of silently folded into a single sample. Pass '.'
-# to run everything (slow: the full figure suite simulates hundreds of
-# millions of cycles).
+# Defaults: the fast structural benchmarks, the simulator hot loop and the
+# per-stage microbenchmarks, 5 repetitions at a pinned -benchtime so
+# run-to-run noise is visible in the snapshot instead of silently folded
+# into a single sample. Pass '.' to run everything (slow: the full figure
+# suite simulates hundreds of millions of cycles).
+#
+# The cold Figure-1 sweep is timed separately in a fresh process with
+# -count 1 (the in-process eval memo is cleared per iteration, but a fresh
+# process also rules out warm OS and allocator state); set BENCH_FIG1=0 to
+# skip it when iterating on the micro numbers.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PATTERN="${1:-BenchmarkCoreCycles|BenchmarkTraceAt|BenchmarkScheduleSample|BenchmarkSOSRun}"
-BENCHTIME="${2:-1x}"
+PATTERN="${1:-BenchmarkCoreCycles|BenchmarkTraceAt|BenchmarkScheduleSample|BenchmarkSOSRun|BenchmarkFetch|BenchmarkIssue|BenchmarkRetire|BenchmarkBatchEval}"
+BENCHTIME="${2:-1s}"
 COUNT="${3:-5}"
+FIG1="${BENCH_FIG1:-1}"
 if [ "$COUNT" -lt 5 ]; then
     echo "bench.sh: count must be >= 5 (got $COUNT); single-digit samples make min/median meaningless" >&2
     exit 1
 fi
 OUT="BENCH_$(date +%Y%m%d).json"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+FIG1RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$FIG1RAW"' EXIT
 
-echo "running: go test -run ^\$ -bench \"$PATTERN\" -benchtime $BENCHTIME -count $COUNT -benchmem" >&2
-go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -count "$COUNT" -benchmem | tee "$RAW"
+echo "running: go test -run ^\$ -bench \"$PATTERN\" -benchtime $BENCHTIME -count $COUNT -benchmem ./..." >&2
+go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -count "$COUNT" -benchmem ./... | tee "$RAW"
+
+if [ "$FIG1" = "1" ]; then
+    echo "running: cold Figure-1 sweep (fresh process, -benchtime 1x -count 1)" >&2
+    go test -run '^$' -bench '^BenchmarkFigure1$' -benchtime 1x -count 1 . | tee "$FIG1RAW"
+else
+    : > "$FIG1RAW"
+fi
 
 # Aggregate the repeated `go test -bench` lines into a JSON snapshot.
 # Each benchmark line has the shape:
 #   BenchmarkName  N  t ns/op [m unit ...]  b B/op  a allocs/op
 # and appears $COUNT times; the snapshot records min and median per
-# metric. A benchmark that produced fewer than 2 samples fails the run:
-# one sample means the regex matched a benchmark that crashed or was
-# skipped partway, and a snapshot built on it would record pure noise.
-python3 - "$RAW" "$OUT" "$COUNT" "$BENCHTIME" <<'EOF'
+# metric, plus the actual per-sample b.N (a 1x benchtime pins N to 1; a
+# time-based benchtime lets the harness pick it, and the snapshot must say
+# which happened). A benchmark that produced fewer than 2 samples fails
+# the run: one sample means the regex matched a benchmark that crashed or
+# was skipped partway, and a snapshot built on it would record pure noise.
+python3 - "$RAW" "$OUT" "$COUNT" "$BENCHTIME" "$FIG1RAW" <<'EOF'
 import json, re, sys, datetime, statistics, subprocess
 
-raw, out, want, benchtime = sys.argv[1], sys.argv[2], int(sys.argv[3]), sys.argv[4]
-samples = {}
-for line in open(raw):
-    m = re.match(r'^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$', line)
-    if not m:
-        continue
-    name, iters, rest = m.group(1), int(m.group(2)), m.group(3)
-    metrics = {}
-    for val, unit in re.findall(r'([0-9.e+]+)\s+(\S+)', rest):
-        metrics[unit] = float(val)
-    samples.setdefault(name, []).append({"iterations": iters, "metrics": metrics})
+raw, out, want, benchtime, fig1raw = sys.argv[1:6]
+want = int(want)
 
+def parse(path):
+    samples = {}
+    for line in open(path):
+        m = re.match(r'^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$', line)
+        if not m:
+            continue
+        name, iters, rest = m.group(1), int(m.group(2)), m.group(3)
+        metrics = {}
+        for val, unit in re.findall(r'([0-9.e+]+)\s+(\S+)', rest):
+            metrics[unit] = float(val)
+        samples.setdefault(name, []).append({"iterations": iters, "metrics": metrics})
+    return samples
+
+samples = parse(raw)
 if not samples:
     sys.exit("bench.sh: no benchmark lines matched; check the pattern")
 
@@ -68,7 +90,7 @@ for name, runs in sorted(samples.items()):
         agg[u] = {"min": min(vals), "median": statistics.median(vals)}
     benches[name] = {
         "samples": len(runs),
-        "iterations": min(r["iterations"] for r in runs),
+        "iterations_per_sample": [r["iterations"] for r in runs],
         "metrics": agg,
     }
 if bad:
@@ -85,6 +107,15 @@ snapshot = {
     "benchtime": benchtime,
     "benchmarks": benches,
 }
+
+fig1 = parse(fig1raw)
+if "BenchmarkFigure1" in fig1:
+    run = fig1["BenchmarkFigure1"][0]
+    snapshot["figure1_sweep"] = {
+        "wallclock_sec": run["metrics"]["ns/op"] / 1e9,
+        "metrics": run["metrics"],
+    }
+
 with open(out, "w") as f:
     json.dump(snapshot, f, indent=2, sort_keys=True)
     f.write("\n")

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# benchsmoke.sh — machine-enforce the cycle loop's alloc-free invariant.
+# Runs BenchmarkCoreCycles three times with allocation reporting and fails
+# if any sample reports allocs/op > 0: steady-state simulation must not
+# allocate, and a regression here silently costs every experiment sweep.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="$(go test -run '^$' -bench '^BenchmarkCoreCycles$' -benchtime 200000x -count 3 -benchmem .)"
+echo "$OUT"
+
+echo "$OUT" | awk '
+/^BenchmarkCoreCycles/ {
+    found++
+    for (i = 1; i <= NF; i++) {
+        if ($i == "allocs/op" && $(i-1) + 0 > 0) {
+            printf "benchsmoke: allocs/op = %s in: %s\n", $(i-1), $0 > "/dev/stderr"
+            bad = 1
+        }
+    }
+}
+END {
+    if (found < 3) {
+        printf "benchsmoke: expected 3 BenchmarkCoreCycles samples, saw %d\n", found > "/dev/stderr"
+        exit 1
+    }
+    exit bad
+}'
+echo "benchsmoke: BenchmarkCoreCycles is alloc-free across 3 samples"
