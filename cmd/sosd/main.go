@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,6 +58,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		chaos   = fs.Float64("chaos", 0, "probability of injected counter-read failure per read (chaos mode; also unlocks per-request fault blocks)")
 		ckpt    = fs.String("checkpoint", "", "response-cache checkpoint file (resumed when it exists)")
 		every   = fs.Int("checkpoint-every", 8, "flush the checkpoint every N recorded responses")
+		warm    = fs.String("warm-from", "", "comma-separated sibling sosd base URLs to warm the response cache from on boot (requires -checkpoint; /readyz reports 503 until the transfer settles)")
+		warmTO  = fs.Duration("warm-timeout", 10*time.Second, "per-sibling cache warm-up fetch timeout")
 		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		pprofOn = fs.Bool("pprof", false, "mount net/http/pprof endpoints under /debug/pprof/")
 		version = fs.Bool("version", false, "print version and exit")
@@ -132,6 +135,10 @@ Flags:
 		fmt.Fprintf(stderr, "-chaos %v out of range [0,1]\n", *chaos)
 		return exitUsage
 	}
+	if *warm != "" && *ckpt == "" {
+		fmt.Fprintln(stderr, "-warm-from requires -checkpoint (the transferred cache needs somewhere to live)")
+		return exitUsage
+	}
 
 	eval := &evaluator{scale: sc}
 	mode := "sosd"
@@ -188,6 +195,16 @@ Flags:
 	}, eval, rec, reg, logger, func(from, to resilience.State) {
 		logger.Printf("breaker: %s -> %s", from, to)
 	})
+
+	// The warming gate goes up before the listener: /readyz answers 503
+	// "warming cache" from the very first request, and flips to ready only
+	// once a sibling's cache has been merged (or every sibling failed and
+	// the node falls through to a cold start).
+	if *warm != "" {
+		siblings := strings.Split(*warm, ",")
+		srv.warming.Store(true)
+		go srv.warmFromSiblings(siblings, *warmTO)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -29,6 +29,8 @@ type serverObs struct {
 	requestSeconds *obs.Histogram
 	encodeFailures *obs.Counter
 	cacheHits      *obs.Counter
+	warmShards     *obs.Counter
+	warmBytes      *obs.Counter
 
 	// tracer feeds SOS phase spans from the evaluator's adaptive runs into
 	// obs_span_seconds. No JSONL sink in the service; spans surface only as
@@ -60,6 +62,10 @@ func newServerObs(reg *obs.Registry) *serverObs {
 		"Responses whose JSON encoding failed (served as 500s).")
 	o.cacheHits = reg.Counter("sosd_cache_hits_total",
 		"Schedule requests answered from the response cache.")
+	o.warmShards = reg.Counter("sosd_warm_shards_total",
+		"Cached responses adopted from a fleet sibling during boot warm-up.")
+	o.warmBytes = reg.Counter("sosd_warm_bytes_total",
+		"Bytes transferred from fleet siblings during cache warm-up.")
 	o.tracer = obs.NewTracer(nil, reg)
 	return o
 }

@@ -67,7 +67,11 @@ type server struct {
 	hardStop context.CancelFunc
 
 	draining atomic.Bool
-	logger   *log.Logger
+	// warming holds /readyz at 503 while the response cache is being
+	// transferred from a fleet sibling on boot, so a front tier never routes
+	// to a node that would answer cold what a sibling has already computed.
+	warming atomic.Bool
+	logger  *log.Logger
 
 	// obs is never nil; with a nil registry every handle inside is a
 	// no-op. Observability never feeds back into scheduling decisions.
@@ -113,6 +117,7 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	mux.HandleFunc("GET /v1/mixes", s.handleMixes)
+	mux.HandleFunc("GET /v1/cache/export", s.handleCacheExport)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statz", s.handleStatz)
@@ -134,6 +139,17 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
 	w.Write(body)
 	w.Write([]byte("\n"))
+}
+
+// setRetryAfter renders d as a Retry-After header: whole seconds, rounded
+// up, at least 1 — a real backoff hint derived from the shedding stage's
+// own state (limiter refill rate, breaker cooldown) instead of a constant.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 }
 
 // clientID keys retry budgets: the X-Client-ID header when present, else
@@ -166,7 +182,7 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	allowed := s.limiter.Allow()
 	s.obs.stageLimiter.ObserveSince(t0)
 	if !allowed {
-		w.Header().Set("Retry-After", "1")
+		setRetryAfter(w, s.limiter.RetryAfter())
 		httpError(w, http.StatusTooManyRequests, "admission rate exceeded")
 		return
 	}
@@ -202,7 +218,7 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	report, err := s.breaker.Allow()
 	s.obs.stageBreaker.ObserveSince(t0)
 	if err != nil {
-		w.Header().Set("Retry-After", "1")
+		setRetryAfter(w, s.breaker.RetryAfter())
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -322,6 +338,18 @@ func (s *server) handleMixes(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, workload.MixLabels())
 }
 
+// handleCacheExport serves the full response cache as a JSON snapshot —
+// the transfer a restarted fleet sibling pulls to warm up before reporting
+// ready. Export deep-copies under the recorder's lock, so serving it never
+// blocks or races the request path.
+func (s *server) handleCacheExport(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		httpError(w, http.StatusNotFound, "no response cache (start with -checkpoint)")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.rec.Export())
+}
+
 // handleHealthz is liveness: the process is up.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
@@ -333,6 +361,10 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if s.warming.Load() {
+		httpError(w, http.StatusServiceUnavailable, "warming cache")
 		return
 	}
 	if s.breaker.State() == resilience.Open {

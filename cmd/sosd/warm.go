@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"symbios/internal/checkpoint"
+)
+
+// maxExportBytes bounds a sibling's cache-export payload. The cap is
+// generous — a serve-scale cache is a few hundred KiB — but it keeps a
+// confused or malicious sibling from feeding the warm-up an unbounded body.
+const maxExportBytes = 64 << 20
+
+// warmFromSiblings transfers the response cache from the first responsive
+// sibling before the node reports ready: fetch /v1/cache/export, merge it
+// into the local recorder (Meta must match; divergent bytes abort), and
+// clear the warming gate. Best-effort by design — every failure falls
+// through to the next sibling and finally to a cold start, because a node
+// that refuses to boot without a sibling turns one failure into two.
+func (s *server) warmFromSiblings(siblings []string, timeout time.Duration) {
+	defer s.warming.Store(false)
+	if s.rec == nil || len(siblings) == 0 {
+		return
+	}
+	client := &http.Client{Timeout: timeout}
+	defer client.CloseIdleConnections()
+	for _, sib := range siblings {
+		snap, size, err := fetchExport(client, sib)
+		if err != nil {
+			s.logger.Printf("cache warm-up: %s: %v", sib, err)
+			continue
+		}
+		added, merr := s.rec.Merge(snap)
+		if merr != nil {
+			s.logger.Printf("cache warm-up: merging from %s: %v", sib, merr)
+			continue
+		}
+		s.obs.warmShards.Add(uint64(added))
+		s.obs.warmBytes.Add(uint64(size))
+		s.logger.Printf("warmed %d cached responses (%d bytes) from %s", added, size, sib)
+		return
+	}
+	s.logger.Printf("cache warm-up: no sibling answered; starting cold")
+}
+
+// fetchExport pulls one sibling's cache snapshot, returning the decoded
+// snapshot and the transfer size in bytes.
+func fetchExport(client *http.Client, base string) (*checkpoint.Snapshot, int, error) {
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/v1/cache/export")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxExportBytes))
+	if err != nil {
+		return nil, 0, fmt.Errorf("reading export: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("export returned %s", resp.Status)
+	}
+	var snap checkpoint.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, 0, fmt.Errorf("decoding export: %w", err)
+	}
+	return &snap, len(data), nil
+}

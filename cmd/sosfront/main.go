@@ -1,0 +1,206 @@
+// Command sosfront is the fleet front tier for sosd: it shards /v1/schedule
+// requests across a set of sosd backends by consistent hashing on
+// (jobmix, seed), with R-way replica placement, per-backend circuit
+// breakers, active health checking, failover between replicas, latency-
+// hedged duplicates and singleflight coalescing. Because sosd responses are
+// deterministic — identical requests yield byte-identical bodies on every
+// replica — failover and hedging need no coordination: any replica's answer
+// is THE answer. See DESIGN.md section 13.
+//
+// Exit codes: 0 clean shutdown (SIGINT/SIGTERM drained), 1 internal error,
+// 2 usage error. In -soak mode: 0 the fleet behaved, 1 a violation was
+// found, 2 usage error.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"symbios/internal/buildinfo"
+	"symbios/internal/fleet"
+	"symbios/internal/obs"
+	"symbios/internal/resilience"
+)
+
+// Exit codes.
+const (
+	exitOK       = 0
+	exitInternal = 1
+	exitUsage    = 2
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sosfront", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8822", "listen address (host:port; port 0 picks a free port)")
+		backends = fs.String("backends", "", "comma-separated sosd base URLs to shard across (required)")
+		replicas = fs.Int("replicas", 2, "replica placement width per key")
+		vnodes   = fs.Int("vnodes", 64, "virtual nodes per backend on the hash ring")
+		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		version  = fs.Bool("version", false, "print version and exit")
+
+		deadlineDef = fs.Duration("deadline-default", 5*time.Second, "per-request dispatch deadline when the client sets none")
+		deadlineMax = fs.Duration("deadline-max", 30*time.Second, "per-request dispatch deadline ceiling")
+
+		hedgeQuantile = fs.Float64("hedge-quantile", 0.95, "latency quantile that arms the hedge timer")
+		hedgeMin      = fs.Duration("hedge-min", 20*time.Millisecond, "hedge delay floor")
+		hedgeMax      = fs.Duration("hedge-max", 2*time.Second, "hedge delay ceiling (also the unwarmed delay)")
+		hedgeWarmup   = fs.Int("hedge-warmup", 20, "latency samples required before the tracked quantile is trusted")
+		noHedge       = fs.Bool("no-hedge", false, "disable latency-hedged duplicate requests")
+		hedgeRatio    = fs.Float64("hedge-budget-ratio", 0.1, "hedge credit earned per attempt, per backend")
+		hedgeCap      = fs.Float64("hedge-budget-cap", 10, "hedge credit ceiling per backend")
+
+		healthEvery   = fs.Duration("health-interval", 500*time.Millisecond, "active health probe interval")
+		healthTimeout = fs.Duration("health-timeout", 0, "health probe timeout (0 = same as -health-interval)")
+		ejectAfter    = fs.Int("eject-after", 3, "consecutive failed probes before a backend is ejected")
+		readmitAfter  = fs.Int("readmit-after", 2, "consecutive successful probes before an ejected backend is readmitted")
+
+		brkWindow   = fs.Int("breaker-window", 16, "per-backend breaker sliding window size")
+		brkMin      = fs.Int("breaker-min", 4, "per-backend breaker minimum samples before tripping")
+		brkRate     = fs.Float64("breaker-rate", 0.5, "per-backend breaker error-rate threshold")
+		brkCooldown = fs.Duration("breaker-cooldown", 2*time.Second, "per-backend breaker open-state cooldown")
+		brkProbes   = fs.Int("breaker-probes", 2, "per-backend breaker half-open probe quota")
+
+		soakURL      = fs.String("soak", "", "run as a fleet soak client against this front base URL instead of serving")
+		oracleURL    = fs.String("oracle", "", "soak client: single-node sosd base URL whose responses are the byte-identity oracle")
+		soakDuration = fs.Duration("soak-duration", 30*time.Second, "soak client: how long to generate load")
+		soakSeed     = fs.Uint64("soak-seed", 1, "soak client: load-pattern seed")
+		soakRate     = fs.Float64("soak-rate", 40, "soak client: request pacing, requests/second (0 = unpaced)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, `sosfront — fleet front tier for sosd
+
+Usage:
+  sosfront -backends URL,URL,... [flags]        serve (default)
+  sosfront -soak URL -oracle URL [flags]        fleet soak client
+
+Exit codes:
+  0  clean shutdown (drained on SIGINT/SIGTERM), or soak passed
+  1  internal error, or soak found a violation
+  2  usage error
+
+Flags:
+`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.Version("sosfront"))
+		return exitOK
+	}
+	logger := log.New(stderr, "sosfront: ", log.LstdFlags|log.Lmsgprefix)
+
+	if *soakURL != "" {
+		if *oracleURL == "" {
+			fmt.Fprintln(stderr, "-soak requires -oracle (the byte-identity reference)")
+			return exitUsage
+		}
+		return fleetSoak(stdout, logger, *soakURL, *oracleURL, *soakDuration, *soakSeed, *soakRate)
+	}
+	if *backends == "" {
+		fmt.Fprintln(stderr, "-backends is required (comma-separated sosd base URLs)")
+		return exitUsage
+	}
+
+	reg := obs.NewRegistry()
+	front, err := fleet.New(fleet.Config{
+		Backends: strings.Split(*backends, ","),
+		Replicas: *replicas,
+		VNodes:   *vnodes,
+
+		DeadlineDef: *deadlineDef,
+		DeadlineMax: *deadlineMax,
+
+		HedgeQuantile: *hedgeQuantile,
+		HedgeMin:      *hedgeMin,
+		HedgeMax:      *hedgeMax,
+		HedgeWarmup:   *hedgeWarmup,
+		HedgeDisable:  *noHedge,
+
+		Health: fleet.HealthConfig{
+			Interval:     *healthEvery,
+			Timeout:      *healthTimeout,
+			EjectAfter:   *ejectAfter,
+			ReadmitAfter: *readmitAfter,
+		},
+		Breaker: resilience.BreakerConfig{
+			Window:     *brkWindow,
+			MinSamples: *brkMin,
+			ErrorRate:  *brkRate,
+			Cooldown:   *brkCooldown,
+			Probes:     *brkProbes,
+		},
+		Budget: resilience.BudgetConfig{Ratio: *hedgeRatio, Cap: *hedgeCap},
+
+		Logger:   logger,
+		Registry: reg,
+	})
+	if err != nil {
+		logger.Printf("config: %v", err)
+		return exitUsage
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Printf("listen: %v", err)
+		return exitInternal
+	}
+	httpSrv := &http.Server{Handler: front.Handler()}
+	front.Start()
+
+	// The address line is a contract: scripts/fleetsoak.sh parses it to find
+	// a dynamically chosen port.
+	logger.Printf("listening on %s", ln.Addr())
+	logger.Printf("fronting %d backends, %d-way replicas", len(strings.Split(*backends, ",")), *replicas)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+
+	select {
+	case sig := <-sigs:
+		logger.Printf("%v: draining (budget %s)", sig, *drain)
+		front.Draining()
+		ctx, cancel := contextWithTimeout(*drain)
+		err := httpSrv.Shutdown(ctx)
+		cancel()
+		front.Close()
+		if err != nil {
+			logger.Printf("shutdown: %v", err)
+			return exitInternal
+		}
+		<-serveErr // Serve has returned ErrServerClosed by now
+		st, _ := json.Marshal(front.Stats())
+		logger.Printf("drained cleanly; final stats: %s", st)
+		return exitOK
+	case err := <-serveErr:
+		front.Close()
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("serve: %v", err)
+			return exitInternal
+		}
+		return exitOK
+	}
+}

@@ -241,3 +241,91 @@ func TestNilRecorderAndWatchdog(t *testing.T) {
 		t.Fatal("nil watchdog stalled")
 	}
 }
+
+// TestRecorderExportMerge exercises the fleet cache-warm protocol: a fresh
+// recorder merges a sibling's export, the transferred shards serve lookups,
+// the merge is flushed, and the defensive refusals (meta mismatch,
+// divergent shard bytes) hold.
+func TestRecorderExportMerge(t *testing.T) {
+	dir := t.TempDir()
+	src := NewRecorder(filepath.Join(dir, "src.ckpt"), testMeta, 100)
+	if err := src.Record("a", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Record("b", 2.0); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := src.Export()
+	if len(snap.Shards) != 2 || snap.Meta != testMeta {
+		t.Fatalf("export %+v, want 2 shards with matching meta", snap)
+	}
+	// The export is a deep copy: mutating it must not reach the recorder.
+	snap.Shards["a"][0] ^= 0xff
+	var v float64
+	if ok, err := src.Lookup("a", &v); !ok || err != nil || v != 1.0 {
+		t.Fatalf("source shard corrupted through export copy: ok=%v err=%v v=%v", ok, err, v)
+	}
+
+	dstPath := filepath.Join(dir, "dst.ckpt")
+	dst := NewRecorder(dstPath, testMeta, 100)
+	if err := dst.Record("b", 2.0); err != nil { // overlap, byte-identical
+		t.Fatal(err)
+	}
+	added, err := dst.Merge(src.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 {
+		t.Fatalf("merge added %d shards, want 1 (b already present)", added)
+	}
+	if ok, err := dst.Lookup("a", &v); !ok || err != nil || v != 1.0 {
+		t.Fatalf("merged shard lookup: ok=%v err=%v v=%v", ok, err, v)
+	}
+	// A merge that adopted shards flushes, so the warm cache survives the
+	// next crash too.
+	if _, err := os.Stat(dstPath); err != nil {
+		t.Fatalf("merge did not flush: %v", err)
+	}
+
+	// Meta mismatch: refuse the whole snapshot.
+	otherMeta := testMeta
+	otherMeta.Seed++
+	foreign := NewRecorder(filepath.Join(dir, "f.ckpt"), otherMeta, 100)
+	if err := foreign.Record("c", 3.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Merge(foreign.Export()); !errors.Is(err, ErrMetaMismatch) {
+		t.Fatalf("meta-mismatched merge err=%v, want ErrMetaMismatch", err)
+	}
+	if ok, _ := dst.Lookup("c", &v); ok {
+		t.Fatal("shard adopted from meta-mismatched snapshot")
+	}
+
+	// Divergent bytes for an existing key: refuse everything, adopt nothing.
+	bad := NewRecorder(filepath.Join(dir, "bad.ckpt"), testMeta, 100)
+	if err := bad.Record("a", 9.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Record("fresh", 4.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Merge(bad.Export()); err == nil {
+		t.Fatal("divergent merge accepted")
+	}
+	if ok, _ := dst.Lookup("fresh", &v); ok {
+		t.Fatal("shard adopted from a divergent snapshot (merge must be all-or-nothing)")
+	}
+
+	// Nil receivers and nil snapshots stay no-ops.
+	var nr *Recorder
+	if snap := nr.Export(); len(snap.Shards) != 0 {
+		t.Fatal("nil Export not empty")
+	}
+	if n, err := nr.Merge(src.Export()); n != 0 || err != nil {
+		t.Fatalf("nil Merge = (%d, %v)", n, err)
+	}
+	if n, err := dst.Merge(nil); n != 0 || err != nil {
+		t.Fatalf("Merge(nil) = (%d, %v)", n, err)
+	}
+}

@@ -131,6 +131,62 @@ func (r *Recorder) flushLocked() error {
 	return nil
 }
 
+// Export returns a deep copy of the recorder's current snapshot — the
+// cache-transfer payload a fleet sibling fetches to warm a restarted node.
+// The copy shares no state with the recorder, so the caller may serialize
+// it without holding any lock.
+func (r *Recorder) Export() *Snapshot {
+	if r == nil {
+		return &Snapshot{Shards: map[string]json.RawMessage{}}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := &Snapshot{Meta: r.snap.Meta, Shards: make(map[string]json.RawMessage, len(r.snap.Shards))}
+	for k, v := range r.snap.Shards {
+		out.Shards[k] = append(json.RawMessage(nil), v...)
+	}
+	return out
+}
+
+// Merge imports a sibling's exported snapshot: every shard absent locally is
+// adopted, byte-identical duplicates are ignored, and a key whose bytes
+// differ from the local recording aborts the whole merge — two replicas of a
+// deterministic service disagreeing on the same key means one of them is
+// corrupt, and warming from it would spread the corruption. The sibling's
+// Meta must match exactly (wrapping ErrMetaMismatch otherwise), so a cache
+// recorded under a different scale, seed or chaos mode is never adopted.
+// Returns the number of shards added; the snapshot is flushed when any were.
+func (r *Recorder) Merge(snap *Snapshot) (int, error) {
+	if r == nil || snap == nil {
+		return 0, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if snap.Meta != r.snap.Meta {
+		return 0, fmt.Errorf("%w: sibling %+v, local %+v", ErrMetaMismatch, snap.Meta, r.snap.Meta)
+	}
+	for k, v := range snap.Shards {
+		if prev, ok := r.snap.Shards[k]; ok && string(prev) != string(v) {
+			return 0, fmt.Errorf("checkpoint: merge shard %q disagrees with local recording; refusing sibling cache", k)
+		}
+	}
+	added := 0
+	for k, v := range snap.Shards {
+		if _, ok := r.snap.Shards[k]; ok {
+			continue
+		}
+		r.snap.Shards[k] = append(json.RawMessage(nil), v...)
+		added++
+	}
+	if added == 0 {
+		return 0, nil
+	}
+	if err := r.flushLocked(); err != nil {
+		return added, err
+	}
+	return added, nil
+}
+
 // Shards returns the number of completed shards currently recorded
 // (including those loaded by Resume).
 func (r *Recorder) Shards() int {

@@ -1,0 +1,59 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution whose result every caller shares — singleflight across the
+// wire. Safe because backend responses are deterministic: the followers
+// receive exactly the bytes they would have fetched themselves.
+//
+// Unlike golang.org/x/sync/singleflight (kept out by the no-dependencies
+// rule) the followers wait with their own context: a follower whose client
+// disconnects stops waiting without disturbing the leader, and the leader
+// runs on a context detached from any one client, so the earliest-arriving
+// client cancelling cannot starve the rest.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// flight is one in-progress execution.
+type flight struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// Do returns the result of fn for key, executing fn only in the first
+// caller (the leader) and handing every concurrent duplicate (follower) the
+// same result. shared reports whether this caller was a follower. A
+// follower whose ctx fires first returns the context error instead.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (*Result, error)) (res *Result, shared bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.res, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.res, f.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.res, false, f.err
+}

@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"symbios/internal/leakcheck"
+)
+
+// TestFlightGroupCoalesces checks concurrent same-key calls execute fn once
+// and every caller sees the same result; distinct keys run independently.
+func TestFlightGroupCoalesces(t *testing.T) {
+	leakcheck.Check(t)
+	g := newFlightGroup()
+	var execs atomic.Int64
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+
+	fn := func() (*Result, error) {
+		execs.Add(1)
+		close(leaderIn)
+		<-release
+		return &Result{Status: http.StatusOK, Body: []byte("shared"), Header: http.Header{}}, nil
+	}
+
+	const followers = 8
+	var wg sync.WaitGroup
+	results := make([]*Result, followers)
+	sharedFlags := make([]bool, followers)
+
+	// Leader first, so the followers reliably coalesce onto it.
+	var leaderRes *Result
+	var leaderShared bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leaderRes, leaderShared, _ = g.Do(context.Background(), "k", fn)
+	}()
+	<-leaderIn
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], sharedFlags[i], _ = g.Do(context.Background(), "k", fn)
+		}(i)
+	}
+	// Give the followers a moment to park on the flight, then release.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want 1", n)
+	}
+	if leaderShared {
+		t.Fatal("leader reported shared")
+	}
+	for i := range results {
+		if !sharedFlags[i] {
+			t.Fatalf("follower %d not marked shared", i)
+		}
+		if string(results[i].Body) != "shared" || results[i] != leaderRes {
+			t.Fatalf("follower %d got a different result", i)
+		}
+	}
+
+	// The key is released after completion: a later call runs fresh.
+	fresh := func() (*Result, error) {
+		execs.Add(1)
+		return &Result{Status: http.StatusOK, Body: []byte("fresh")}, nil
+	}
+	res, shared, _ := g.Do(context.Background(), "k", fresh)
+	if shared || string(res.Body) != "fresh" {
+		t.Fatalf("post-completion call coalesced onto a dead flight: shared=%v body=%s", shared, res.Body)
+	}
+}
+
+// TestFlightGroupFollowerCancel checks a follower whose context fires
+// leaves with the context error while the leader finishes undisturbed.
+func TestFlightGroupFollowerCancel(t *testing.T) {
+	leakcheck.Check(t)
+	g := newFlightGroup()
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	go func() {
+		g.Do(context.Background(), "k", func() (*Result, error) {
+			close(leaderIn)
+			<-release
+			return &Result{Status: http.StatusOK}, nil
+		})
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	followerErr := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx, "k", nil) // follower: fn unused
+		followerErr <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-followerErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("follower err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled follower never returned")
+	}
+	close(release)
+}

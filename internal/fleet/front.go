@@ -1,0 +1,607 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"symbios/internal/obs"
+	"symbios/internal/resilience"
+)
+
+// maxBodyBytes bounds a proxied request body, matching sosd's own request
+// cap so the front never accepts what a backend would refuse on size.
+const maxBodyBytes = 16 << 10
+
+// maxResponseBytes bounds a proxied response body.
+const maxResponseBytes = 1 << 20
+
+// Config wires a Front.
+type Config struct {
+	// Backends are the sosd base URLs (e.g. "http://127.0.0.1:8723").
+	Backends []string
+	// Replicas is the R-way placement width: how many distinct ring
+	// backends may serve one key (primary plus failover/hedge targets).
+	// Values < 1 select 2; values above the backend count are clamped.
+	Replicas int
+	// VNodes is the ring's virtual-node count per backend (<1 selects 64).
+	VNodes int
+
+	// DeadlineDef and DeadlineMax bound the per-request dispatch budget the
+	// same way sosd bounds its evaluation budget.
+	DeadlineDef time.Duration
+	DeadlineMax time.Duration
+
+	// HedgeQuantile, HedgeMin, HedgeMax and HedgeWarmup tune latency
+	// hedging: after the tracked quantile of recent latencies (clamped to
+	// [HedgeMin, HedgeMax]) a duplicate request is sent to the next
+	// replica and the first response wins. HedgeDisable turns hedging off.
+	HedgeQuantile float64
+	HedgeMin      time.Duration
+	HedgeMax      time.Duration
+	HedgeWarmup   int
+	HedgeDisable  bool
+
+	// Health tunes the active /readyz prober.
+	Health HealthConfig
+	// Breaker is the per-backend circuit breaker template (OnTransition is
+	// wrapped to log which backend transitioned).
+	Breaker resilience.BreakerConfig
+	// Budget is the per-backend hedge budget: speculative duplicates are
+	// capped at Ratio times the backend's own attempt volume. Corrective
+	// failover after a real failure is never budgeted — redirecting a dead
+	// node's traffic is the front tier's job, not an optional extra.
+	Budget resilience.BudgetConfig
+
+	// Client performs backend HTTP calls; nil selects a client with a
+	// 30-second overall timeout.
+	Client *http.Client
+	// Logger receives ejection/failover/warm-up lines; nil discards.
+	Logger *log.Logger
+	// Registry receives fleet metrics; nil disables them.
+	Registry *obs.Registry
+}
+
+// backend is one sosd instance plus its guard rails.
+type backend struct {
+	base    string
+	breaker *resilience.Breaker
+	budget  *resilience.Budget
+
+	mu         sync.Mutex
+	healthy    bool
+	consecFail int
+	consecOK   int
+	ejections  uint64
+	readmits   uint64
+
+	requests atomic.Uint64
+	failures atomic.Uint64
+
+	obsEjections *obs.Counter
+	obsFailovers *obs.Counter
+	obsHedgeWins *obs.Counter
+	obsRequests  *obs.Counter
+	obsFailures  *obs.Counter
+}
+
+// isHealthy reads the health bit.
+func (b *backend) isHealthy() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy
+}
+
+// Front is the fleet's shard-and-failover dispatcher.
+type Front struct {
+	cfg      Config
+	ring     *Ring
+	backends []*backend
+	byBase   map[string]*backend
+	flights  *flightGroup
+	lat      *latencyTracker
+	client   *http.Client
+	checker  *healthChecker
+	logger   *log.Logger
+	reg      *obs.Registry
+
+	// base parents every dispatch; Close cancels it so in-flight backend
+	// calls abort.
+	base     context.Context
+	hardStop context.CancelFunc
+	draining atomic.Bool
+
+	coalesced atomic.Uint64
+	hedges    atomic.Uint64
+	hedgeWins atomic.Uint64
+
+	obsCoalesced *obs.Counter
+	obsHedges    *obs.Counter
+
+	startOnce sync.Once
+	closeOnce sync.Once
+}
+
+// New builds a Front over cfg.Backends. Backends start healthy (optimistic)
+// and the checker demotes the sick ones within EjectAfter probe rounds of
+// Start.
+func New(cfg Config) (*Front, error) {
+	ring, err := NewRing(cfg.Backends, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 2
+	}
+	if cfg.Replicas > len(cfg.Backends) {
+		cfg.Replicas = len(cfg.Backends)
+	}
+	if cfg.DeadlineDef <= 0 {
+		cfg.DeadlineDef = 5 * time.Second
+	}
+	if cfg.DeadlineMax <= 0 {
+		cfg.DeadlineMax = 30 * time.Second
+	}
+	if cfg.HedgeMin <= 0 {
+		cfg.HedgeMin = 20 * time.Millisecond
+	}
+	if cfg.HedgeMax <= 0 {
+		cfg.HedgeMax = 2 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+	base, cancel := context.WithCancel(context.Background())
+	f := &Front{
+		cfg:      cfg,
+		ring:     ring,
+		byBase:   make(map[string]*backend, len(cfg.Backends)),
+		flights:  newFlightGroup(),
+		lat:      newLatencyTracker(256, cfg.HedgeQuantile, cfg.HedgeMin, cfg.HedgeMax, cfg.HedgeWarmup),
+		client:   cfg.Client,
+		logger:   cfg.Logger,
+		reg:      cfg.Registry,
+		base:     base,
+		hardStop: cancel,
+	}
+	for _, baseURL := range cfg.Backends {
+		bcfg := cfg.Breaker
+		b := &backend{base: baseURL, healthy: true, budget: resilience.NewBudget(cfg.Budget)}
+		prev := bcfg.OnTransition
+		bcfg.OnTransition = func(from, to resilience.State) {
+			f.logger.Printf("backend %s breaker: %s -> %s", baseURL, from, to)
+			if prev != nil {
+				prev(from, to)
+			}
+		}
+		b.breaker = resilience.NewBreaker(bcfg)
+		f.backends = append(f.backends, b)
+		f.byBase[baseURL] = b
+	}
+	hcfg := cfg.Health
+	prevChange := hcfg.OnChange
+	hcfg.OnChange = func(backend string, healthy bool) {
+		if healthy {
+			f.logger.Printf("backend %s readmitted", backend)
+		} else {
+			f.logger.Printf("backend %s ejected", backend)
+		}
+		if prevChange != nil {
+			prevChange(backend, healthy)
+		}
+	}
+	f.checker = newHealthChecker(hcfg, f.backends, cfg.Client)
+	f.registerObs()
+	return f, nil
+}
+
+// registerObs registers the fleet metric families, one series per backend.
+func (f *Front) registerObs() {
+	if f.reg == nil {
+		return
+	}
+	for _, b := range f.backends {
+		l := obs.L("backend", b.base)
+		b.obsEjections = f.reg.Counter("fleet_backend_ejections_total",
+			"Times the health checker ejected this backend.", l)
+		b.obsFailovers = f.reg.Counter("fleet_failovers_total",
+			"Requests failed over away from this backend.", l)
+		b.obsHedgeWins = f.reg.Counter("fleet_hedge_wins_total",
+			"Hedged duplicates that beat the primary, by winning backend.", l)
+		b.obsRequests = f.reg.Counter("fleet_backend_requests_total",
+			"Schedule attempts sent to this backend.", l)
+		b.obsFailures = f.reg.Counter("fleet_backend_failures_total",
+			"Schedule attempts against this backend that failed (transport error or 5xx).", l)
+	}
+	f.obsCoalesced = f.reg.Counter("fleet_coalesced_total",
+		"Requests answered by another identical in-flight request (singleflight).")
+	f.obsHedges = f.reg.Counter("fleet_hedges_total",
+		"Hedged duplicate requests launched.")
+	f.reg.GaugeFunc("fleet_healthy_backends", "Backends currently considered healthy.",
+		func() float64 {
+			n := 0
+			for _, b := range f.backends {
+				if b.isHealthy() {
+					n++
+				}
+			}
+			return float64(n)
+		})
+}
+
+// Start launches the health checker. Idempotent.
+func (f *Front) Start() {
+	f.startOnce.Do(func() { go f.checker.run() })
+}
+
+// Close stops the health checker and aborts in-flight dispatches.
+// Idempotent; safe even if Start was never called.
+func (f *Front) Close() {
+	f.closeOnce.Do(func() {
+		f.startOnce.Do(func() { close(f.checker.done) }) // never started: mark drained
+		close(f.checker.stop)
+		<-f.checker.done
+		f.hardStop()
+	})
+}
+
+// Draining flips the drain gate (refuse new work with 503) on.
+func (f *Front) Draining() { f.draining.Store(true) }
+
+// Result is one dispatch outcome: the response to relay to the client.
+type Result struct {
+	Status  int
+	Header  http.Header
+	Body    []byte
+	Backend string
+}
+
+// shardFields is the lenient decode of the two fields the ring shards by,
+// plus the client's deadline for the dispatch budget. Full validation is
+// the backend's job — a garbage body still routes deterministically (by its
+// raw bytes) so the backend's 400 comes back cached-consistent.
+type shardFields struct {
+	Mix        string `json:"mix"`
+	Seed       uint64 `json:"seed"`
+	DeadlineMS int64  `json:"deadline_ms"`
+}
+
+// ShardKey derives the ring key for a request body: "mix|seed" when the
+// body parses, else a hash of the raw bytes.
+func ShardKey(body []byte) string {
+	var sf shardFields
+	if err := json.Unmarshal(body, &sf); err != nil || sf.Mix == "" {
+		return fmt.Sprintf("raw:%016x", hashString(string(body)))
+	}
+	return fmt.Sprintf("%s|%d", sf.Mix, sf.Seed)
+}
+
+// attemptClass partitions attempt outcomes for the dispatch loop.
+type attemptClass int
+
+const (
+	// classGood is a deterministic answer: 2xx, or a 4xx the client earned.
+	classGood attemptClass = iota
+	// classShed is overload or unavailability the backend signalled cleanly
+	// (429/503, breaker-open): fail over; if every replica sheds, relay the
+	// shed (with its Retry-After) instead of inventing an error.
+	classShed
+	// classFail is a sick backend: transport error, 500/502/504.
+	classFail
+)
+
+// attemptOut is one backend attempt's outcome.
+type attemptOut struct {
+	b     *backend
+	class attemptClass
+	res   *Result
+	err   error
+	hedge bool
+}
+
+// candidates maps the key's replica set to backends, healthy ones first
+// (stable within each group, preserving ring order). Ejected backends stay
+// in the list as a last resort: with every replica ejected, trying one
+// anyway beats refusing outright.
+func (f *Front) candidates(shardKey string) []*backend {
+	bases := f.ring.Lookup(shardKey, f.cfg.Replicas)
+	healthy := make([]*backend, 0, len(bases))
+	var ejected []*backend
+	for _, base := range bases {
+		b := f.byBase[base]
+		if b.isHealthy() {
+			healthy = append(healthy, b)
+		} else {
+			ejected = append(ejected, b)
+		}
+	}
+	return append(healthy, ejected...)
+}
+
+// Dispatch routes one request body: singleflight-coalesced, ring-sharded,
+// failing over between replicas and hedging the tail. ctx is the calling
+// client's context; the winning execution runs detached from it (on the
+// front's base context bounded by the request's clamped deadline), so an
+// impatient leader cannot cancel the answer out from under its followers.
+func (f *Front) Dispatch(ctx context.Context, body []byte) (*Result, error) {
+	var sf shardFields
+	json.Unmarshal(body, &sf) // lenient: zero values route and clamp fine
+	key := ShardKey(body)
+	res, shared, err := f.flights.Do(ctx, string(body), func() (*Result, error) {
+		dctx, cancel := resilience.WithBudget(f.base,
+			time.Duration(sf.DeadlineMS)*time.Millisecond, f.cfg.DeadlineDef, f.cfg.DeadlineMax)
+		defer cancel()
+		return f.dispatch(dctx, key, body)
+	})
+	if shared {
+		f.coalesced.Add(1)
+		f.obsCoalesced.Inc()
+	}
+	return res, err
+}
+
+// dispatch runs the failover/hedge state machine against the key's replica
+// chain. At most one hedge is launched per request; every launched attempt
+// writes exactly one result into a buffered channel, so abandoned attempts
+// finish (and settle their breaker permits) without anyone listening.
+func (f *Front) dispatch(ctx context.Context, shardKey string, body []byte) (*Result, error) {
+	cands := f.candidates(shardKey)
+	results := make(chan attemptOut, len(cands))
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+
+	next, inflight := 0, 0
+	// launchNext starts an attempt on the next untried candidate. Hedge
+	// launches are speculative, so they are charged to the target's hedge
+	// budget and skipped when it is dry; corrective launches always run.
+	launchNext := func(hedge bool) bool {
+		for next < len(cands) {
+			b := cands[next]
+			next++
+			if hedge && !b.budget.TryWithdraw() {
+				continue
+			}
+			inflight++
+			go func() { results <- f.attempt(actx, b, body, hedge) }()
+			return true
+		}
+		return false
+	}
+	launchNext(false)
+
+	var hedgeC <-chan time.Time
+	if !f.cfg.HedgeDisable && len(cands) > 1 {
+		t := time.NewTimer(f.lat.Delay())
+		defer func() {
+			if !t.Stop() {
+				select {
+				case <-t.C:
+				default:
+				}
+			}
+		}()
+		hedgeC = t.C
+	}
+
+	var (
+		shedRes *Result
+		lastErr error
+	)
+	for inflight > 0 {
+		select {
+		case out := <-results:
+			inflight--
+			switch out.class {
+			case classGood:
+				acancel() // first deterministic answer wins; cancel the loser
+				if out.hedge {
+					f.hedgeWins.Add(1)
+					out.b.obsHedgeWins.Inc()
+				}
+				return out.res, nil
+			case classShed:
+				if out.res != nil {
+					shedRes = out.res
+				}
+				if launchNext(false) {
+					out.b.obsFailovers.Inc()
+				}
+			case classFail:
+				lastErr = out.err
+				if launchNext(false) {
+					out.b.obsFailovers.Inc()
+				}
+			}
+		case <-hedgeC:
+			hedgeC = nil // hedge at most once
+			if inflight > 0 && launchNext(true) {
+				f.hedges.Add(1)
+				f.obsHedges.Inc()
+			}
+		case <-ctx.Done():
+			acancel()
+			return nil, ctx.Err()
+		}
+	}
+	if shedRes != nil {
+		return shedRes, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("fleet: no replica available for %s", shardKey)
+	}
+	return nil, fmt.Errorf("fleet: all %d replicas failed: %w", len(cands), lastErr)
+}
+
+// attempt sends body to one backend and classifies the outcome, settling
+// the backend's breaker permit itself so abandoned attempts stay accounted.
+func (f *Front) attempt(ctx context.Context, b *backend, body []byte, hedge bool) attemptOut {
+	report, err := b.breaker.Allow()
+	if err != nil {
+		return attemptOut{b: b, class: classShed, err: err, hedge: hedge,
+			res: shedResult(err, b.breaker.RetryAfter())}
+	}
+	b.budget.Deposit()
+	b.requests.Add(1)
+	b.obsRequests.Inc()
+
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/schedule", bytes.NewReader(body))
+	if err != nil {
+		report(resilience.Skipped)
+		return attemptOut{b: b, class: classFail, err: err, hedge: hedge}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client-ID", "sosfront")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Cancelled (hedge lost, client gone, deadline): no verdict on
+			// the backend's health.
+			report(resilience.Skipped)
+		} else {
+			report(resilience.Failure)
+			b.failures.Add(1)
+			b.obsFailures.Inc()
+		}
+		return attemptOut{b: b, class: classFail, err: fmt.Errorf("backend %s: %w", b.base, err), hedge: hedge}
+	}
+	defer resp.Body.Close()
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if rerr != nil {
+		report(resilience.Failure)
+		b.failures.Add(1)
+		b.obsFailures.Inc()
+		return attemptOut{b: b, class: classFail, err: fmt.Errorf("backend %s: reading response: %w", b.base, rerr), hedge: hedge}
+	}
+	dur := time.Since(t0)
+	res := &Result{
+		Status:  resp.StatusCode,
+		Header:  relayHeaders(resp.Header),
+		Body:    data,
+		Backend: b.base,
+	}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		// Clean shedding: the backend is up and telling us to go elsewhere.
+		report(resilience.Skipped)
+		if res.Header.Get("Retry-After") == "" {
+			res.Header.Set("Retry-After", "1")
+		}
+		return attemptOut{b: b, class: classShed, res: res, hedge: hedge}
+	case resp.StatusCode >= 500:
+		report(resilience.Failure)
+		b.failures.Add(1)
+		b.obsFailures.Inc()
+		return attemptOut{b: b, class: classFail, res: res, hedge: hedge,
+			err: fmt.Errorf("backend %s: %s", b.base, resp.Status)}
+	default:
+		// 2xx and client-errors alike are deterministic answers.
+		report(resilience.Success)
+		if resp.StatusCode < 300 {
+			f.lat.Observe(dur)
+		}
+		return attemptOut{b: b, class: classGood, res: res, hedge: hedge}
+	}
+}
+
+// relayHeaders picks the response headers worth relaying to the client.
+func relayHeaders(h http.Header) http.Header {
+	out := http.Header{}
+	for _, k := range []string{"Content-Type", "X-Cache", "Retry-After"} {
+		if v := h.Get(k); v != "" {
+			out.Set(k, v)
+		}
+	}
+	return out
+}
+
+// shedResult synthesizes a 503 for a refusal that never reached a backend
+// (breaker open), carrying the breaker's cooldown as Retry-After.
+func shedResult(err error, retryAfter time.Duration) *Result {
+	body, _ := json.Marshal(map[string]string{"error": err.Error()})
+	h := http.Header{}
+	h.Set("Content-Type", "application/json")
+	h.Set("Retry-After", retryAfterValue(retryAfter))
+	return &Result{Status: http.StatusServiceUnavailable, Header: h, Body: append(body, '\n')}
+}
+
+// retryAfterValue renders a duration as a Retry-After header value: whole
+// seconds, rounded up, at least 1.
+func retryAfterValue(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// BackendStats is one backend's /statz entry.
+type BackendStats struct {
+	Backend   string                  `json:"backend"`
+	Healthy   bool                    `json:"healthy"`
+	Ejections uint64                  `json:"ejections"`
+	Readmits  uint64                  `json:"readmits"`
+	Requests  uint64                  `json:"requests"`
+	Failures  uint64                  `json:"failures"`
+	Breaker   resilience.BreakerStats `json:"breaker"`
+}
+
+// Stats is the front tier's /statz body.
+type Stats struct {
+	Backends  []BackendStats `json:"backends"`
+	Coalesced uint64         `json:"coalesced"`
+	Hedges    uint64         `json:"hedges"`
+	HedgeWins uint64         `json:"hedge_wins"`
+	Draining  bool           `json:"draining"`
+}
+
+// Stats snapshots the fleet state.
+func (f *Front) Stats() Stats {
+	st := Stats{
+		Coalesced: f.coalesced.Load(),
+		Hedges:    f.hedges.Load(),
+		HedgeWins: f.hedgeWins.Load(),
+		Draining:  f.draining.Load(),
+	}
+	for _, b := range f.backends {
+		b.mu.Lock()
+		bs := BackendStats{
+			Backend:   b.base,
+			Healthy:   b.healthy,
+			Ejections: b.ejections,
+			Readmits:  b.readmits,
+		}
+		b.mu.Unlock()
+		bs.Requests = b.requests.Load()
+		bs.Failures = b.failures.Load()
+		bs.Breaker = b.breaker.Stats()
+		st.Backends = append(st.Backends, bs)
+	}
+	return st
+}
+
+// HealthyBackends counts backends currently admitted by the checker.
+func (f *Front) HealthyBackends() int {
+	n := 0
+	for _, b := range f.backends {
+		if b.isHealthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// IsDraining reports the drain gate.
+func (f *Front) IsDraining() bool { return f.draining.Load() }

@@ -1,0 +1,532 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"symbios/internal/leakcheck"
+	"symbios/internal/obs"
+	"symbios/internal/resilience"
+)
+
+// fakeBackend is an httptest sosd stand-in whose handler the test can swap
+// mid-flight.
+type fakeBackend struct {
+	ts      *httptest.Server
+	handler atomic.Value // http.HandlerFunc
+	hits    atomic.Int64
+}
+
+// okHandler answers every schedule with a fixed deterministic body.
+func okHandler(body string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "miss")
+		io.WriteString(w, body)
+	}
+}
+
+// newFakeBackend starts a backend answering with h.
+func newFakeBackend(t *testing.T, h http.HandlerFunc) *fakeBackend {
+	t.Helper()
+	fb := &fakeBackend{}
+	fb.handler.Store(h)
+	fb.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fb.hits.Add(1)
+		fb.handler.Load().(http.HandlerFunc)(w, r)
+	}))
+	t.Cleanup(fb.ts.Close)
+	return fb
+}
+
+func (fb *fakeBackend) set(h http.HandlerFunc) { fb.handler.Store(h) }
+
+// newTestFront builds a Front over the fakes. The health checker is not
+// started (backends begin healthy and stay that way) unless a test starts it.
+func newTestFront(t *testing.T, fakes []*fakeBackend, mut func(*Config)) *Front {
+	t.Helper()
+	bases := make([]string, len(fakes))
+	for i, fb := range fakes {
+		bases[i] = fb.ts.URL
+	}
+	tr := &http.Transport{}
+	cfg := Config{
+		Backends:    bases,
+		Replicas:    2,
+		DeadlineDef: 5 * time.Second,
+		DeadlineMax: 10 * time.Second,
+		// Unwarmed trackers hedge at HedgeMax; keep it far out so hedging
+		// never fires unless a test asks for it.
+		HedgeMax: time.Hour,
+		Client:   &http.Client{Transport: tr, Timeout: 10 * time.Second},
+		Logger:   log.New(io.Discard, "", 0),
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() {
+		f.Close()
+		tr.CloseIdleConnections()
+	})
+	return f
+}
+
+// scheduleBody builds a well-formed request body for seed.
+func scheduleBody(seed uint64) []byte {
+	return []byte(fmt.Sprintf(`{"mix":"Jsb(6,3,3)","seed":%d}`, seed))
+}
+
+// bodyWithPrimary scans seeds until one shards to the wanted primary.
+func bodyWithPrimary(t *testing.T, f *Front, primary string) []byte {
+	t.Helper()
+	for seed := uint64(0); seed < 10_000; seed++ {
+		body := scheduleBody(seed)
+		if f.candidates(ShardKey(body))[0].base == primary {
+			return body
+		}
+	}
+	t.Fatal("no seed shards to the wanted primary")
+	return nil
+}
+
+// TestFrontDispatchSuccess checks the plain path: the primary answers and
+// its body plus relay-worthy headers come back unchanged.
+func TestFrontDispatchSuccess(t *testing.T) {
+	leakcheck.Check(t)
+	a := newFakeBackend(t, okHandler(`{"ok":1}`))
+	b := newFakeBackend(t, okHandler(`{"ok":1}`))
+	f := newTestFront(t, []*fakeBackend{a, b}, nil)
+
+	res, err := f.Dispatch(context.Background(), scheduleBody(1))
+	if err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	if res.Status != http.StatusOK || string(res.Body) != `{"ok":1}` {
+		t.Fatalf("res = %d %q", res.Status, res.Body)
+	}
+	if res.Header.Get("X-Cache") != "miss" || res.Header.Get("Content-Type") != "application/json" {
+		t.Fatalf("relayed headers missing: %v", res.Header)
+	}
+	if res.Backend == "" {
+		t.Fatal("result did not name the serving backend")
+	}
+	if a.hits.Load()+b.hits.Load() != 1 {
+		t.Fatalf("want exactly one backend attempt, got %d+%d", a.hits.Load(), b.hits.Load())
+	}
+}
+
+// TestFrontFailoverOn5xx checks a 500 from the primary redirects to the next
+// replica and the client still gets the deterministic 200.
+func TestFrontFailoverOn5xx(t *testing.T) {
+	leakcheck.Check(t)
+	a := newFakeBackend(t, okHandler(`{"ok":1}`))
+	b := newFakeBackend(t, okHandler(`{"ok":1}`))
+	f := newTestFront(t, []*fakeBackend{a, b}, nil)
+
+	body := bodyWithPrimary(t, f, a.ts.URL)
+	a.set(func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusInternalServerError, "boom")
+	})
+
+	res, err := f.Dispatch(context.Background(), body)
+	if err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	if res.Status != http.StatusOK || res.Backend != b.ts.URL {
+		t.Fatalf("res = %d from %s, want 200 from the secondary %s", res.Status, res.Backend, b.ts.URL)
+	}
+	st := f.Stats()
+	for _, bs := range st.Backends {
+		if bs.Backend == a.ts.URL && bs.Failures != 1 {
+			t.Fatalf("primary failures = %d, want 1", bs.Failures)
+		}
+	}
+}
+
+// TestFrontFailoverOnTransportError checks a dead socket (SIGKILLed backend)
+// also fails over.
+func TestFrontFailoverOnTransportError(t *testing.T) {
+	leakcheck.Check(t)
+	a := newFakeBackend(t, okHandler(`{"ok":1}`))
+	b := newFakeBackend(t, okHandler(`{"ok":1}`))
+	f := newTestFront(t, []*fakeBackend{a, b}, nil)
+
+	body := bodyWithPrimary(t, f, a.ts.URL)
+	a.ts.Close() // connection refused from here on
+
+	res, err := f.Dispatch(context.Background(), body)
+	if err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	if res.Status != http.StatusOK || res.Backend != b.ts.URL {
+		t.Fatalf("res = %d from %s, want 200 from %s", res.Status, res.Backend, b.ts.URL)
+	}
+}
+
+// TestFrontAllReplicasShed checks that when every replica sheds (429), the
+// shed response — Retry-After included — is relayed rather than replaced by
+// an invented error.
+func TestFrontAllReplicasShed(t *testing.T) {
+	leakcheck.Check(t)
+	shed := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		httpError(w, http.StatusTooManyRequests, "limited")
+	}
+	a := newFakeBackend(t, shed)
+	b := newFakeBackend(t, shed)
+	f := newTestFront(t, []*fakeBackend{a, b}, nil)
+
+	res, err := f.Dispatch(context.Background(), scheduleBody(1))
+	if err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	if res.Status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", res.Status)
+	}
+	if got := res.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After = %q, want the backend's own %q", got, "7")
+	}
+	if a.hits.Load() != 1 || b.hits.Load() != 1 {
+		t.Fatalf("want both replicas tried once, got %d and %d", a.hits.Load(), b.hits.Load())
+	}
+}
+
+// TestFrontClientErrorIsFinal checks a 400 is a deterministic answer: no
+// failover, no retry — the client earned it and every replica would agree.
+func TestFrontClientErrorIsFinal(t *testing.T) {
+	leakcheck.Check(t)
+	a := newFakeBackend(t, func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusBadRequest, "bad mix")
+	})
+	b := newFakeBackend(t, func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusBadRequest, "bad mix")
+	})
+	f := newTestFront(t, []*fakeBackend{a, b}, nil)
+
+	res, err := f.Dispatch(context.Background(), []byte(`{"mix":"nope","seed":1}`))
+	if err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	if res.Status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", res.Status)
+	}
+	if a.hits.Load()+b.hits.Load() != 1 {
+		t.Fatalf("4xx must not fail over: %d+%d attempts", a.hits.Load(), b.hits.Load())
+	}
+}
+
+// TestFrontBreakerOpenSynthesizes503 checks an open per-backend breaker
+// yields a synthesized 503 carrying the cooldown as Retry-After, without
+// touching the backend.
+func TestFrontBreakerOpenSynthesizes503(t *testing.T) {
+	leakcheck.Check(t)
+	fail := func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusInternalServerError, "boom")
+	}
+	a := newFakeBackend(t, fail)
+	b := newFakeBackend(t, fail)
+	f := newTestFront(t, []*fakeBackend{a, b}, func(cfg *Config) {
+		cfg.Breaker = resilience.BreakerConfig{
+			Window: 4, MinSamples: 2, ErrorRate: 0.5,
+			Cooldown: time.Hour, Probes: 1,
+		}
+	})
+
+	// Two failing dispatches give each breaker two Failure outcomes.
+	for i := 0; i < 2; i++ {
+		if _, err := f.Dispatch(context.Background(), scheduleBody(uint64(i))); err == nil {
+			t.Fatal("dispatch against all-500 backends succeeded")
+		}
+	}
+	hitsBefore := a.hits.Load() + b.hits.Load()
+
+	res, err := f.Dispatch(context.Background(), scheduleBody(99))
+	if err != nil {
+		t.Fatalf("Dispatch with open breakers: %v (want synthesized shed)", err)
+	}
+	if res.Status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", res.Status)
+	}
+	if res.Header.Get("Retry-After") != "3600" {
+		t.Fatalf("Retry-After = %q, want %q (the breaker's remaining cooldown)",
+			res.Header.Get("Retry-After"), "3600")
+	}
+	if a.hits.Load()+b.hits.Load() != hitsBefore {
+		t.Fatal("open breaker still let attempts through to the backends")
+	}
+}
+
+// TestFrontHedgeWin checks the tail-latency hedge: a stalled primary is
+// overtaken by a duplicate to the next replica, the duplicate's answer wins,
+// and the stalled attempt is cancelled rather than abandoned.
+func TestFrontHedgeWin(t *testing.T) {
+	leakcheck.Check(t)
+	primaryEntered := make(chan struct{}, 1)
+	slow := func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case primaryEntered <- struct{}{}:
+		default:
+		}
+		// Drain the body so the server arms its background read — without it,
+		// a client disconnect never cancels r.Context().
+		io.Copy(io.Discard, r.Body)
+		// Stall until the hedge winner cancels us.
+		<-r.Context().Done()
+	}
+	a := newFakeBackend(t, okHandler(`{"ok":1}`))
+	b := newFakeBackend(t, okHandler(`{"ok":1}`))
+	f := newTestFront(t, []*fakeBackend{a, b}, func(cfg *Config) {
+		cfg.HedgeMin = time.Millisecond
+		cfg.HedgeMax = 20 * time.Millisecond // unwarmed tracker hedges at max
+	})
+
+	body := bodyWithPrimary(t, f, a.ts.URL)
+	a.set(slow)
+
+	start := time.Now()
+	res, err := f.Dispatch(context.Background(), body)
+	if err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	if res.Status != http.StatusOK || res.Backend != b.ts.URL {
+		t.Fatalf("res = %d from %s, want hedged 200 from %s", res.Status, res.Backend, b.ts.URL)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("hedged dispatch took %v", el)
+	}
+	select {
+	case <-primaryEntered:
+	default:
+		t.Fatal("primary was never attempted; the hedge should race it, not replace it")
+	}
+	st := f.Stats()
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Fatalf("hedges=%d hedgeWins=%d, want 1 and 1", st.Hedges, st.HedgeWins)
+	}
+}
+
+// TestFrontCoalesce checks identical concurrent bodies collapse onto one
+// backend call and every caller gets the leader's answer.
+func TestFrontCoalesce(t *testing.T) {
+	leakcheck.Check(t)
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	a := newFakeBackend(t, func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		<-release
+		okHandler(`{"ok":1}`)(w, r)
+	})
+	b := newFakeBackend(t, func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		<-release
+		okHandler(`{"ok":1}`)(w, r)
+	})
+	f := newTestFront(t, []*fakeBackend{a, b}, nil)
+
+	body := scheduleBody(7)
+	const followers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, followers+1)
+	bodies := make([]string, followers+1)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, err := f.Dispatch(context.Background(), body)
+		errs[0] = err
+		if res != nil {
+			bodies[0] = string(res.Body)
+		}
+	}()
+	<-inHandler // leader is inside a backend; followers will coalesce
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := f.Dispatch(context.Background(), body)
+			errs[i] = err
+			if res != nil {
+				bodies[i] = string(res.Body)
+			}
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+		if bodies[i] != `{"ok":1}` {
+			t.Fatalf("caller %d body = %q", i, bodies[i])
+		}
+	}
+	if total := a.hits.Load() + b.hits.Load(); total != 1 {
+		t.Fatalf("backends saw %d requests, want 1 (singleflight)", total)
+	}
+	if st := f.Stats(); st.Coalesced != followers {
+		t.Fatalf("coalesced = %d, want %d", st.Coalesced, followers)
+	}
+}
+
+// TestFrontEjectedBackendSkipped checks dispatch prefers healthy replicas:
+// with the primary marked ejected, the secondary serves without the client
+// paying for a doomed attempt first.
+func TestFrontEjectedBackendSkipped(t *testing.T) {
+	leakcheck.Check(t)
+	a := newFakeBackend(t, okHandler(`{"ok":1}`))
+	b := newFakeBackend(t, okHandler(`{"ok":1}`))
+	f := newTestFront(t, []*fakeBackend{a, b}, nil)
+
+	body := bodyWithPrimary(t, f, a.ts.URL)
+	pa := f.byBase[a.ts.URL]
+	pa.mu.Lock()
+	pa.healthy = false
+	pa.mu.Unlock()
+
+	res, err := f.Dispatch(context.Background(), body)
+	if err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	if res.Backend != b.ts.URL {
+		t.Fatalf("served by %s, want the healthy secondary %s", res.Backend, b.ts.URL)
+	}
+	if a.hits.Load() != 0 {
+		t.Fatal("ejected primary was attempted before the healthy secondary")
+	}
+
+	// With every replica ejected, the front still tries one: degraded beats
+	// refusing outright.
+	pb := f.byBase[b.ts.URL]
+	pb.mu.Lock()
+	pb.healthy = false
+	pb.mu.Unlock()
+	res, err = f.Dispatch(context.Background(), body)
+	if err != nil || res.Status != http.StatusOK {
+		t.Fatalf("all-ejected dispatch = %v, %v; want the last-resort attempt to serve", res, err)
+	}
+}
+
+// TestFrontHandler exercises the HTTP surface end to end: schedule relay,
+// operational endpoints, metrics, and the drain gate.
+func TestFrontHandler(t *testing.T) {
+	leakcheck.Check(t)
+	reg := obs.NewRegistry()
+	a := newFakeBackend(t, okHandler(`{"ok":1}`))
+	b := newFakeBackend(t, okHandler(`{"ok":1}`))
+	f := newTestFront(t, []*fakeBackend{a, b}, func(cfg *Config) {
+		cfg.Registry = reg
+	})
+	ts := httptest.NewServer(f.Handler())
+	defer ts.Close()
+
+	post := func(body []byte) *http.Response {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		return resp
+	}
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(data)
+	}
+
+	// Schedule relay names the serving backend.
+	resp := post(scheduleBody(3))
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(data) != `{"ok":1}` {
+		t.Fatalf("schedule = %d %q", resp.StatusCode, data)
+	}
+	if resp.Header.Get("X-Fleet-Backend") == "" {
+		t.Fatal("X-Fleet-Backend missing")
+	}
+
+	// Oversized bodies are refused before dispatch.
+	resp = post(bytes.Repeat([]byte("x"), maxBodyBytes+1))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body = %d, want 400", resp.StatusCode)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz = %d, want 200", code)
+	}
+	code, body := get("/statz")
+	if code != http.StatusOK {
+		t.Fatalf("statz = %d", code)
+	}
+	var st Stats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("statz decode: %v", err)
+	}
+	if len(st.Backends) != 2 {
+		t.Fatalf("statz backends = %d, want 2", len(st.Backends))
+	}
+	code, body = get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "fleet_backend_requests_total") ||
+		!strings.Contains(body, "fleet_healthy_backends 2") {
+		t.Fatalf("metrics = %d\n%s", code, body)
+	}
+
+	// Draining refuses new work with Retry-After and fails readiness.
+	f.Draining()
+	resp = post(scheduleBody(4))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("draining schedule = %d Retry-After=%q, want 503 with Retry-After",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz = %d, want 503", code)
+	}
+}
+
+// TestFrontHandlerAllDead checks the error mapping when no replica answers:
+// the client gets a 502, not a hang or a naked 500.
+func TestFrontHandlerAllDead(t *testing.T) {
+	leakcheck.Check(t)
+	a := newFakeBackend(t, okHandler(`{"ok":1}`))
+	b := newFakeBackend(t, okHandler(`{"ok":1}`))
+	f := newTestFront(t, []*fakeBackend{a, b}, nil)
+	a.ts.Close()
+	b.ts.Close()
+	ts := httptest.NewServer(f.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(scheduleBody(1)))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("all-dead schedule = %d, want 502", resp.StatusCode)
+	}
+}

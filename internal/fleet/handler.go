@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Handler builds the front tier's route table: the sharded /v1/schedule
+// proxy plus the usual operational endpoints.
+func (f *Front) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/schedule", f.handleSchedule)
+	mux.HandleFunc("GET /v1/mixes", f.handleMixes)
+	mux.HandleFunc("GET /healthz", f.handleHealthz)
+	mux.HandleFunc("GET /readyz", f.handleReadyz)
+	mux.HandleFunc("GET /statz", f.handleStatz)
+	mux.HandleFunc("GET /metrics", f.handleMetrics)
+	return mux
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+// handleSchedule reads the body and hands it to the dispatcher, relaying
+// whatever a replica answered byte-for-byte (plus which backend served it).
+func (f *Front) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if f.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "front tier draining")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxBodyBytes {
+		httpError(w, http.StatusBadRequest, "request body exceeds %d bytes", maxBodyBytes)
+		return
+	}
+	res, err := f.Dispatch(r.Context(), body)
+	switch {
+	case err == nil:
+		for k, vs := range res.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		if res.Backend != "" {
+			w.Header().Set("X-Fleet-Backend", res.Backend)
+		}
+		w.WriteHeader(res.Status)
+		w.Write(res.Body)
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "request cancelled")
+	default:
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusBadGateway, "%v", err)
+	}
+}
+
+// handleMixes relays the static mix list from the first answering backend.
+func (f *Front) handleMixes(w http.ResponseWriter, r *http.Request) {
+	for _, b := range f.candidates("mixes") {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.base+"/v1/mixes", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := f.client.Do(req)
+		if err != nil {
+			continue
+		}
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+		resp.Body.Close()
+		if rerr != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+		return
+	}
+	httpError(w, http.StatusBadGateway, "no backend answered /v1/mixes")
+}
+
+// handleHealthz is liveness: the front process is up.
+func (f *Front) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is readiness: not draining and at least one healthy backend.
+func (f *Front) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if f.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if f.HealthyBackends() == 0 {
+		httpError(w, http.StatusServiceUnavailable, "no healthy backend")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ready\n")
+}
+
+// handleStatz reports the fleet counters.
+func (f *Front) handleStatz(w http.ResponseWriter, r *http.Request) {
+	body, err := json.Marshal(f.Stats())
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding stats: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+// handleMetrics serves the Prometheus exposition.
+func (f *Front) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if f.reg == nil {
+		httpError(w, http.StatusNotFound, "metrics disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := f.reg.WritePrometheus(w); err != nil {
+		f.logger.Printf("metrics write: %v", err)
+	}
+}

@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"symbios/internal/leakcheck"
+	"symbios/internal/resilience"
+)
+
+// scriptedProbe answers probes from a per-backend boolean the test flips.
+type scriptedProbe struct {
+	mu sync.Mutex
+	up map[string]bool
+}
+
+func (p *scriptedProbe) probe(ctx context.Context, base string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.up[base] {
+		return nil
+	}
+	return context.DeadlineExceeded
+}
+
+func (p *scriptedProbe) set(base string, up bool) {
+	p.mu.Lock()
+	p.up[base] = up
+	p.mu.Unlock()
+}
+
+// changeLog collects OnChange events.
+type changeLog struct {
+	mu   sync.Mutex
+	seen []string
+}
+
+func (l *changeLog) record(backend string, healthy bool) {
+	l.mu.Lock()
+	if healthy {
+		l.seen = append(l.seen, backend+":readmit")
+	} else {
+		l.seen = append(l.seen, backend+":eject")
+	}
+	l.mu.Unlock()
+}
+
+func (l *changeLog) list() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.seen...)
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestHealthCheckerEjectAndReadmit drives a backend down and back up
+// through the probe loop: ejected only after EjectAfter consecutive
+// failures, readmitted only after ReadmitAfter consecutive successes.
+func TestHealthCheckerEjectAndReadmit(t *testing.T) {
+	leakcheck.Check(t)
+	probe := &scriptedProbe{up: map[string]bool{"http://a": true, "http://b": true}}
+	logch := &changeLog{}
+	backends := []*backend{
+		{base: "http://a", healthy: true, budget: resilience.NewBudget(resilience.BudgetConfig{})},
+		{base: "http://b", healthy: true, budget: resilience.NewBudget(resilience.BudgetConfig{})},
+	}
+	hc := newHealthChecker(HealthConfig{
+		Interval:     3 * time.Millisecond,
+		EjectAfter:   3,
+		ReadmitAfter: 2,
+		Probe:        probe.probe,
+		OnChange:     logch.record,
+	}, backends, nil)
+	go hc.run()
+	defer func() { close(hc.stop); <-hc.done }()
+
+	a, b := backends[0], backends[1]
+	// A single failed probe must not eject (EjectAfter = 3).
+	probe.set("http://a", false)
+	waitFor(t, "one failed probe", func() bool {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return a.consecFail >= 1
+	})
+	probe.set("http://a", true)
+	waitFor(t, "failure streak reset", func() bool {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return a.consecFail == 0
+	})
+	if !a.isHealthy() {
+		t.Fatal("backend ejected after a single failed probe")
+	}
+
+	// A sustained outage ejects; the healthy peer is untouched.
+	probe.set("http://a", false)
+	waitFor(t, "ejection", func() bool { return !a.isHealthy() })
+	if !b.isHealthy() {
+		t.Fatal("healthy peer ejected alongside the sick one")
+	}
+
+	// Recovery readmits after ReadmitAfter consecutive successes.
+	probe.set("http://a", true)
+	waitFor(t, "readmission", func() bool { return a.isHealthy() })
+
+	a.mu.Lock()
+	ej, re := a.ejections, a.readmits
+	a.mu.Unlock()
+	if ej != 1 || re != 1 {
+		t.Fatalf("ejections=%d readmits=%d, want 1 and 1", ej, re)
+	}
+	want := []string{"http://a:eject", "http://a:readmit"}
+	got := logch.list()
+	if len(got) < 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("OnChange log %v, want prefix %v", got, want)
+	}
+}
+
+// TestHealthCheckerStops checks close(stop) halts the loop promptly even
+// mid-round.
+func TestHealthCheckerStops(t *testing.T) {
+	leakcheck.Check(t)
+	var probes atomic.Int64
+	backends := []*backend{{base: "http://a", healthy: true}}
+	hc := newHealthChecker(HealthConfig{
+		Interval: time.Millisecond,
+		Probe: func(ctx context.Context, base string) error {
+			probes.Add(1)
+			return nil
+		},
+	}, backends, nil)
+	go hc.run()
+	waitFor(t, "first probe", func() bool { return probes.Load() > 0 })
+	close(hc.stop)
+	select {
+	case <-hc.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("checker did not stop")
+	}
+}

@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyTracker estimates a high quantile of recent successful request
+// latencies; the hedge delay is that quantile, clamped. A fixed-size ring
+// of exact samples beats a streaming sketch here: the window is small (the
+// tail estimate should track the last few seconds of backend behavior, not
+// the deployment's whole history) and the quantile is computed only when a
+// request actually arms a hedge timer, not per observation.
+type latencyTracker struct {
+	mu      sync.Mutex
+	samples []time.Duration // ring buffer
+	next    int
+	filled  int
+
+	quantile float64
+	min, max time.Duration
+	warmup   int // observations required before the estimate is trusted
+}
+
+// newLatencyTracker clamps the hedge delay to [min, max] and reports max
+// until warmup observations have accumulated (hedging on no evidence would
+// just double the load). quantile outside (0,1) selects 0.95.
+func newLatencyTracker(window int, quantile float64, min, max time.Duration, warmup int) *latencyTracker {
+	if window < 16 {
+		window = 16
+	}
+	if quantile <= 0 || quantile >= 1 {
+		quantile = 0.95
+	}
+	if min <= 0 {
+		min = 10 * time.Millisecond
+	}
+	if max < min {
+		max = min
+	}
+	if warmup < 1 {
+		warmup = 20
+	}
+	return &latencyTracker{
+		samples:  make([]time.Duration, window),
+		quantile: quantile,
+		min:      min,
+		max:      max,
+		warmup:   warmup,
+	}
+}
+
+// Observe records one successful request's latency.
+func (lt *latencyTracker) Observe(d time.Duration) {
+	lt.mu.Lock()
+	lt.samples[lt.next] = d
+	lt.next = (lt.next + 1) % len(lt.samples)
+	if lt.filled < len(lt.samples) {
+		lt.filled++
+	}
+	lt.mu.Unlock()
+}
+
+// Delay returns the current hedge delay: the tracked quantile of recent
+// latencies clamped to [min, max], or max while under-observed.
+func (lt *latencyTracker) Delay() time.Duration {
+	lt.mu.Lock()
+	if lt.filled < lt.warmup {
+		lt.mu.Unlock()
+		return lt.max
+	}
+	tmp := make([]time.Duration, lt.filled)
+	copy(tmp, lt.samples[:lt.filled])
+	lt.mu.Unlock()
+
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	idx := int(lt.quantile * float64(len(tmp)))
+	if idx >= len(tmp) {
+		idx = len(tmp) - 1
+	}
+	d := tmp[idx]
+	if d < lt.min {
+		d = lt.min
+	}
+	if d > lt.max {
+		d = lt.max
+	}
+	return d
+}

@@ -1,0 +1,69 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyTrackerWarmup checks the delay stays at max until enough
+// observations accumulate — hedging on no evidence is just doubled load.
+func TestLatencyTrackerWarmup(t *testing.T) {
+	lt := newLatencyTracker(64, 0.95, 10*time.Millisecond, time.Second, 5)
+	if d := lt.Delay(); d != time.Second {
+		t.Fatalf("unwarmed Delay = %v, want max (1s)", d)
+	}
+	for i := 0; i < 4; i++ {
+		lt.Observe(20 * time.Millisecond)
+	}
+	if d := lt.Delay(); d != time.Second {
+		t.Fatalf("Delay before warmup complete = %v, want max", d)
+	}
+	lt.Observe(20 * time.Millisecond)
+	if d := lt.Delay(); d != 20*time.Millisecond {
+		t.Fatalf("warmed Delay = %v, want 20ms", d)
+	}
+}
+
+// TestLatencyTrackerQuantileAndClamp checks the delay tracks the requested
+// quantile of the window and clamps to [min, max].
+func TestLatencyTrackerQuantileAndClamp(t *testing.T) {
+	lt := newLatencyTracker(100, 0.90, 10*time.Millisecond, time.Second, 10)
+	// 95 fast samples, 5 slow: p90 sits in the fast mass.
+	for i := 0; i < 95; i++ {
+		lt.Observe(30 * time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		lt.Observe(800 * time.Millisecond)
+	}
+	if d := lt.Delay(); d != 30*time.Millisecond {
+		t.Fatalf("p90 Delay = %v, want 30ms", d)
+	}
+
+	// All samples under min: clamps up.
+	lt2 := newLatencyTracker(32, 0.9, 50*time.Millisecond, time.Second, 1)
+	lt2.Observe(time.Millisecond)
+	if d := lt2.Delay(); d != 50*time.Millisecond {
+		t.Fatalf("under-min Delay = %v, want 50ms", d)
+	}
+	// All samples over max: clamps down.
+	lt3 := newLatencyTracker(32, 0.9, 10*time.Millisecond, 100*time.Millisecond, 1)
+	lt3.Observe(10 * time.Second)
+	if d := lt3.Delay(); d != 100*time.Millisecond {
+		t.Fatalf("over-max Delay = %v, want 100ms", d)
+	}
+}
+
+// TestLatencyTrackerWindowSlides checks old samples age out of the ring.
+func TestLatencyTrackerWindowSlides(t *testing.T) {
+	lt := newLatencyTracker(16, 0.5, time.Millisecond, time.Minute, 1)
+	for i := 0; i < 16; i++ {
+		lt.Observe(time.Second)
+	}
+	// Overwrite the whole ring with fast samples.
+	for i := 0; i < 16; i++ {
+		lt.Observe(5 * time.Millisecond)
+	}
+	if d := lt.Delay(); d != 5*time.Millisecond {
+		t.Fatalf("post-slide Delay = %v, want 5ms (old seconds aged out)", d)
+	}
+}

@@ -1,0 +1,13 @@
+package fleet
+
+import (
+	"os"
+	"testing"
+
+	"symbios/internal/leakcheck"
+)
+
+// The front tier spawns attempt goroutines, hedge timers and a health
+// checker; none may outlive its dispatch/front. The package-level gate
+// catches anything an individual test's Check missed.
+func TestMain(m *testing.M) { os.Exit(leakcheck.MainRun(m.Run)) }

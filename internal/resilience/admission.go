@@ -69,6 +69,29 @@ func (l *Limiter) Allow() bool {
 	return true
 }
 
+// RetryAfter reports how long until the bucket accrues a full token — the
+// honest Retry-After value for a 429: a client that waits this long is
+// admitted (absent competition) instead of hot-looping against an empty
+// bucket. Reports zero when a token is already available.
+func (l *Limiter) RetryAfter() time.Duration {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tokens := l.tokens
+	if el := l.cfg.Now().Sub(l.last).Seconds(); el > 0 {
+		tokens += el * l.cfg.Rate
+		if tokens > l.cfg.Burst {
+			tokens = l.cfg.Burst
+		}
+	}
+	if tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - tokens) / l.cfg.Rate * float64(time.Second))
+}
+
 // LimiterStats is a point-in-time admission tally.
 type LimiterStats struct {
 	Admitted uint64 `json:"admitted"`

@@ -71,3 +71,39 @@ func TestLimiterDefaults(t *testing.T) {
 		t.Fatal("default limiter shed the first request")
 	}
 }
+
+// TestLimiterRetryAfter checks the 429 backoff hint is derived from the
+// refill rate: an empty bucket at 10 tokens/s needs 100ms for one token,
+// and elapsing time shrinks the remaining wait accordingly.
+func TestLimiterRetryAfter(t *testing.T) {
+	clock := newFakeClock()
+	l := NewLimiter(LimiterConfig{Rate: 10, Burst: 1, Now: clock.Now})
+	if d := l.RetryAfter(); d != 0 {
+		t.Fatalf("full bucket RetryAfter = %v, want 0", d)
+	}
+	if !l.Allow() {
+		t.Fatal("first request shed")
+	}
+	if d := l.RetryAfter(); d != 100*time.Millisecond {
+		t.Fatalf("empty bucket RetryAfter = %v, want 100ms", d)
+	}
+	clock.Advance(60 * time.Millisecond)
+	if d := l.RetryAfter(); d != 40*time.Millisecond {
+		t.Fatalf("after 60ms RetryAfter = %v, want 40ms", d)
+	}
+	clock.Advance(40 * time.Millisecond)
+	if d := l.RetryAfter(); d != 0 {
+		t.Fatalf("refilled bucket RetryAfter = %v, want 0", d)
+	}
+	if l.RetryAfter() != 0 || !l.Allow() {
+		t.Fatal("RetryAfter must not spend tokens")
+	}
+}
+
+// TestLimiterRetryAfterNil checks the nil receiver reports no wait.
+func TestLimiterRetryAfterNil(t *testing.T) {
+	var l *Limiter
+	if d := l.RetryAfter(); d != 0 {
+		t.Fatalf("nil RetryAfter = %v, want 0", d)
+	}
+}

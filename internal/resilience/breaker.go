@@ -259,6 +259,26 @@ func (b *Breaker) transitionLocked(to State, fire *[]func()) {
 	}
 }
 
+// RetryAfter reports how much of the open-state cooldown remains — the
+// honest Retry-After value for a breaker-refused request. Half-open and
+// closed breakers report zero (a refusal there clears as soon as a probe
+// settles, so "retry shortly" is the best available answer).
+func (b *Breaker) RetryAfter() time.Duration {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Open {
+		return 0
+	}
+	wait := b.cfg.Cooldown - b.cfg.Now().Sub(b.openedAt)
+	if wait < 0 {
+		wait = 0
+	}
+	return wait
+}
+
 // State returns the breaker's current position (for stats; racing callers
 // should rely on Allow, not State).
 func (b *Breaker) State() State {

@@ -265,3 +265,100 @@ func TestBreakerConcurrentTraffic(t *testing.T) {
 		t.Fatal("empty state string")
 	}
 }
+
+// TestBreakerHalfOpenProbeRace races many goroutines through Allow while
+// the breaker sits half-open: no matter how the Allow calls interleave, the
+// number of permits ever granted must not exceed the probe quota, because a
+// single extra probe against a sick backend is exactly the thundering herd
+// half-open exists to prevent. Run under -race this also proves the permit
+// bookkeeping itself is data-race-free.
+func TestBreakerHalfOpenProbeRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		clock := newFakeClock()
+		const probes = 3
+		b := NewBreaker(BreakerConfig{
+			Window: 4, MinSamples: 1, ErrorRate: 0.5,
+			Cooldown: time.Second, Probes: probes, Now: clock.Now,
+		})
+		mustAllow(t, b)(Failure) // trip
+		clock.Advance(2 * time.Second)
+
+		const racers = 32
+		var (
+			start   = make(chan struct{})
+			wg      sync.WaitGroup
+			mu      sync.Mutex
+			granted []func(Outcome)
+		)
+		for g := 0; g < racers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				report, err := b.Allow()
+				if err != nil {
+					if !errors.Is(err, ErrBreakerOpen) {
+						t.Errorf("refusal err = %v, want ErrBreakerOpen", err)
+					}
+					return
+				}
+				mu.Lock()
+				granted = append(granted, report)
+				mu.Unlock()
+			}()
+		}
+		close(start)
+		wg.Wait()
+		if len(granted) > probes {
+			t.Fatalf("round %d: %d probe permits granted, quota is %d", round, len(granted), probes)
+		}
+		if len(granted) == 0 {
+			t.Fatalf("round %d: no probe permit granted past cooldown", round)
+		}
+		// Settling every granted probe successfully must close the breaker
+		// only once the full quota has succeeded — with fewer grants than the
+		// quota it stays half-open, and the freed slots admit new probes.
+		for _, report := range granted {
+			report(Success)
+		}
+		for b.State() == HalfOpen {
+			report, err := b.Allow()
+			if err != nil {
+				t.Fatalf("round %d: half-open with free slots refused: %v", round, err)
+			}
+			report(Success)
+		}
+		if b.State() != Closed {
+			t.Fatalf("round %d: state %v after quota successes, want closed", round, b.State())
+		}
+	}
+}
+
+// TestBreakerRetryAfter checks the open-state cooldown remainder is exposed
+// for Retry-After derivation and decays with the clock.
+func TestBreakerRetryAfter(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{
+		Window: 4, MinSamples: 1, ErrorRate: 0.5,
+		Cooldown: 10 * time.Second, Probes: 1, Now: clock.Now,
+	})
+	if d := b.RetryAfter(); d != 0 {
+		t.Fatalf("closed RetryAfter = %v, want 0", d)
+	}
+	mustAllow(t, b)(Failure) // trip
+	if d := b.RetryAfter(); d != 10*time.Second {
+		t.Fatalf("just-opened RetryAfter = %v, want 10s", d)
+	}
+	clock.Advance(4 * time.Second)
+	if d := b.RetryAfter(); d != 6*time.Second {
+		t.Fatalf("mid-cooldown RetryAfter = %v, want 6s", d)
+	}
+	clock.Advance(10 * time.Second)
+	if d := b.RetryAfter(); d != 0 {
+		t.Fatalf("post-cooldown RetryAfter = %v, want 0", d)
+	}
+	var nb *Breaker
+	if d := nb.RetryAfter(); d != 0 {
+		t.Fatalf("nil RetryAfter = %v, want 0", d)
+	}
+}

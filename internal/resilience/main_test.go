@@ -1,0 +1,13 @@
+package resilience
+
+import (
+	"os"
+	"testing"
+
+	"symbios/internal/leakcheck"
+)
+
+// The resilience primitives start timers and worker goroutines; the package
+// must account for every one of them. A leaked backoff timer goroutine or an
+// undrained queue worker fails the whole package.
+func TestMain(m *testing.M) { os.Exit(leakcheck.MainRun(m.Run)) }

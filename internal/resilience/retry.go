@@ -152,15 +152,26 @@ type RetryConfig struct {
 	Sleep func(ctx context.Context, d time.Duration) error
 }
 
-// SleepContext waits d honoring ctx — the default RetryConfig.Sleep.
+// SleepContext waits d honoring ctx — the default RetryConfig.Sleep. When
+// the context fires first the timer is stopped *and drained*: Stop reports
+// false if the timer already fired concurrently, in which case the pending
+// tick is consumed so a cancelled backoff leaves no live timer and no
+// buffered tick behind. Retry storms cancel in bulk (every in-flight
+// request of a dying client at once), so the cleanup has to be airtight
+// rather than "the GC will get it eventually".
 func SleepContext(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
 		return ctx.Err()
 	}
 	t := time.NewTimer(d)
-	defer t.Stop()
 	select {
 	case <-ctx.Done():
+		if !t.Stop() {
+			// The timer fired between ctx firing and Stop: drain the tick so
+			// the timer is fully released. Nothing else reads t.C, so this
+			// receive cannot block.
+			<-t.C
+		}
 		return ctx.Err()
 	case <-t.C:
 		return nil

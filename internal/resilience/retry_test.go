@@ -6,9 +6,94 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"symbios/internal/leakcheck"
 )
 
 var errTransient = errors.New("transient")
+
+// TestSleepContextCancelled checks a cancelled context ends the sleep early
+// with the context's error and leaves no timer state behind (the drain path:
+// Stop-then-consume when the tick races the cancellation). The leakcheck
+// cleanup is what proves the "no timer goroutines" half.
+func TestSleepContextCancelled(t *testing.T) {
+	leakcheck.Check(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	// Many concurrent sleepers cancelled in bulk, the retry-storm shape:
+	// every one must return promptly with ctx.Err.
+	errs := make([]error, 64)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = SleepContext(ctx, time.Hour)
+		}(i)
+	}
+	cancel()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled sleepers did not return within 5s")
+	}
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("sleeper %d returned %v, want context.Canceled", i, err)
+		}
+	}
+}
+
+// TestSleepContextZeroAndExpired checks the degenerate inputs: a
+// non-positive delay returns immediately with the context's current error,
+// and an already-expired context never starts a timer.
+func TestSleepContextZeroAndExpired(t *testing.T) {
+	leakcheck.Check(t)
+	if err := SleepContext(context.Background(), 0); err != nil {
+		t.Fatalf("SleepContext(0) = %v, want nil", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := SleepContext(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SleepContext(expired, 0) = %v, want context.Canceled", err)
+	}
+	if err := SleepContext(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SleepContext(expired, 1h) = %v, want context.Canceled", err)
+	}
+}
+
+// TestDoCancelMidBackoffNoLeak drives real timer-based backoff (the default
+// Sleep) and cancels mid-wait: Do must return the context error wrapping the
+// last attempt's failure, and no timer goroutine may outlive the call.
+func TestDoCancelMidBackoffNoLeak(t *testing.T) {
+	leakcheck.Check(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	result := make(chan error, 1)
+	go func() {
+		result <- Do(ctx, RetryConfig{
+			MaxAttempts: 3,
+			BaseDelay:   time.Hour, // the backoff must come from ctx, not elapse
+			Jitter:      func(int) float64 { return 0.999 },
+		}, nil, nil, func(attempt int) error {
+			if attempt == 0 {
+				close(started)
+			}
+			return errTransient
+		})
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-result:
+		if !errors.Is(err, context.Canceled) || !errors.Is(err, errTransient) {
+			t.Fatalf("Do = %v, want context.Canceled wrapping errTransient", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return within 5s of cancellation")
+	}
+}
 
 // instantSleep records requested delays without waiting.
 type instantSleep struct {
