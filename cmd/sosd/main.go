@@ -200,8 +200,13 @@ Flags:
 	// "warming cache" from the very first request, and flips to ready only
 	// once a sibling's cache has been merged (or every sibling failed and
 	// the node falls through to a cold start).
-	if *warm != "" {
-		siblings := strings.Split(*warm, ",")
+	var siblings []string
+	for _, sib := range strings.Split(*warm, ",") {
+		if sib = strings.TrimSpace(sib); sib != "" {
+			siblings = append(siblings, sib)
+		}
+	}
+	if len(siblings) > 0 {
 		srv.warming.Store(true)
 		go srv.warmFromSiblings(siblings, *warmTO)
 	}

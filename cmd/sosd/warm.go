@@ -36,9 +36,15 @@ func (s *server) warmFromSiblings(siblings []string, timeout time.Duration) {
 			continue
 		}
 		added, merr := s.rec.Merge(snap)
-		if merr != nil {
+		if merr != nil && added == 0 {
 			s.logger.Printf("cache warm-up: merging from %s: %v", sib, merr)
 			continue
+		}
+		if merr != nil {
+			// Shards were adopted in memory; only persisting the snapshot
+			// failed. The cache is warm — don't re-fetch from another
+			// sibling, just flag the flush.
+			s.logger.Printf("cache warm-up: snapshot flush after merging from %s: %v", sib, merr)
 		}
 		s.obs.warmShards.Add(uint64(added))
 		s.obs.warmBytes.Add(uint64(size))
@@ -56,12 +62,12 @@ func fetchExport(client *http.Client, base string) (*checkpoint.Snapshot, int, e
 		return nil, 0, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("export returned %s", resp.Status)
+	}
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxExportBytes))
 	if err != nil {
 		return nil, 0, fmt.Errorf("reading export: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, 0, fmt.Errorf("export returned %s", resp.Status)
 	}
 	var snap checkpoint.Snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {

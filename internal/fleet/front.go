@@ -367,17 +367,19 @@ func (f *Front) dispatch(ctx context.Context, shardKey string, body []byte) (*Re
 	// launches are speculative, so they are charged to the target's hedge
 	// budget and skipped when it is dry; corrective launches always run.
 	launchNext := func(hedge bool) bool {
-		for next < len(cands) {
-			b := cands[next]
-			next++
-			if hedge && !b.budget.TryWithdraw() {
-				continue
-			}
-			inflight++
-			go func() { results <- f.attempt(actx, b, body, hedge) }()
-			return true
+		if next >= len(cands) {
+			return false
 		}
-		return false
+		b := cands[next]
+		if hedge && !b.budget.TryWithdraw() {
+			// Budget dry: skip the hedge but leave the candidate untried —
+			// corrective failover must still be able to reach it.
+			return false
+		}
+		next++
+		inflight++
+		go func() { results <- f.attempt(actx, b, body, hedge) }()
+		return true
 	}
 	launchNext(false)
 
@@ -452,7 +454,12 @@ func (f *Front) attempt(ctx context.Context, b *backend, body []byte, hedge bool
 		return attemptOut{b: b, class: classShed, err: err, hedge: hedge,
 			res: shedResult(err, b.breaker.RetryAfter())}
 	}
-	b.budget.Deposit()
+	if !hedge {
+		// Only non-speculative attempts fund the hedge budget; a hedge
+		// depositing for itself would let the effective hedge rate creep
+		// above the configured ratio.
+		b.budget.Deposit()
+	}
 	b.requests.Add(1)
 	b.obsRequests.Inc()
 

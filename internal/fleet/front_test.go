@@ -318,6 +318,50 @@ func TestFrontHedgeWin(t *testing.T) {
 	if st.Hedges != 1 || st.HedgeWins != 1 {
 		t.Fatalf("hedges=%d hedgeWins=%d, want 1 and 1", st.Hedges, st.HedgeWins)
 	}
+	// The hedge withdrew the target's single banked token; a hedge attempt
+	// must not deposit credit back (speculation never self-funds).
+	if tok := f.byBase[b.ts.URL].budget.Tokens(); tok != 0 {
+		t.Fatalf("hedge target budget = %v tokens after hedge, want 0 (hedge must not deposit)", tok)
+	}
+}
+
+// TestFrontDryHedgeBudgetPreservesFailover checks that a hedge timer firing
+// against a dry budget does not consume the replica: corrective failover
+// after the primary's real failure must still reach it. (Regression: a dry
+// hedge withdrawal used to advance past the candidate, so a backend outage
+// with drained budgets turned into "all replicas failed" without the healthy
+// replica ever being tried.)
+func TestFrontDryHedgeBudgetPreservesFailover(t *testing.T) {
+	leakcheck.Check(t)
+	a := newFakeBackend(t, okHandler(`{"ok":1}`))
+	b := newFakeBackend(t, okHandler(`{"ok":1}`))
+	f := newTestFront(t, []*fakeBackend{a, b}, func(cfg *Config) {
+		cfg.HedgeMin = time.Millisecond
+		cfg.HedgeMax = 10 * time.Millisecond // unwarmed tracker hedges at max
+	})
+
+	body := bodyWithPrimary(t, f, a.ts.URL)
+	a.set(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		// Outlive the hedge timer, then fail for real.
+		time.Sleep(150 * time.Millisecond)
+		w.WriteHeader(http.StatusInternalServerError)
+	})
+	// Drain the failover target's hedge budget so the timer's withdrawal
+	// is refused.
+	for f.byBase[b.ts.URL].budget.TryWithdraw() {
+	}
+
+	res, err := f.Dispatch(context.Background(), body)
+	if err != nil {
+		t.Fatalf("Dispatch: %v (dry hedge budget must not consume the failover replica)", err)
+	}
+	if res.Status != http.StatusOK || res.Backend != b.ts.URL {
+		t.Fatalf("res = %d from %s, want 200 from failover to %s", res.Status, res.Backend, b.ts.URL)
+	}
+	if st := f.Stats(); st.Hedges != 0 {
+		t.Fatalf("hedges = %d, want 0 (budget was dry)", st.Hedges)
+	}
 }
 
 // TestFrontCoalesce checks identical concurrent bodies collapse onto one
