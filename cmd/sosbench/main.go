@@ -62,7 +62,7 @@ const (
 var knownExperiments = []string{
 	"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
 	"parallel", "warmstart", "levels", "coldstart", "pairwise", "shootout",
-	"ablation", "robustness", "all",
+	"ablation", "robustness", "openload", "all",
 }
 
 func main() {
@@ -459,6 +459,15 @@ func run(ctx context.Context, exp string, sc experiments.Scale, qs experiments.Q
 		results["fig6"] = rows
 		printResponse(rows)
 
+	case "openload":
+		fmt.Println("== Extension: open-system overload sweep (SMT=3, 0.5x-1.5x capacity) ==")
+		rows, err := experiments.OpenLoadCtx(ctx, qs, nil)
+		if err != nil {
+			return err
+		}
+		results["openload"] = rows
+		printOpenLoad(rows)
+
 	case "shootout":
 		fmt.Println("== Extension: predictor shootout (paper's ten + experimental variants) ==")
 		rows, err := experiments.PredictorShootoutCtx(ctx, sc, nil)
@@ -574,6 +583,15 @@ func printRobustness(rows []experiments.RobustnessRow) {
 func printBars(bars []experiments.Figure2Bar) {
 	for _, b := range bars {
 		fmt.Printf("  %-10s %6.3f  %s\n", b.Label, b.WS, strings.Repeat("#", int(b.WS*20)))
+	}
+}
+
+func printOpenLoad(rows []experiments.OpenLoadRow) {
+	fmt.Printf("%-8s %6s %-12s %12s %12s %12s %12s %6s %6s\n",
+		"Dist", "Load", "Scheduler", "mean RT", "p50", "p99", "p99.9", "done", "shrunk")
+	for _, r := range rows {
+		fmt.Printf("%-8s %5.2fx %-12s %12.0f %12.0f %12.0f %12.0f %6d %6d\n",
+			r.Dist, r.Factor, r.Scheduler, r.MeanResponse, r.P50, r.P99, r.P999, r.Completed, r.ShrunkPhases)
 	}
 }
 

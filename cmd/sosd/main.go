@@ -25,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -72,6 +73,15 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		qdepth  = fs.Int("queue", 64, "work queue depth")
 		workers = fs.Int("workers", 4, "work queue workers")
 
+		queueTarget   = fs.Duration("queue-target", 0, "CoDel sojourn target: shed while queued time stays above this for -queue-interval (0 disables)")
+		queueInterval = fs.Duration("queue-interval", 0, "CoDel sustained-exceedance window (0 = 4x -queue-target)")
+
+		brownoutPin      = fs.Int("brownout-pin", -1, "pin the degradation mode 0..2 (-1 runs the hysteresis controller)")
+		brownoutDown     = fs.Duration("brownout-down", 250*time.Millisecond, "queue sojourn above this steps the ladder down")
+		brownoutUp       = fs.Duration("brownout-up", 0, "queue sojourn below this steps the ladder back up (0 = -brownout-down/4)")
+		brownoutDownHold = fs.Duration("brownout-down-hold", time.Second, "sustained exceedance required before a step down")
+		brownoutUpHold   = fs.Duration("brownout-up-hold", 0, "sustained recovery required before a step up (0 = 4x -brownout-down-hold)")
+
 		brkWindow   = fs.Int("breaker-window", 32, "breaker sliding window size")
 		brkMin      = fs.Int("breaker-min", 8, "breaker minimum samples before tripping")
 		brkRate     = fs.Float64("breaker-rate", 0.5, "breaker error-rate threshold")
@@ -89,6 +99,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		soakPoison   = fs.Float64("soak-poison", 0.2, "soak client: fraction of requests carrying a fault block")
 		soakSeed     = fs.Uint64("soak-seed", 1, "soak client: load-pattern seed")
 		soakRate     = fs.Float64("soak-rate", 100, "soak client: request pacing, requests/second (0 = unpaced)")
+		soakAdaptive = fs.Float64("soak-adaptive", 0, "soak client: fraction of load requests using the (expensive) adaptive mode")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, `sosd — resilient SOS coscheduling service
@@ -116,7 +127,7 @@ Flags:
 	logger := log.New(stderr, "sosd: ", log.LstdFlags|log.Lmsgprefix)
 
 	if *soakURL != "" {
-		return soakClient(stdout, logger, *soakURL, *soakDuration, *soakPoison, *soakSeed, *soakRate)
+		return soakClient(stdout, logger, *soakURL, *soakDuration, *soakPoison, *soakSeed, *soakRate, *soakAdaptive)
 	}
 
 	var sc experiments.Scale
@@ -137,6 +148,10 @@ Flags:
 	}
 	if *warm != "" && *ckpt == "" {
 		fmt.Fprintln(stderr, "-warm-from requires -checkpoint (the transferred cache needs somewhere to live)")
+		return exitUsage
+	}
+	if *brownoutPin < -1 || *brownoutPin > brownoutModes-1 {
+		fmt.Fprintf(stderr, "-brownout-pin %d out of range [-1,%d]\n", *brownoutPin, brownoutModes-1)
 		return exitUsage
 	}
 
@@ -192,6 +207,15 @@ Flags:
 		RetryMax:         *retryMax,
 		RetryBudgetRatio: *budgetRatio,
 		RetryBudgetCap:   *budgetCap,
+
+		QueueTarget:   *queueTarget,
+		QueueInterval: *queueInterval,
+
+		BrownoutPin:      *brownoutPin,
+		BrownoutDown:     *brownoutDown,
+		BrownoutUp:       *brownoutUp,
+		BrownoutDownHold: *brownoutDownHold,
+		BrownoutUpHold:   *brownoutUpHold,
 	}, eval, rec, reg, logger, func(from, to resilience.State) {
 		logger.Printf("breaker: %s -> %s", from, to)
 	})
@@ -253,15 +277,19 @@ Flags:
 // clean and poisoned (fault-carrying) requests from several client
 // identities, plus a recurring clean canary request whose responses must be
 // byte-identical every time. Returns exitOK when the service shed load
-// gracefully (only expected statuses), answered at least one request, and
-// never broke the canary's determinism.
-func soakClient(stdout io.Writer, logger *log.Logger, base string, dur time.Duration, poison float64, seed uint64, rate float64) int {
+// gracefully (only expected statuses, every shed carrying Retry-After),
+// answered at least one request, and never broke the canary's determinism.
+func soakClient(stdout io.Writer, logger *log.Logger, base string, dur time.Duration, poison float64, seed uint64, rate, adaptive float64) int {
 	if poison < 0 || poison > 1 {
 		logger.Printf("-soak-poison %v out of range [0,1]", poison)
 		return exitUsage
 	}
 	if rate < 0 {
 		logger.Printf("-soak-rate %v must be non-negative", rate)
+		return exitUsage
+	}
+	if adaptive < 0 || adaptive > 1 {
+		logger.Printf("-soak-adaptive %v out of range [0,1]", adaptive)
 		return exitUsage
 	}
 	// Pace the load near (but above) the server's default admission rate, so
@@ -278,9 +306,20 @@ func soakClient(stdout io.Writer, logger *log.Logger, base string, dur time.Dura
 	r := rng.New(seed)
 	deadline := time.Now().Add(dur)
 
+	// The client is open-loop: requests fire at the configured pace whether
+	// or not earlier ones have answered (bounded in-flight so a stalled
+	// server cannot leak unbounded goroutines). A closed-loop client could
+	// never offer more than 1x capacity — the whole point of the overload
+	// soak is sustained offered load past what the server absorbs.
 	var (
+		mu  sync.Mutex // guards every counter below, canary, and detBroken
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, 32)
+
 		sent, ok2xx, shed429, unavail503, timeout504, bad4xx, other int
+		shedBare                                                    int // sheds missing Retry-After (contract violations)
 		canary                                                      []byte
+		detBroken                                                   bool
 	)
 	statuses := map[int]*int{
 		http.StatusOK:                 &ok2xx,
@@ -288,21 +327,30 @@ func soakClient(stdout io.Writer, logger *log.Logger, base string, dur time.Dura
 		http.StatusServiceUnavailable: &unavail503,
 		http.StatusGatewayTimeout:     &timeout504,
 	}
+	// Every shed — limiter 429, breaker/queue 503 — must tell the client
+	// when to come back. 504 is a deadline verdict, not a shed.
+	checkShed := func(status int, hdr http.Header) {
+		if (status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable) &&
+			hdr.Get("Retry-After") == "" {
+			shedBare++
+			logger.Printf("SHED CONTRACT VIOLATION: %d without Retry-After", status)
+		}
+	}
 
-	post := func(body []byte, clientID string) (int, []byte, error) {
+	post := func(body []byte, clientID string) (int, http.Header, []byte, error) {
 		req, err := http.NewRequest(http.MethodPost, base+"/v1/schedule", bytes.NewReader(body))
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set("X-Client-ID", clientID)
 		resp, err := client.Do(req)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
 		defer resp.Body.Close()
 		data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		return resp.StatusCode, data, err
+		return resp.StatusCode, resp.Header, data, err
 	}
 
 	// The canary seed is chosen so the evaluation survives server-side chaos
@@ -314,33 +362,55 @@ func soakClient(stdout io.Writer, logger *log.Logger, base string, dur time.Dura
 		Mix: "Jsb(4,2,2)", Seed: 41, Samples: 4, Mode: "rank", DeadlineMS: 10_000,
 	})
 
+	// fire posts one request asynchronously and classifies the answer. The
+	// request bodies are drawn sequentially in the loop below, so the load
+	// script stays a deterministic function of -soak-seed regardless of how
+	// responses interleave.
+	fire := func(isCanary bool, body []byte, clientID string) {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			status, hdr, respBody, err := post(body, clientID)
+			mu.Lock()
+			defer mu.Unlock()
+			sent++
+			if err != nil {
+				logger.Printf("transport error: %v", err)
+				other++
+				return
+			}
+			checkShed(status, hdr)
+			switch {
+			case isCanary && status == http.StatusOK:
+				ok2xx++
+				if canary == nil {
+					canary = respBody
+				} else if !bytes.Equal(canary, respBody) {
+					logger.Printf("DETERMINISM VIOLATION: canary response changed\nfirst: %s\nnow:   %s", canary, respBody)
+					detBroken = true
+				}
+			default:
+				if c, okc := statuses[status]; okc {
+					*c++
+				} else if status == http.StatusBadRequest && !isCanary {
+					bad4xx++
+				} else {
+					logger.Printf("unexpected status %d: %s", status, respBody)
+					other++
+				}
+			}
+		}()
+	}
+
 	for i := 0; time.Now().Before(deadline); i++ {
 		if pace > 0 && i > 0 {
 			time.Sleep(pace)
 		}
 		// Every 8th request is the canary; the rest are randomized load.
 		if i%8 == 0 {
-			status, body, err := post(canaryBody, "canary")
-			sent++
-			if err != nil {
-				logger.Printf("canary transport error: %v", err)
-				other++
-				continue
-			}
-			if status == http.StatusOK {
-				ok2xx++
-				if canary == nil {
-					canary = body
-				} else if !bytes.Equal(canary, body) {
-					logger.Printf("DETERMINISM VIOLATION: canary response changed\nfirst: %s\nnow:   %s", canary, body)
-					return exitInternal
-				}
-			} else if c, okc := statuses[status]; okc {
-				*c++
-			} else {
-				logger.Printf("canary: unexpected status %d: %s", status, body)
-				other++
-			}
+			fire(true, canaryBody, "canary")
 			continue
 		}
 		sr := ScheduleRequest{
@@ -350,25 +420,21 @@ func soakClient(stdout io.Writer, logger *log.Logger, base string, dur time.Dura
 			Mode:       "rank",
 			DeadlineMS: int64(200 + r.Uint64()%2000),
 		}
+		if r.Float64() < adaptive {
+			// Expensive full-run requests: the overload soak's way of
+			// offering more work than the evaluator can absorb.
+			sr.Mode = "adaptive"
+			sr.DeadlineMS = 30_000
+		}
 		if r.Float64() < poison {
 			sr.Fault = &faults.Config{FailRate: 0.2}
 		}
 		body, _ := json.Marshal(sr)
-		status, respBody, err := post(body, fmt.Sprintf("load-%d", i%4))
-		sent++
-		if err != nil {
-			logger.Printf("transport error: %v", err)
-			other++
-			continue
-		}
-		if c, okc := statuses[status]; okc {
-			*c++
-		} else if status == http.StatusBadRequest {
-			bad4xx++
-		} else {
-			logger.Printf("unexpected status %d: %s", status, respBody)
-			other++
-		}
+		fire(false, body, fmt.Sprintf("load-%d", i%4))
+	}
+	wg.Wait()
+	if detBroken {
+		return exitInternal
 	}
 
 	logger.Printf("soak: sent=%d 200=%d 429=%d 503=%d 504=%d 400=%d other=%d",
@@ -379,6 +445,9 @@ func soakClient(stdout io.Writer, logger *log.Logger, base string, dur time.Dura
 	switch {
 	case other > 0:
 		logger.Printf("soak FAILED: %d unexpected responses", other)
+		return exitInternal
+	case shedBare > 0:
+		logger.Printf("soak FAILED: %d sheds without Retry-After", shedBare)
 		return exitInternal
 	case ok2xx == 0:
 		logger.Printf("soak FAILED: no request ever succeeded")

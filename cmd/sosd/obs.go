@@ -82,6 +82,22 @@ func (o *serverObs) countRequest(code int) {
 		obs.L("code", strconv.Itoa(code))).Inc()
 }
 
+// brownoutTransition records one ladder step: a direction-labelled counter
+// plus a tracer event (obs_events_total). Observability stays read-only —
+// the transition has already happened when this runs.
+func (o *serverObs) brownoutTransition(from, to int) {
+	dir := "down"
+	if to < from {
+		dir = "up"
+	}
+	if o.reg != nil {
+		o.reg.Counter("sosd_brownout_transitions_total",
+			"Brownout ladder transitions, by direction (down = degrading).",
+			obs.L("dir", dir)).Inc()
+	}
+	o.tracer.Event("brownout/" + dir)
+}
+
 // registerPipelineGauges exposes the live pipeline state (/statz's
 // numbers, continuously scrapeable). Scrape-time evaluation keeps them
 // exact without per-request bookkeeping; each fn takes only its stage's
@@ -112,6 +128,14 @@ func (o *serverObs) registerPipelineGauges(s *server) {
 		func() float64 { return float64(s.queue.Stats().MaxDepth) })
 	o.reg.GaugeFunc("sosd_queue_rejected", "Requests rejected by the saturated queue.",
 		func() float64 { return float64(s.queue.Stats().Rejected) })
+	o.reg.GaugeFunc("sosd_queue_overloaded", "Requests shed by sojourn-based (CoDel) overload control.",
+		func() float64 { return float64(s.queue.Stats().Overloaded) })
+	o.reg.GaugeFunc("sosd_queue_oldest_age_seconds", "Age of the oldest queued request.",
+		func() float64 { return s.queue.OldestAge().Seconds() })
+	o.reg.GaugeFunc("sosd_queue_sojourn_seconds", "Smoothed queued-time (sojourn) estimate at dequeue.",
+		func() float64 { return s.queue.SojournEstimate().Seconds() })
+	o.reg.GaugeFunc("sosd_brownout_mode", "Current degradation mode (0 full service, 2 most degraded).",
+		func() float64 { return float64(s.mode()) })
 	o.reg.GaugeFunc("sosd_retry_budget_exhausted", "Retries denied because a client's budget ran out.",
 		func() float64 { return float64(s.budgets.Exhausted()) })
 	o.reg.GaugeFunc("sosd_draining", "1 while the server is draining for shutdown.",

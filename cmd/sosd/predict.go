@@ -188,6 +188,32 @@ func (e *evaluator) adaptive(ctx context.Context, req ScheduleRequest, mix workl
 	}, nil
 }
 
+// roundRobin is the brownout ladder's floor (mode 2): the arrival-order
+// schedule with no simulation at all — a pure function of the request, so
+// mode-2 answers are byte-deterministic without touching the evaluator.
+func roundRobin(req ScheduleRequest) (*ScheduleResponse, error) {
+	mix, err := workload.MixByLabel(req.Mix)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, mix.Tasks())
+	for i := range order {
+		order[i] = i
+	}
+	s, err := schedule.New(order, mix.SMTLevel, mix.Swap)
+	if err != nil {
+		return nil, err
+	}
+	return &ScheduleResponse{
+		Mix:       req.Mix,
+		Mode:      req.Mode,
+		Predictor: req.Predictor,
+		Seed:      req.Seed,
+		Best:      s.String(),
+		Degraded:  "round-robin",
+	}, nil
+}
+
 // warm runs whole rotations of s, unrecorded, until at least cycles have
 // elapsed (the experiments layer's warm, replicated since it is unexported
 // there).

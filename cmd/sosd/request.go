@@ -73,6 +73,12 @@ type ScheduleResponse struct {
 	Cycles          uint64  `json:"cycles,omitempty"`
 	Resamples       int     `json:"resamples,omitempty"`
 	Retries         int     `json:"retries,omitempty"`
+
+	// Degraded marks an answer produced below full service quality by the
+	// brownout ladder's most degraded mode ("round-robin": the arrival-order
+	// schedule, no simulation). Degraded answers are never cached, so they
+	// can never be replayed once the ladder recovers.
+	Degraded string `json:"degraded,omitempty"`
 }
 
 // predictorNames maps wire names to predictors, built once from the core

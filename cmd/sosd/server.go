@@ -10,6 +10,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -45,7 +47,25 @@ type serverConfig struct {
 	RetryMax         time.Duration
 	RetryBudgetRatio float64
 	RetryBudgetCap   float64
+
+	// QueueTarget, when positive, turns on CoDel-style sojourn shedding in
+	// the work queue (see resilience.QueueConfig.SojournTarget).
+	QueueTarget   time.Duration
+	QueueInterval time.Duration
+
+	// BrownoutPin selects the degradation ladder behavior: -1 runs the
+	// hysteresis controller; 0..2 pins the mode (0, the zero value, is full
+	// service — the pre-brownout behavior tests rely on).
+	BrownoutPin      int
+	BrownoutDown     time.Duration
+	BrownoutUp       time.Duration
+	BrownoutDownHold time.Duration
+	BrownoutUpHold   time.Duration
 }
+
+// brownoutModes is the ladder length: mode 0 full adaptive verdicts, mode 1
+// predictor-rank-only, mode 2 cached or round-robin answers only.
+const brownoutModes = 3
 
 // server is the resilient scheduling service: every /v1/schedule request
 // passes drain-gate -> admission limiter -> decode -> response cache ->
@@ -60,6 +80,10 @@ type server struct {
 	queue   *resilience.Queue
 	budgets *resilience.BudgetPool
 	rec     *checkpoint.Recorder
+
+	// brownout walks the degradation ladder on measured queue sojourn; nil
+	// when the mode is pinned (cfg.BrownoutPin >= 0).
+	brownout *resilience.Brownout
 
 	// base is the parent of every request context; hardStop cancels it so
 	// in-flight machines abort at the next timeslice boundary.
@@ -97,7 +121,6 @@ func newServer(cfg serverConfig, eval *evaluator, rec *checkpoint.Recorder, reg 
 			Probes:       cfg.BreakerProbes,
 			OnTransition: onTransition,
 		}),
-		queue:    resilience.NewQueue(resilience.QueueConfig{Depth: cfg.Queue, Workers: cfg.Workers}),
 		budgets:  resilience.NewBudgetPool(resilience.BudgetConfig{Ratio: cfg.RetryBudgetRatio, Cap: cfg.RetryBudgetCap}),
 		rec:      rec,
 		base:     base,
@@ -105,6 +128,28 @@ func newServer(cfg serverConfig, eval *evaluator, rec *checkpoint.Recorder, reg 
 		logger:   logger,
 		obs:      newServerObs(reg),
 	}
+	if cfg.BrownoutPin < 0 {
+		srv.brownout = resilience.NewBrownout(resilience.BrownoutConfig{
+			Modes:         brownoutModes,
+			DownThreshold: cfg.BrownoutDown,
+			UpThreshold:   cfg.BrownoutUp,
+			DownHold:      cfg.BrownoutDownHold,
+			UpHold:        cfg.BrownoutUpHold,
+			OnTransition: func(from, to int) {
+				srv.obs.brownoutTransition(from, to)
+				logger.Printf("brownout: mode %d -> %d", from, to)
+			},
+		})
+	}
+	srv.queue = resilience.NewQueue(resilience.QueueConfig{
+		Depth:           cfg.Queue,
+		Workers:         cfg.Workers,
+		SojournTarget:   cfg.QueueTarget,
+		SojournInterval: cfg.QueueInterval,
+		// Every dequeue's queued time feeds the ladder controller; a nil
+		// brownout (pinned mode) ignores the feed.
+		OnSojourn: func(d time.Duration) { srv.brownout.Observe(d) },
+	})
 	srv.obs.registerPipelineGauges(srv)
 	// The evaluator shares the registry's simulator counters: every machine
 	// it builds reports cycles, commits and per-resource conflicts.
@@ -171,8 +216,22 @@ func isTransient(err error) bool {
 	return errors.Is(err, core.ErrCounterRead)
 }
 
+// mode returns the current degradation mode: the pinned value when the
+// config pins one, else the brownout controller's verdict.
+func (s *server) mode() int {
+	if s.cfg.BrownoutPin >= 0 {
+		return s.cfg.BrownoutPin
+	}
+	return s.brownout.Mode()
+}
+
 // handleSchedule is the full resilient pipeline for one request.
 func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	// The serving mode is sampled once per request and advertised on every
+	// response — sheds included — so the fleet tier can steer new work
+	// toward the least-degraded replica.
+	mode := s.mode()
+	w.Header().Set("X-Brownout-Mode", strconv.Itoa(mode))
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "server draining")
@@ -203,7 +262,18 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := req.Fingerprint()
+	// Degradation ladder. Mode 1 answers adaptive requests with the cheap
+	// predictor ranking (no adaptive simulation); mode 2 serves cache hits
+	// or a round-robin fallback with no simulation at all. The degraded
+	// request's own fingerprint keys the cache, so a mode-1 answer is keyed
+	// — and byte-identical to — a genuine rank request, and never poisons a
+	// mode-0 adaptive entry.
+	eff := req
+	if mode >= 1 && eff.Mode == "adaptive" {
+		eff.Mode = "rank"
+	}
+
+	key := eff.Fingerprint()
 	t0 = time.Now()
 	var cached json.RawMessage
 	hit, lerr := s.rec.Lookup(key, &cached)
@@ -213,6 +283,11 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.writeResponse(w, cached, true)
 		return
 	}
+	// Cache miss at the ladder floor: answer round-robin. The work is a
+	// pure function of the request but still rides the queue, so dequeue
+	// sojourn keeps feeding the brownout controller — recovery must never
+	// depend on measurements that degradation itself has silenced.
+	rr := mode >= 2
 
 	t0 = time.Now()
 	report, err := s.breaker.Allow()
@@ -237,9 +312,14 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	var resp *ScheduleResponse
 	tQueue := time.Now()
 	qerr := s.queue.Do(ctx, func(ctx context.Context) error {
+		if rr {
+			var rerr error
+			resp, rerr = roundRobin(eff)
+			return rerr
+		}
 		tRetry := time.Now()
 		var werr error
-		resp, werr = s.predictWithRetry(ctx, req, clientID(r))
+		resp, werr = s.predictWithRetry(ctx, eff, clientID(r))
 		s.obs.stageRetry.ObserveSince(tRetry)
 		return werr
 	})
@@ -254,14 +334,20 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusInternalServerError, "encoding response: %v", merr)
 			return
 		}
-		if rerr := s.rec.Record(key, json.RawMessage(raw)); rerr != nil {
-			s.logger.Printf("cache record: %v", rerr)
+		if !rr {
+			// Round-robin answers are deliberately uncached: once the ladder
+			// recovers, the same fingerprint deserves a real evaluation.
+			if rerr := s.rec.Record(key, json.RawMessage(raw)); rerr != nil {
+				s.logger.Printf("cache record: %v", rerr)
+			}
 		}
 		s.writeResponse(w, raw, false)
-	case errors.Is(qerr, resilience.ErrSaturated), errors.Is(qerr, resilience.ErrDraining):
-		// Never reached the backend: no verdict on its health.
+	case errors.Is(qerr, resilience.ErrSaturated), errors.Is(qerr, resilience.ErrOverloaded), errors.Is(qerr, resilience.ErrDraining):
+		// Never reached the backend: no verdict on its health. The hint is
+		// the queue's own sojourn estimate — roughly how long new work is
+		// currently waiting — instead of a constant.
 		report(resilience.Skipped)
-		w.Header().Set("Retry-After", "1")
+		setRetryAfter(w, s.queue.SojournEstimate())
 		httpError(w, http.StatusServiceUnavailable, "%v", qerr)
 	case errors.Is(qerr, context.DeadlineExceeded):
 		report(resilience.Failure)
@@ -377,10 +463,11 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // serverStats is the /statz body.
 type serverStats struct {
-	Limiter resilience.LimiterStats `json:"limiter"`
-	Breaker resilience.BreakerStats `json:"breaker"`
-	Queue   resilience.QueueStats   `json:"queue"`
-	Retries struct {
+	Limiter  resilience.LimiterStats  `json:"limiter"`
+	Breaker  resilience.BreakerStats  `json:"breaker"`
+	Queue    resilience.QueueStats    `json:"queue"`
+	Brownout resilience.BrownoutStats `json:"brownout"`
+	Retries  struct {
 		BudgetExhausted uint64 `json:"budget_exhausted"`
 	} `json:"retries"`
 	Cache struct {
@@ -388,6 +475,9 @@ type serverStats struct {
 		Shards int `json:"shards"`
 	} `json:"cache"`
 	Draining bool `json:"draining"`
+	// Goroutines lets the overload soak assert zero goroutine leaks from
+	// the outside.
+	Goroutines int `json:"goroutines"`
 }
 
 // stats snapshots every pipeline stage.
@@ -396,12 +486,18 @@ func (s *server) stats() serverStats {
 	st.Limiter = s.limiter.Stats()
 	st.Breaker = s.breaker.Stats()
 	st.Queue = s.queue.Stats()
+	st.Brownout = s.brownout.Stats()
+	if s.cfg.BrownoutPin >= 0 {
+		st.Brownout.Mode = s.cfg.BrownoutPin
+		st.Brownout.Modes = brownoutModes
+	}
 	st.Retries.BudgetExhausted = s.budgets.Exhausted()
 	if s.rec != nil {
 		st.Cache.Hits = s.rec.Hits()
 		st.Cache.Shards = s.rec.Shards()
 	}
 	st.Draining = s.draining.Load()
+	st.Goroutines = runtime.NumGoroutine()
 	return st
 }
 

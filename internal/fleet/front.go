@@ -9,6 +9,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -86,6 +87,12 @@ type backend struct {
 
 	requests atomic.Uint64
 	failures atomic.Uint64
+
+	// mode is the backend's last advertised brownout mode (the
+	// X-Brownout-Mode response header; 0 = full service). Placement
+	// prefers less-degraded replicas, so a browned-out backend sheds
+	// first-choice traffic without being ejected.
+	mode atomic.Int64
 
 	obsEjections *obs.Counter
 	obsFailovers *obs.Counter
@@ -312,9 +319,13 @@ type attemptOut struct {
 }
 
 // candidates maps the key's replica set to backends, healthy ones first
-// (stable within each group, preserving ring order). Ejected backends stay
-// in the list as a last resort: with every replica ejected, trying one
-// anyway beats refusing outright.
+// (stable within each group, preserving ring order). Healthy backends are
+// additionally ordered by ascending advertised brownout mode, so placement
+// prefers the least-degraded replica: a browned-out backend keeps serving
+// failover and hedge traffic but stops being anyone's first choice, which
+// itself relieves the overload that degraded it. Ejected backends stay in
+// the list as a last resort: with every replica ejected, trying one anyway
+// beats refusing outright.
 func (f *Front) candidates(shardKey string) []*backend {
 	bases := f.ring.Lookup(shardKey, f.cfg.Replicas)
 	healthy := make([]*backend, 0, len(bases))
@@ -327,6 +338,9 @@ func (f *Front) candidates(shardKey string) []*backend {
 			ejected = append(ejected, b)
 		}
 	}
+	sort.SliceStable(healthy, func(i, j int) bool {
+		return healthy[i].mode.Load() < healthy[j].mode.Load()
+	})
 	return append(healthy, ejected...)
 }
 
@@ -493,6 +507,11 @@ func (f *Front) attempt(ctx context.Context, b *backend, body []byte, hedge bool
 		return attemptOut{b: b, class: classFail, err: fmt.Errorf("backend %s: reading response: %w", b.base, rerr), hedge: hedge}
 	}
 	dur := time.Since(t0)
+	if v := resp.Header.Get("X-Brownout-Mode"); v != "" {
+		if m, perr := strconv.Atoi(v); perr == nil && m >= 0 {
+			b.mode.Store(int64(m))
+		}
+	}
 	res := &Result{
 		Status:  resp.StatusCode,
 		Header:  relayHeaders(resp.Header),
@@ -526,7 +545,7 @@ func (f *Front) attempt(ctx context.Context, b *backend, body []byte, hedge bool
 // relayHeaders picks the response headers worth relaying to the client.
 func relayHeaders(h http.Header) http.Header {
 	out := http.Header{}
-	for _, k := range []string{"Content-Type", "X-Cache", "Retry-After"} {
+	for _, k := range []string{"Content-Type", "X-Cache", "Retry-After", "X-Brownout-Mode"} {
 		if v := h.Get(k); v != "" {
 			out.Set(k, v)
 		}
@@ -558,6 +577,7 @@ func retryAfterValue(d time.Duration) string {
 type BackendStats struct {
 	Backend   string                  `json:"backend"`
 	Healthy   bool                    `json:"healthy"`
+	Mode      int                     `json:"mode"`
 	Ejections uint64                  `json:"ejections"`
 	Readmits  uint64                  `json:"readmits"`
 	Requests  uint64                  `json:"requests"`
@@ -591,6 +611,7 @@ func (f *Front) Stats() Stats {
 			Readmits:  b.readmits,
 		}
 		b.mu.Unlock()
+		bs.Mode = int(b.mode.Load())
 		bs.Requests = b.requests.Load()
 		bs.Failures = b.failures.Load()
 		bs.Breaker = b.breaker.Stats()

@@ -9,6 +9,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -572,5 +573,80 @@ func TestFrontHandlerAllDead(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusBadGateway {
 		t.Fatalf("all-dead schedule = %d, want 502", resp.StatusCode)
+	}
+}
+
+// modeHandler answers like okHandler but advertises a brownout mode.
+func modeHandler(body string, mode int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Brownout-Mode", strconv.Itoa(mode))
+		io.WriteString(w, body)
+	}
+}
+
+// TestFrontPrefersLeastDegradedReplica checks brownout-aware placement: a
+// backend advertising a degraded mode loses first-choice status to a
+// full-service replica, and wins it back once it advertises recovery.
+func TestFrontPrefersLeastDegradedReplica(t *testing.T) {
+	leakcheck.Check(t)
+	a := newFakeBackend(t, modeHandler(`{"ok":1}`, 2))
+	b := newFakeBackend(t, modeHandler(`{"ok":1}`, 0))
+	f := newTestFront(t, []*fakeBackend{a, b}, nil)
+
+	body := bodyWithPrimary(t, f, a.ts.URL)
+
+	// First dispatch goes to the ring primary a and learns its mode.
+	res, err := f.Dispatch(context.Background(), body)
+	if err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	if res.Backend != a.ts.URL {
+		t.Fatalf("first dispatch hit %s, want ring primary %s", res.Backend, a.ts.URL)
+	}
+	if got := res.Header.Get("X-Brownout-Mode"); got != "2" {
+		t.Fatalf("relayed X-Brownout-Mode = %q, want \"2\"", got)
+	}
+
+	// With a's degradation known, the full-service replica b is preferred
+	// even though a is the ring primary for this key.
+	if got := f.candidates(ShardKey(body))[0].base; got != b.ts.URL {
+		t.Fatalf("degraded primary still first choice: got %s, want %s", got, b.ts.URL)
+	}
+	res, err = f.Dispatch(context.Background(), body)
+	if err != nil {
+		t.Fatalf("Dispatch after demotion: %v", err)
+	}
+	if res.Backend != b.ts.URL {
+		t.Fatalf("dispatch after demotion hit %s, want %s", res.Backend, b.ts.URL)
+	}
+
+	var modes = map[string]int{}
+	for _, bs := range f.Stats().Backends {
+		modes[bs.Backend] = bs.Mode
+	}
+	if modes[a.ts.URL] != 2 || modes[b.ts.URL] != 0 {
+		t.Fatalf("Stats modes = %v, want a=2 b=0", modes)
+	}
+
+	// a recovers; the front only learns on a's next answer, so shed b once
+	// to force a failover onto a.
+	a.set(modeHandler(`{"ok":1}`, 0))
+	b.set(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	res, err = f.Dispatch(context.Background(), body)
+	if err != nil {
+		t.Fatalf("Dispatch during b shed: %v", err)
+	}
+	if res.Backend != a.ts.URL {
+		t.Fatalf("failover hit %s, want %s", res.Backend, a.ts.URL)
+	}
+	b.set(modeHandler(`{"ok":1}`, 0))
+
+	// Both at mode 0 again: ring order is the tiebreak, so a is primary.
+	if got := f.candidates(ShardKey(body))[0].base; got != a.ts.URL {
+		t.Fatalf("recovered primary not restored: got %s, want %s", got, a.ts.URL)
 	}
 }

@@ -1,0 +1,97 @@
+package queueing
+
+import (
+	"fmt"
+
+	"symbios/internal/rng"
+)
+
+// DistKind names an interarrival / job-size distribution family.
+type DistKind int
+
+const (
+	// DistExp is the exponential (Poisson-process) distribution of Section 9.
+	DistExp DistKind = iota
+	// DistBoundedPareto is a heavy-tailed bounded Pareto: many short draws,
+	// rare huge ones, but never unbounded — the open-system stress shape.
+	DistBoundedPareto
+)
+
+// Dist is a deterministic one-dimensional distribution drawn from an
+// rng.Stream. The zero Dist is invalid; build one with ExpDist or
+// BoundedParetoDist.
+type Dist struct {
+	Kind DistKind
+	// ExpMean is the mean for DistExp.
+	ExpMean float64
+	// Alpha, Lo, Hi parameterize DistBoundedPareto.
+	Alpha, Lo, Hi float64
+}
+
+// ExpDist returns an exponential distribution with the given mean.
+func ExpDist(mean float64) Dist {
+	return Dist{Kind: DistExp, ExpMean: mean}
+}
+
+// BoundedParetoDist returns a bounded Pareto distribution with shape alpha
+// on [lo, hi].
+func BoundedParetoDist(alpha, lo, hi float64) Dist {
+	return Dist{Kind: DistBoundedPareto, Alpha: alpha, Lo: lo, Hi: hi}
+}
+
+// BoundedParetoWithMean returns a bounded Pareto distribution with shape
+// alpha, an hi/lo spread of the given ratio, and the requested mean — the
+// knob the load sweeps use so heavy-tailed traffic offers the same load as
+// the Poisson baseline it is compared against.
+func BoundedParetoWithMean(alpha, spread, mean float64) Dist {
+	if spread <= 1 || mean <= 0 {
+		panic("queueing: BoundedParetoWithMean needs spread > 1 and mean > 0")
+	}
+	// Mean scales linearly in lo at fixed alpha and hi/lo, so solve with a
+	// unit-lo probe.
+	unit := rng.BoundedParetoMean(alpha, 1, spread)
+	lo := mean / unit
+	return BoundedParetoDist(alpha, lo, lo*spread)
+}
+
+// Draw samples one deviate.
+func (d Dist) Draw(r *rng.Stream) float64 {
+	switch d.Kind {
+	case DistExp:
+		return r.Exp(d.ExpMean)
+	case DistBoundedPareto:
+		return r.BoundedPareto(d.Alpha, d.Lo, d.Hi)
+	default:
+		panic(fmt.Sprintf("queueing: unknown distribution kind %d", d.Kind))
+	}
+}
+
+// Mean returns the distribution's analytic mean.
+func (d Dist) Mean() float64 {
+	switch d.Kind {
+	case DistExp:
+		return d.ExpMean
+	case DistBoundedPareto:
+		return rng.BoundedParetoMean(d.Alpha, d.Lo, d.Hi)
+	default:
+		panic(fmt.Sprintf("queueing: unknown distribution kind %d", d.Kind))
+	}
+}
+
+// validate rejects unusable parameters up front so script generation can
+// return an error instead of panicking mid-stream.
+func (d Dist) validate() error {
+	switch d.Kind {
+	case DistExp:
+		if d.ExpMean <= 0 {
+			return fmt.Errorf("queueing: non-positive exponential mean")
+		}
+	case DistBoundedPareto:
+		if d.Alpha <= 0 || d.Lo <= 0 || d.Hi <= d.Lo {
+			return fmt.Errorf("queueing: bounded Pareto needs alpha > 0 and 0 < lo < hi")
+		}
+	default:
+		return fmt.Errorf("queueing: unknown distribution kind %d", d.Kind)
+	}
+	return nil
+}

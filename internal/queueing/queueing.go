@@ -66,11 +66,25 @@ func GenerateScript(seed uint64, meanInterarrival, meanJobCycles float64, horizo
 	if meanInterarrival <= 0 || meanJobCycles <= 0 {
 		return Script{}, fmt.Errorf("queueing: non-positive script parameters")
 	}
+	return GenerateScriptDist(seed, ExpDist(meanInterarrival), ExpDist(meanJobCycles), horizon, soloIPC)
+}
+
+// GenerateScriptDist builds an arrival script with arbitrary interarrival
+// and job-size distributions (exponential or heavy-tailed bounded Pareto),
+// deterministic in seed. Job sizes are drawn in cycles and converted to
+// instructions via each benchmark's solo IPC, until horizon cycles.
+func GenerateScriptDist(seed uint64, interarrival, jobCycles Dist, horizon uint64, soloIPC map[string]float64) (Script, error) {
+	if err := interarrival.validate(); err != nil {
+		return Script{}, err
+	}
+	if err := jobCycles.validate(); err != nil {
+		return Script{}, err
+	}
 	r := rng.New(seed)
-	s := Script{MeanJobCycles: meanJobCycles, MeanInterarrival: meanInterarrival}
+	s := Script{MeanJobCycles: jobCycles.Mean(), MeanInterarrival: interarrival.Mean()}
 	now := 0.0
 	for {
-		now += r.Exp(meanInterarrival)
+		now += interarrival.Draw(r)
 		if uint64(now) >= horizon {
 			break
 		}
@@ -79,7 +93,7 @@ func GenerateScript(seed uint64, meanInterarrival, meanJobCycles float64, horizo
 		if !ok || ipc <= 0 {
 			return Script{}, fmt.Errorf("queueing: no solo IPC for %s", bench)
 		}
-		lenCycles := r.Exp(meanJobCycles)
+		lenCycles := jobCycles.Draw(r)
 		work := uint64(lenCycles * ipc)
 		if work < 1000 {
 			work = 1000
@@ -126,6 +140,13 @@ type Result struct {
 	TotalCommitted   uint64
 	LeftoverInSystem int
 
+	// Response-time tail percentiles over completed jobs, in cycles (zero
+	// when nothing completed). Under overload the mean is dominated by the
+	// unbounded backlog; the tail is what an open-system SLO sees.
+	ResponseP50  float64
+	ResponseP99  float64
+	ResponseP999 float64
+
 	// SOS-only statistics (zero for the naive scheduler): completed sample
 	// phases, symbios-phase entries, the largest symbiosis interval the
 	// exponential backoff reached, and resamples forced by phase-change
@@ -134,6 +155,10 @@ type Result struct {
 	SymbiosEntries int
 	MaxBackoff     uint64
 	DriftResamples int
+
+	// ShrunkPhases counts sample phases that ran with a reduced candidate
+	// count because the backlog exceeded SOSOptions.BacklogFactor x contexts.
+	ShrunkPhases int
 }
 
 // runner hosts the shared mechanics of both schedulers.
@@ -152,7 +177,8 @@ type runner struct {
 
 	completed      int
 	sumResponse    float64
-	areaInSystem   float64 // integral of N(t) dt
+	responses      []float64 // per-job response times, completion order
+	areaInSystem   float64   // integral of N(t) dt
 	totalCommitted uint64
 }
 
@@ -217,7 +243,9 @@ func (r *runner) runSlice(ids []int) int {
 		j.done += committed
 		r.totalCommitted += committed
 		if j.done >= j.work {
-			r.sumResponse += float64(r.now - j.arrival)
+			resp := float64(r.now - j.arrival)
+			r.sumResponse += resp
+			r.responses = append(r.responses, resp)
 			r.completed++
 			delete(r.jobs, id)
 			departures++
@@ -243,11 +271,32 @@ func (r *runner) result() Result {
 	}
 	if r.completed > 0 {
 		res.MeanResponse = r.sumResponse / float64(r.completed)
+		sorted := append([]float64(nil), r.responses...)
+		sort.Float64s(sorted)
+		res.ResponseP50 = percentile(sorted, 0.50)
+		res.ResponseP99 = percentile(sorted, 0.99)
+		res.ResponseP999 = percentile(sorted, 0.999)
 	}
 	if r.now > 0 {
 		res.MeanInSystem = r.areaInSystem / float64(r.now)
 	}
 	return res
+}
+
+// percentile returns the p-quantile of an ascending-sorted slice using the
+// nearest-rank method (deterministic, no interpolation).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // sortedIDs returns the active job ids in arrival (id) order.
@@ -330,6 +379,14 @@ type SOSOptions struct {
 	DriftThreshold float64
 	// DriftWindow is the consecutive-slice requirement (default 3).
 	DriftWindow int
+	// BacklogFactor, when positive, enables the arrivals-aware variant: a
+	// sample phase that starts while more than BacklogFactor x contexts jobs
+	// are resident tries only BacklogSamples candidates instead of Samples.
+	// Under backlog the sample phase is pure overhead against the draining
+	// rate, so the scheduler trades prediction quality for throughput.
+	BacklogFactor float64
+	// BacklogSamples is the shrunken sample count (default 2, min 1).
+	BacklogSamples int
 	// Seed drives schedule sampling.
 	Seed uint64
 }
@@ -376,6 +433,7 @@ func RunSOS(cfg arch.Config, slice uint64, script Script, horizon uint64, opt SO
 		symbiosEntries int
 		maxBackoff     uint64
 		driftResamples int
+		shrunkPhases   int
 		driftStreak    int
 		chosenIPC      float64
 
@@ -448,7 +506,18 @@ func RunSOS(cfg arch.Config, slice uint64, script Script, horizon uint64, opt SO
 		case phSample:
 			if rotationReset {
 				if cands == nil {
-					cands = schedule.Sample(rs, x, y, y, opt.Samples)
+					n := opt.Samples
+					if opt.BacklogFactor > 0 && float64(x) > opt.BacklogFactor*float64(y) {
+						n = opt.BacklogSamples
+						if n <= 0 {
+							n = 2
+						}
+						if n > opt.Samples {
+							n = opt.Samples
+						}
+						shrunkPhases++
+					}
+					cands = schedule.Sample(rs, x, y, y, n)
 					candIdx = 0
 					samples = samples[:0]
 				}
@@ -543,6 +612,7 @@ func RunSOS(cfg arch.Config, slice uint64, script Script, horizon uint64, opt SO
 	res.SymbiosEntries = symbiosEntries
 	res.MaxBackoff = maxBackoff
 	res.DriftResamples = driftResamples
+	res.ShrunkPhases = shrunkPhases
 	return res, nil
 }
 

@@ -1,0 +1,155 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BrownoutConfig tunes a Brownout degradation controller.
+type BrownoutConfig struct {
+	// Modes is the ladder length: modes run 0 (full service) through
+	// Modes-1 (most degraded). Values < 2 select 3.
+	Modes int
+	// DownThreshold is the sojourn level that signals overload; sustained
+	// exceedance steps the ladder down (mode number up). Values <= 0 select
+	// 250ms.
+	DownThreshold time.Duration
+	// UpThreshold is the sojourn level that signals recovery; sustained
+	// observation below it steps the ladder back up. It must sit strictly
+	// below DownThreshold — the gap is the hysteresis band in which the
+	// current mode holds. Values <= 0 select DownThreshold / 4.
+	UpThreshold time.Duration
+	// DownHold is how long sojourn must stay above DownThreshold before a
+	// step down. Values <= 0 select 1s.
+	DownHold time.Duration
+	// UpHold is how long sojourn must stay at or below UpThreshold before a
+	// step up; longer than DownHold so the ladder sheds fast and recovers
+	// cautiously. Values <= 0 select 4 x DownHold.
+	UpHold time.Duration
+	// OnTransition, when non-nil, observes every mode change (from, to).
+	// Called outside the controller lock.
+	OnTransition func(from, to int)
+	// Now substitutes the clock in tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// Brownout is a hysteresis state machine over measured queue sojourn that
+// walks a degradation ladder: each Observe of a dequeue's queued time moves
+// the mode at most one step, and only after the relevant threshold has held
+// for its full hold window. Observations between the two thresholds reset
+// both hold timers, so a load hovering at the boundary holds its mode
+// instead of flapping. A nil *Brownout is a no-op pinned at mode 0.
+type Brownout struct {
+	cfg BrownoutConfig
+
+	mu         sync.Mutex
+	mode       int
+	aboveSince time.Time
+	belowSince time.Time
+	stepDowns  uint64
+	stepUps    uint64
+}
+
+// NewBrownout validates the config, fills defaults, and returns the
+// controller at mode 0.
+func NewBrownout(cfg BrownoutConfig) *Brownout {
+	if cfg.Modes < 2 {
+		cfg.Modes = 3
+	}
+	if cfg.DownThreshold <= 0 {
+		cfg.DownThreshold = 250 * time.Millisecond
+	}
+	if cfg.UpThreshold <= 0 || cfg.UpThreshold >= cfg.DownThreshold {
+		cfg.UpThreshold = cfg.DownThreshold / 4
+	}
+	if cfg.DownHold <= 0 {
+		cfg.DownHold = time.Second
+	}
+	if cfg.UpHold <= 0 {
+		cfg.UpHold = 4 * cfg.DownHold
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Brownout{cfg: cfg}
+}
+
+// Observe feeds one sojourn measurement into the state machine.
+func (b *Brownout) Observe(sojourn time.Duration) {
+	if b == nil {
+		return
+	}
+	now := b.cfg.Now()
+	var trans [2]int
+	fired := false
+
+	b.mu.Lock()
+	switch {
+	case sojourn >= b.cfg.DownThreshold:
+		b.belowSince = time.Time{}
+		if b.aboveSince.IsZero() {
+			b.aboveSince = now
+		}
+		if now.Sub(b.aboveSince) >= b.cfg.DownHold && b.mode < b.cfg.Modes-1 {
+			trans = [2]int{b.mode, b.mode + 1}
+			fired = true
+			b.mode++
+			b.stepDowns++
+			b.aboveSince = now // a further step needs a fresh full hold
+		}
+	case sojourn <= b.cfg.UpThreshold:
+		b.aboveSince = time.Time{}
+		if b.belowSince.IsZero() {
+			b.belowSince = now
+		}
+		if now.Sub(b.belowSince) >= b.cfg.UpHold && b.mode > 0 {
+			trans = [2]int{b.mode, b.mode - 1}
+			fired = true
+			b.mode--
+			b.stepUps++
+			b.belowSince = now
+		}
+	default:
+		// Hysteresis band: hold the mode, restart both hold timers.
+		b.aboveSince = time.Time{}
+		b.belowSince = time.Time{}
+	}
+	b.mu.Unlock()
+
+	if fired && b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(trans[0], trans[1])
+	}
+}
+
+// Mode returns the current degradation mode (0 = full service).
+func (b *Brownout) Mode() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.mode
+}
+
+// BrownoutStats is a point-in-time controller tally.
+type BrownoutStats struct {
+	Mode      int    `json:"mode"`
+	Modes     int    `json:"modes"`
+	StepDowns uint64 `json:"step_downs"`
+	StepUps   uint64 `json:"step_ups"`
+}
+
+// Stats returns the controller tallies so far.
+func (b *Brownout) Stats() BrownoutStats {
+	if b == nil {
+		return BrownoutStats{Modes: 1}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BrownoutStats{
+		Mode:      b.mode,
+		Modes:     b.cfg.Modes,
+		StepDowns: b.stepDowns,
+		StepUps:   b.stepUps,
+	}
+}

@@ -1,0 +1,296 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBrownoutStepsDownAfterHold: sustained above-threshold sojourn steps
+// one mode per full hold window, never more, and stops at the ladder end.
+func TestBrownoutStepsDownAfterHold(t *testing.T) {
+	clk := newFakeClock()
+	var trans [][2]int
+	b := NewBrownout(BrownoutConfig{
+		Modes:         3,
+		DownThreshold: 100 * time.Millisecond,
+		DownHold:      time.Second,
+		Now:           clk.Now,
+		OnTransition:  func(from, to int) { trans = append(trans, [2]int{from, to}) },
+	})
+	hot := 200 * time.Millisecond
+
+	b.Observe(hot) // arms the hold timer
+	if b.Mode() != 0 {
+		t.Fatalf("mode %d after first hot observation, want 0", b.Mode())
+	}
+	clk.Advance(999 * time.Millisecond)
+	b.Observe(hot)
+	if b.Mode() != 0 {
+		t.Fatal("stepped down before the hold elapsed")
+	}
+	clk.Advance(time.Millisecond)
+	b.Observe(hot)
+	if b.Mode() != 1 {
+		t.Fatalf("mode %d after hold elapsed, want 1", b.Mode())
+	}
+	// The next step needs a fresh full hold.
+	clk.Advance(500 * time.Millisecond)
+	b.Observe(hot)
+	if b.Mode() != 1 {
+		t.Fatal("second step fired without a fresh hold")
+	}
+	clk.Advance(500 * time.Millisecond)
+	b.Observe(hot)
+	if b.Mode() != 2 {
+		t.Fatalf("mode %d, want 2", b.Mode())
+	}
+	// Ladder end: stays at the most degraded mode.
+	clk.Advance(5 * time.Second)
+	b.Observe(hot)
+	if b.Mode() != 2 {
+		t.Fatalf("mode %d beyond ladder end", b.Mode())
+	}
+	want := [][2]int{{0, 1}, {1, 2}}
+	if len(trans) != len(want) || trans[0] != want[0] || trans[1] != want[1] {
+		t.Fatalf("transitions %v, want %v", trans, want)
+	}
+}
+
+// TestBrownoutRecoversWithHysteresis: recovery needs sojourn below the Up
+// threshold for the (longer) UpHold, and the band between the thresholds
+// holds the mode and resets both timers — no flapping at the boundary.
+func TestBrownoutRecoversWithHysteresis(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBrownout(BrownoutConfig{
+		Modes:         2,
+		DownThreshold: 100 * time.Millisecond,
+		UpThreshold:   25 * time.Millisecond,
+		DownHold:      time.Second,
+		UpHold:        2 * time.Second,
+		Now:           clk.Now,
+	})
+	// Step down.
+	b.Observe(200 * time.Millisecond)
+	clk.Advance(time.Second)
+	b.Observe(200 * time.Millisecond)
+	if b.Mode() != 1 {
+		t.Fatalf("mode %d, want 1", b.Mode())
+	}
+	// Cool observations arm recovery...
+	b.Observe(10 * time.Millisecond)
+	clk.Advance(1900 * time.Millisecond)
+	b.Observe(10 * time.Millisecond)
+	if b.Mode() != 1 {
+		t.Fatal("recovered before UpHold elapsed")
+	}
+	// ...but a band observation resets the timer.
+	b.Observe(50 * time.Millisecond) // between Up and Down: hold
+	clk.Advance(200 * time.Millisecond)
+	b.Observe(10 * time.Millisecond)
+	clk.Advance(1999 * time.Millisecond)
+	b.Observe(10 * time.Millisecond)
+	if b.Mode() != 1 {
+		t.Fatal("recovered without a fresh full UpHold after a band observation")
+	}
+	clk.Advance(time.Millisecond)
+	b.Observe(10 * time.Millisecond)
+	if b.Mode() != 0 {
+		t.Fatalf("mode %d after full UpHold, want 0", b.Mode())
+	}
+	st := b.Stats()
+	if st.StepDowns != 1 || st.StepUps != 1 {
+		t.Fatalf("stats %+v, want one step each way", st)
+	}
+}
+
+// TestBrownoutNilNoOp: a nil controller reports mode 0 and ignores feeds.
+func TestBrownoutNilNoOp(t *testing.T) {
+	var b *Brownout
+	b.Observe(time.Hour)
+	if b.Mode() != 0 {
+		t.Fatal("nil Brownout not at mode 0")
+	}
+	if st := b.Stats(); st.Mode != 0 {
+		t.Fatalf("nil stats %+v", st)
+	}
+}
+
+// TestBrownoutConcurrentObserve: racing observers never corrupt the mode
+// (run under -race) and the mode stays inside the ladder.
+func TestBrownoutConcurrentObserve(t *testing.T) {
+	b := NewBrownout(BrownoutConfig{Modes: 3, DownThreshold: time.Microsecond, DownHold: time.Nanosecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				if i%2 == 0 {
+					b.Observe(time.Second)
+				} else {
+					b.Observe(0)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if m := b.Mode(); m < 0 || m > 2 {
+		t.Fatalf("mode %d outside ladder", m)
+	}
+}
+
+// TestQueueSojournShedding: a queue whose dequeues keep measuring sojourn
+// above target for the full interval sheds new work (while a backlog
+// exists) with ErrOverloaded, feeds every dequeue to OnSojourn, and reports
+// the smoothed estimate.
+func TestQueueSojournShedding(t *testing.T) {
+	clk := newFakeClock()
+	var mu sync.Mutex
+	var observed []time.Duration
+	release := make(chan struct{})
+	q := NewQueue(QueueConfig{
+		Depth:           8,
+		Workers:         1,
+		SojournTarget:   50 * time.Millisecond,
+		SojournInterval: 100 * time.Millisecond,
+		Now:             clk.Now,
+		OnSojourn: func(d time.Duration) {
+			mu.Lock()
+			observed = append(observed, d)
+			mu.Unlock()
+		},
+	})
+	defer q.Drain(context.Background())
+
+	slow := func(ctx context.Context) error {
+		<-release
+		return nil
+	}
+	// Occupy the single worker, then build a backlog.
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() { errs <- q.Do(context.Background(), slow) }()
+	}
+	waitForDepth := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for q.Stats().Depth < want && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if d := q.Stats().Depth; d < want {
+			t.Fatalf("depth %d, want >= %d", d, want)
+		}
+	}
+	waitForDepth(3) // one running, three queued
+
+	waitObserved := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			mu.Lock()
+			n := len(observed)
+			mu.Unlock()
+			if n >= want {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %d sojourn observations", want)
+	}
+	waitObserved(1) // the first task dequeued immediately (sojourn ~0)
+
+	// Age the backlog past the target, then drain one task: its dequeue
+	// observes sojourn >= target and arms the streak.
+	clk.Advance(time.Second)
+	release <- struct{}{}
+	waitObserved(2)
+	// A second above-target dequeue past the interval trips shedding.
+	clk.Advance(200 * time.Millisecond)
+	release <- struct{}{}
+	waitObserved(3)
+
+	if err := q.Do(context.Background(), func(context.Context) error { return nil }); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Do under sustained sojourn = %v, want ErrOverloaded", err)
+	}
+	if est := q.SojournEstimate(); est < 50*time.Millisecond {
+		t.Fatalf("sojourn estimate %v, want >= target", est)
+	}
+	if st := q.Stats(); st.Overloaded != 1 {
+		t.Fatalf("overloaded count %d, want 1", st.Overloaded)
+	}
+
+	// Drain the backlog. Once the queue is empty, shedding no longer gates
+	// intake: the next submission is a probe.
+	for i := 0; i < 2; i++ {
+		release <- struct{}{}
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("backlogged task: %v", err)
+		}
+	}
+	if age := q.OldestAge(); age != 0 {
+		t.Fatalf("OldestAge %v on empty queue", age)
+	}
+
+	// The probe dequeues at the same fake-clock instant it was enqueued:
+	// sojourn 0, under target — shedding clears.
+	if err := q.Do(context.Background(), func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("probe on empty queue shed: %v", err)
+	}
+	// With shedding cleared, a backlog no longer sheds either.
+	done := make(chan error, 2)
+	go func() { done <- q.Do(context.Background(), slow) }()
+	go func() { done <- q.Do(context.Background(), slow) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for q.Stats().Submitted < 7 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	release <- struct{}{}
+	release <- struct{}{}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("post-recovery task: %v", err)
+		}
+	}
+	if st := q.Stats(); st.Overloaded != 1 {
+		t.Fatalf("overloaded count %d after recovery, want still 1", st.Overloaded)
+	}
+}
+
+// TestQueueOldestAgeTracksHead: the age gauge follows the head-of-line
+// enqueue time and returns to zero as the backlog drains.
+func TestQueueOldestAgeTracksHead(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQueue(QueueConfig{Depth: 4, Workers: 1, Now: clk.Now})
+	defer q.Drain(context.Background())
+
+	release := make(chan struct{})
+	slow := func(ctx context.Context) error { <-release; return nil }
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() { errs <- q.Do(context.Background(), slow) }()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for q.Stats().Depth < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(300 * time.Millisecond)
+	if age := q.OldestAge(); age < 300*time.Millisecond {
+		t.Fatalf("OldestAge %v, want >= 300ms", age)
+	}
+	for i := 0; i < 3; i++ {
+		release <- struct{}{}
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("task: %v", err)
+		}
+	}
+	if age := q.OldestAge(); age != 0 {
+		t.Fatalf("OldestAge %v after drain, want 0", age)
+	}
+}

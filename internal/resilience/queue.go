@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 )
 
 // ErrSaturated marks a request rejected because the work queue is full —
@@ -14,6 +15,12 @@ var ErrSaturated = errors.New("resilience: work queue saturated")
 // accepting work for shutdown.
 var ErrDraining = errors.New("resilience: queue draining")
 
+// ErrOverloaded marks a request shed because queued time (sojourn) has
+// stayed above the configured target for a sustained interval — the queue
+// is technically not full, but work is waiting too long to be worth
+// admitting more (CoDel's insight applied to a work queue).
+var ErrOverloaded = errors.New("resilience: queue sojourn above target")
+
 // QueueConfig tunes a bounded work queue.
 type QueueConfig struct {
 	// Depth is the queue capacity beyond the running workers. Values < 1
@@ -21,20 +28,43 @@ type QueueConfig struct {
 	Depth int
 	// Workers is the number of concurrent task runners. Values < 1 select 4.
 	Workers int
+
+	// SojournTarget, when positive, enables CoDel-style shedding: if the
+	// queued time observed at every dequeue stays at or above the target for
+	// a full SojournInterval, new submissions that find a non-empty queue
+	// fail with ErrOverloaded until a dequeue measures sojourn back under
+	// target (an empty queue always admits a probe, so the clearing
+	// measurement stays possible). Depth-based saturation catches a stalled
+	// queue; the sojourn target catches a queue that still drains but too
+	// slowly to be useful.
+	SojournTarget time.Duration
+	// SojournInterval is the sustained-exceedance window (default
+	// 4 x SojournTarget).
+	SojournInterval time.Duration
+	// OnSojourn, when non-nil, observes every dequeue's queued time (the
+	// brownout controller's feed). Called outside the queue lock.
+	OnSojourn func(time.Duration)
+	// Now substitutes the clock in tests; nil means time.Now.
+	Now func() time.Time
 }
 
 // queueTask is one submitted unit of work.
 type queueTask struct {
-	ctx  context.Context
-	fn   func(context.Context) error
-	done chan error // buffered(1): the worker never blocks on a departed caller
+	ctx        context.Context
+	fn         func(context.Context) error
+	done       chan error // buffered(1): the worker never blocks on a departed caller
+	enqueuedAt time.Time
 }
 
 // Queue is a bounded work queue with backpressure: Do either enqueues
 // immediately or fails with ErrSaturated — it never blocks the caller on a
 // full queue, so saturation surfaces as an explicit shed instead of
-// unbounded queueing. Drain stops intake and waits for in-flight work.
+// unbounded queueing. With a SojournTarget it additionally sheds with
+// ErrOverloaded while queued time stays above target (see QueueConfig).
+// Drain stops intake and waits for in-flight work.
 type Queue struct {
+	cfg QueueConfig
+
 	mu       sync.Mutex
 	tasks    chan *queueTask
 	draining bool
@@ -43,9 +73,19 @@ type Queue struct {
 	drainOnce sync.Once
 	drained   chan struct{}
 
-	submitted uint64
-	rejected  uint64
-	maxDepth  int
+	submitted  uint64
+	rejected   uint64
+	overloaded uint64
+	maxDepth   int
+
+	// pending mirrors the channel's FIFO enqueue times so OldestAge is a
+	// cheap head peek; workers pop the head at dequeue.
+	pending []time.Time
+
+	// CoDel state, guarded by mu.
+	sojournEWMA time.Duration // exponentially smoothed dequeue sojourn
+	aboveSince  time.Time     // first dequeue of the current above-target streak
+	shedding    bool
 }
 
 // NewQueue starts the worker pool and returns the queue.
@@ -56,7 +96,14 @@ func NewQueue(cfg QueueConfig) *Queue {
 	if cfg.Workers < 1 {
 		cfg.Workers = 4
 	}
+	if cfg.SojournInterval <= 0 {
+		cfg.SojournInterval = 4 * cfg.SojournTarget
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
 	q := &Queue{
+		cfg:     cfg,
 		tasks:   make(chan *queueTask, cfg.Depth),
 		drained: make(chan struct{}),
 	}
@@ -71,6 +118,7 @@ func NewQueue(cfg QueueConfig) *Queue {
 func (q *Queue) worker() {
 	defer q.wg.Done()
 	for t := range q.tasks {
+		q.noteDequeue(t)
 		if err := t.ctx.Err(); err != nil {
 			t.done <- err
 			continue
@@ -79,11 +127,52 @@ func (q *Queue) worker() {
 	}
 }
 
+// noteDequeue measures the task's sojourn, updates the CoDel state, and
+// feeds the OnSojourn observer (outside the lock).
+func (q *Queue) noteDequeue(t *queueTask) {
+	now := q.cfg.Now()
+	sojourn := now.Sub(t.enqueuedAt)
+	if sojourn < 0 {
+		sojourn = 0
+	}
+	q.mu.Lock()
+	if len(q.pending) > 0 {
+		// Dequeues follow channel FIFO order; popping the head keeps the
+		// mirror aligned even with several workers racing here, because
+		// each dequeue removes exactly one entry.
+		q.pending = q.pending[1:]
+	}
+	if q.sojournEWMA == 0 {
+		q.sojournEWMA = sojourn
+	} else {
+		// 3/4 old + 1/4 new: smooth enough to ride out a single long task,
+		// fresh enough to track a draining backlog within a few dequeues.
+		q.sojournEWMA = (3*q.sojournEWMA + sojourn) / 4
+	}
+	if q.cfg.SojournTarget > 0 {
+		if sojourn >= q.cfg.SojournTarget {
+			if q.aboveSince.IsZero() {
+				q.aboveSince = now
+			} else if now.Sub(q.aboveSince) >= q.cfg.SojournInterval {
+				q.shedding = true
+			}
+		} else {
+			q.aboveSince = time.Time{}
+			q.shedding = false
+		}
+	}
+	q.mu.Unlock()
+	if q.cfg.OnSojourn != nil {
+		q.cfg.OnSojourn(sojourn)
+	}
+}
+
 // Do submits fn and waits for its result or for ctx. A caller whose context
 // fires while the task is still queued gets the context error immediately
 // (no request waits past its deadline); the worker later observes the
 // expired context and skips the task. Returns ErrSaturated when the queue
-// is full and ErrDraining after Drain has begun.
+// is full, ErrOverloaded while sojourn-based shedding is active, and
+// ErrDraining after Drain has begun.
 func (q *Queue) Do(ctx context.Context, fn func(context.Context) error) error {
 	t := &queueTask{ctx: ctx, fn: fn, done: make(chan error, 1)}
 	q.mu.Lock()
@@ -92,9 +181,20 @@ func (q *Queue) Do(ctx context.Context, fn func(context.Context) error) error {
 		q.mu.Unlock()
 		return ErrDraining
 	}
+	if q.shedding && len(q.tasks) > 0 {
+		// Shed only while a backlog exists: an empty queue always admits a
+		// probe, whose dequeue measurement is what can clear the shedding
+		// state — recovery must never wait on an observation that shed
+		// intake has made impossible.
+		q.overloaded++
+		q.mu.Unlock()
+		return ErrOverloaded
+	}
+	t.enqueuedAt = q.cfg.Now()
 	select {
 	case q.tasks <- t:
 		q.submitted++
+		q.pending = append(q.pending, t.enqueuedAt)
 		if d := len(q.tasks); d > q.maxDepth {
 			q.maxDepth = d
 		}
@@ -137,14 +237,41 @@ func (q *Queue) Drain(ctx context.Context) error {
 	}
 }
 
+// SojournEstimate returns the smoothed queued-time estimate observed at
+// recent dequeues — the honest Retry-After for a queue shed: roughly how
+// long new work is currently waiting before it runs.
+func (q *Queue) SojournEstimate() time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sojournEWMA
+}
+
+// OldestAge returns how long the task at the queue head has been waiting
+// (zero when the queue is empty) — backlog age for scrape-time gauges.
+func (q *Queue) OldestAge() time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.pending) == 0 {
+		return 0
+	}
+	age := q.cfg.Now().Sub(q.pending[0])
+	if age < 0 {
+		age = 0
+	}
+	return age
+}
+
 // QueueStats is a point-in-time queue tally.
 type QueueStats struct {
-	Submitted uint64 `json:"submitted"`
-	Rejected  uint64 `json:"rejected"`
-	MaxDepth  int    `json:"max_depth"`
-	Depth     int    `json:"depth"`
-	Cap       int    `json:"cap"`
-	Draining  bool   `json:"draining"`
+	Submitted  uint64 `json:"submitted"`
+	Rejected   uint64 `json:"rejected"`
+	Overloaded uint64 `json:"overloaded"`
+	MaxDepth   int    `json:"max_depth"`
+	Depth      int    `json:"depth"`
+	Cap        int    `json:"cap"`
+	Draining   bool   `json:"draining"`
+	// SojournMS is the smoothed dequeue sojourn estimate in milliseconds.
+	SojournMS float64 `json:"sojourn_ms"`
 }
 
 // Stats returns the queue tallies so far. MaxDepth never exceeding Cap is
@@ -153,11 +280,13 @@ func (q *Queue) Stats() QueueStats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return QueueStats{
-		Submitted: q.submitted,
-		Rejected:  q.rejected,
-		MaxDepth:  q.maxDepth,
-		Depth:     len(q.tasks),
-		Cap:       cap(q.tasks),
-		Draining:  q.draining,
+		Submitted:  q.submitted,
+		Rejected:   q.rejected,
+		Overloaded: q.overloaded,
+		MaxDepth:   q.maxDepth,
+		Depth:      len(q.tasks),
+		Cap:        cap(q.tasks),
+		Draining:   q.draining,
+		SojournMS:  float64(q.sojournEWMA) / float64(time.Millisecond),
 	}
 }

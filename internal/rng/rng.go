@@ -115,6 +115,36 @@ func (s *Stream) Exp(mean float64) float64 {
 	return -mean * math.Log(1-u)
 }
 
+// BoundedPareto returns a deviate from the bounded Pareto distribution with
+// shape alpha on [lo, hi] (inverse CDF). Heavy-tailed for small alpha, but
+// the upper bound keeps every draw — and thus every simulated horizon —
+// finite. It panics unless alpha > 0 and 0 < lo < hi.
+func (s *Stream) BoundedPareto(alpha, lo, hi float64) float64 {
+	if alpha <= 0 || lo <= 0 || hi <= lo {
+		panic("rng: BoundedPareto needs alpha > 0 and 0 < lo < hi")
+	}
+	u := s.Float64()
+	// F(x) = (1 - (lo/x)^alpha) / (1 - (lo/hi)^alpha); invert for x.
+	ratio := math.Pow(lo/hi, alpha)
+	x := lo * math.Pow(1-u*(1-ratio), -1/alpha)
+	// Clamp fp round-off back into the support.
+	return math.Min(x, hi)
+}
+
+// BoundedParetoMean returns the analytic mean of BoundedPareto(alpha, lo, hi).
+// It panics on the same invalid inputs as BoundedPareto.
+func BoundedParetoMean(alpha, lo, hi float64) float64 {
+	if alpha <= 0 || lo <= 0 || hi <= lo {
+		panic("rng: BoundedParetoMean needs alpha > 0 and 0 < lo < hi")
+	}
+	if alpha == 1 {
+		return lo * hi / (hi - lo) * math.Log(hi/lo)
+	}
+	la := math.Pow(lo, alpha)
+	return la / (1 - math.Pow(lo/hi, alpha)) * alpha / (alpha - 1) *
+		(1/math.Pow(lo, alpha-1) - 1/math.Pow(hi, alpha-1))
+}
+
 // Perm returns a random permutation of [0,n) (Fisher–Yates).
 func (s *Stream) Perm(n int) []int {
 	p := make([]int, n)

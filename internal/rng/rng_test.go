@@ -137,6 +137,59 @@ func TestExpPanics(t *testing.T) {
 	New(1).Exp(0)
 }
 
+// TestBoundedParetoSupport checks every deviate stays inside [lo, hi] and
+// that the empirical mean tracks the analytic BoundedParetoMean.
+func TestBoundedParetoSupport(t *testing.T) {
+	s := New(11)
+	const alpha, lo, hi = 1.5, 100.0, 100_000.0
+	const n = 200_000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := s.BoundedPareto(alpha, lo, hi)
+		if x < lo || x > hi {
+			t.Fatalf("deviate %f outside [%f, %f]", x, lo, hi)
+		}
+		sum += x
+	}
+	want := BoundedParetoMean(alpha, lo, hi)
+	got := sum / n
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("mean %.2f, want ~%.2f", got, want)
+	}
+}
+
+// TestBoundedParetoMeanAlphaOne covers the logarithmic alpha==1 branch.
+func TestBoundedParetoMeanAlphaOne(t *testing.T) {
+	s := New(12)
+	const lo, hi = 10.0, 10_000.0
+	const n = 400_000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.BoundedPareto(1, lo, hi)
+	}
+	want := BoundedParetoMean(1, lo, hi)
+	if got := sum / n; math.Abs(got-want)/want > 0.05 {
+		t.Errorf("mean %.2f, want ~%.2f", got, want)
+	}
+}
+
+// TestBoundedParetoPanics ensures invalid shapes and supports are rejected.
+func TestBoundedParetoPanics(t *testing.T) {
+	cases := []struct{ alpha, lo, hi float64 }{
+		{0, 1, 2}, {-1, 1, 2}, {1, 0, 2}, {1, 2, 2}, {1, 3, 2},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BoundedPareto(%v,%v,%v) did not panic", c.alpha, c.lo, c.hi)
+				}
+			}()
+			New(1).BoundedPareto(c.alpha, c.lo, c.hi)
+		}()
+	}
+}
+
 // TestPermValid is a property test: Perm returns a permutation.
 func TestPermValid(t *testing.T) {
 	s := New(9)

@@ -18,6 +18,11 @@
 # -count 1 (the in-process eval memo is cleared per iteration, but a fresh
 # process also rules out warm OS and allocator state); set BENCH_FIG1=0 to
 # skip it when iterating on the micro numbers.
+#
+# The open-system overload sweep (sosbench -exp openload, quick scale)
+# contributes per-scheduler response-time tails (p50/p99/p99.9) across
+# offered-load factors to the snapshot; it simulates a few hundred million
+# cycles (~5 minutes), so set BENCH_OPENLOAD=0 to skip it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,6 +31,7 @@ PATTERN="${1:-BenchmarkCoreCycles|BenchmarkTraceAt|BenchmarkScheduleSample|Bench
 BENCHTIME="${2:-1s}"
 COUNT="${3:-5}"
 FIG1="${BENCH_FIG1:-1}"
+OPENLOAD="${BENCH_OPENLOAD:-1}"
 if [ "$COUNT" -lt 5 ]; then
     echo "bench.sh: count must be >= 5 (got $COUNT); single-digit samples make min/median meaningless" >&2
     exit 1
@@ -33,7 +39,8 @@ fi
 OUT="BENCH_$(date +%Y%m%d).json"
 RAW="$(mktemp)"
 FIG1RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$FIG1RAW"' EXIT
+OPENLOADJSON="$(mktemp)"
+trap 'rm -f "$RAW" "$FIG1RAW" "$OPENLOADJSON"' EXIT
 
 echo "running: go test -run ^\$ -bench \"$PATTERN\" -benchtime $BENCHTIME -count $COUNT -benchmem ./..." >&2
 go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -count "$COUNT" -benchmem ./... | tee "$RAW"
@@ -45,6 +52,13 @@ else
     : > "$FIG1RAW"
 fi
 
+if [ "$OPENLOAD" = "1" ]; then
+    echo "running: open-system overload sweep (sosbench -exp openload -scale quick)" >&2
+    go run ./cmd/sosbench -exp openload -scale quick -json "$OPENLOADJSON" >/dev/null
+else
+    : > "$OPENLOADJSON"
+fi
+
 # Aggregate the repeated `go test -bench` lines into a JSON snapshot.
 # Each benchmark line has the shape:
 #   BenchmarkName  N  t ns/op [m unit ...]  b B/op  a allocs/op
@@ -54,10 +68,10 @@ fi
 # which happened). A benchmark that produced fewer than 2 samples fails
 # the run: one sample means the regex matched a benchmark that crashed or
 # was skipped partway, and a snapshot built on it would record pure noise.
-python3 - "$RAW" "$OUT" "$COUNT" "$BENCHTIME" "$FIG1RAW" <<'EOF'
-import json, re, sys, datetime, statistics, subprocess
+python3 - "$RAW" "$OUT" "$COUNT" "$BENCHTIME" "$FIG1RAW" "$OPENLOADJSON" <<'EOF'
+import json, re, sys, datetime, statistics, subprocess, os
 
-raw, out, want, benchtime, fig1raw = sys.argv[1:6]
+raw, out, want, benchtime, fig1raw, openloadjson = sys.argv[1:7]
 want = int(want)
 
 def parse(path):
@@ -107,6 +121,18 @@ snapshot = {
     "benchtime": benchtime,
     "benchmarks": benches,
 }
+
+# The open-system sweep's response-time tails, keyed dist/factor/scheduler
+# so successive snapshots can diff the overload p99 directly.
+if os.path.getsize(openloadjson) > 0:
+    rows = json.load(open(openloadjson)).get("openload", [])
+    snapshot["openload"] = {
+        f'{r["Dist"]}/{r["Factor"]:.2f}x/{r["Scheduler"]}': {
+            "p50": r["P50"], "p99": r["P99"], "p999": r["P999"],
+            "mean": r["MeanResponse"], "completed": r["Completed"],
+        }
+        for r in rows
+    }
 
 fig1 = parse(fig1raw)
 if "BenchmarkFigure1" in fig1:

@@ -1,0 +1,167 @@
+#!/usr/bin/env bash
+# overloadsoak.sh — drive a live sosd at 1.3x its measured capacity and
+# assert the overload contract: zero failed /healthz probes throughout,
+# every shed carries Retry-After (the soak client enforces this), the
+# brownout ladder steps down under pressure and recovers to full service
+# once the load stops, goroutine counts return to baseline (no leak), and
+# SIGTERM still drains cleanly afterwards.
+#
+# Usage:
+#   scripts/overloadsoak.sh                 # 20-second overload
+#   SOAK_SECONDS=5 scripts/overloadsoak.sh  # shorter, for local smoke
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SOAK_SECONDS="${SOAK_SECONDS:-20}"
+OVERLOAD_FACTOR="${OVERLOAD_FACTOR:-1.3}"
+
+TMP="$(mktemp -d)"
+cleanup() {
+    [ -f "$TMP/probe.pid" ] && kill "$(cat "$TMP/probe.pid")" 2>/dev/null || true
+    [ -f "$TMP/sosd.pid" ] && kill "$(cat "$TMP/sosd.pid")" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/sosd" ./cmd/sosd
+
+# One worker and a short queue make capacity small and the overload cheap
+# to provoke; the controller thresholds are scaled down to match so the
+# ladder moves within a CI-sized soak. The response cache matters here:
+# mode 2 serves cache hits (the canary among them) byte-identically and
+# only falls back to round-robin on misses.
+"$TMP/sosd" -addr 127.0.0.1:0 -scale serve -rate 10000 \
+    -checkpoint "$TMP/overload.ckpt" \
+    -queue 16 -workers 1 \
+    -queue-target 150ms \
+    -brownout-down 100ms -brownout-down-hold 500ms -brownout-up-hold 1s \
+    -drain 15s \
+    </dev/null >/dev/null 2>"$TMP/sosd.log" &
+echo $! >"$TMP/sosd.pid"
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/.*listening on \(.*\)/\1/p' "$TMP/sosd.log" | head -n1)"
+    [ -n "$ADDR" ] && break
+    if ! kill -0 "$(cat "$TMP/sosd.pid")" 2>/dev/null; then
+        echo "FAIL: sosd died on startup:" >&2
+        cat "$TMP/sosd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "FAIL: sosd never logged its address" >&2; exit 1; }
+echo "server at $ADDR"
+
+statz_field() { # statz_field PYEXPR: evaluate PYEXPR against the /statz doc as s
+    curl -sf "http://$ADDR/statz" | python3 -c "import json,sys; s=json.load(sys.stdin); print($1)"
+}
+
+echo "== calibrate: sequential adaptive requests measure capacity =="
+CAL_N=4
+T0="$(date +%s%N)"
+for i in $(seq 1 "$CAL_N"); do
+    curl -sf -X POST -H 'Content-Type: application/json' \
+        -d "{\"mix\":\"Jsb(4,2,2)\",\"seed\":$((7000 + i)),\"samples\":3,\"mode\":\"adaptive\",\"deadline_ms\":30000}" \
+        "http://$ADDR/v1/schedule" -o /dev/null \
+        || { echo "FAIL: calibration request $i failed" >&2; exit 1; }
+done
+T1="$(date +%s%N)"
+RATE="$(awk -v n="$CAL_N" -v t0="$T0" -v t1="$T1" -v f="$OVERLOAD_FACTOR" \
+    'BEGIN { printf "%.2f", f * n * 1e9 / (t1 - t0) }')"
+echo "capacity ~$(awk -v r="$RATE" -v f="$OVERLOAD_FACTOR" 'BEGIN { printf "%.2f", r/f }') req/s; driving at $RATE req/s"
+
+BASE_GOROUTINES="$(statz_field 's["goroutines"]')"
+
+# Background /healthz prober: liveness must never fail, no matter how
+# degraded the service gets. Each failure appends a line.
+(
+    while :; do
+        curl -sf --max-time 2 "http://$ADDR/healthz" >/dev/null 2>&1 \
+            || echo "probe failed at $(date +%T)" >>"$TMP/healthz.fail"
+        sleep 0.25
+    done
+) &
+echo $! >"$TMP/probe.pid"
+
+echo "== overload: ${SOAK_SECONDS}s of adaptive load at ${OVERLOAD_FACTOR}x capacity =="
+"$TMP/sosd" -soak "http://$ADDR" -soak-duration "${SOAK_SECONDS}s" \
+    -soak-poison 0 -soak-adaptive 1 -soak-rate "$RATE" >"$TMP/soak.out" &
+SOAK_PID=$!
+
+# Scrape the ladder while the load runs; it must step down at least once.
+MAX_MODE=0
+while kill -0 "$SOAK_PID" 2>/dev/null; do
+    MODE="$(statz_field 's["brownout"]["mode"]' 2>/dev/null || echo 0)"
+    [ "$MODE" -gt "$MAX_MODE" ] && MAX_MODE="$MODE"
+    sleep 0.25
+done
+if ! wait "$SOAK_PID"; then
+    echo "FAIL: overload soak found violations:" >&2
+    cat "$TMP/soak.out" >&2
+    exit 1
+fi
+grep -q "soak passed" "$TMP/soak.out" \
+    || { echo "FAIL: soak client did not pass" >&2; cat "$TMP/soak.out" >&2; exit 1; }
+echo "ok: no non-shed failures, every shed carried Retry-After"
+
+if [ "$MAX_MODE" -lt 1 ]; then
+    echo "FAIL: brownout ladder never stepped down (max mode $MAX_MODE)" >&2
+    statz_field 's["brownout"]' >&2 || true
+    exit 1
+fi
+echo "ok: ladder stepped down (max mode $MAX_MODE)"
+
+if [ -s "$TMP/healthz.fail" ]; then
+    echo "FAIL: $(wc -l <"$TMP/healthz.fail") /healthz probes failed during overload:" >&2
+    head -5 "$TMP/healthz.fail" >&2
+    exit 1
+fi
+echo "ok: zero failed /healthz probes"
+
+echo "== recovery: light traffic until the ladder returns to mode 0 =="
+RECOVERED=""
+for i in $(seq 1 120); do
+    curl -sf -X POST -H 'Content-Type: application/json' \
+        -d "{\"mix\":\"Jsb(4,2,2)\",\"seed\":$((90000 + i)),\"samples\":2}" \
+        "http://$ADDR/v1/schedule" -o /dev/null || true
+    MODE="$(statz_field 's["brownout"]["mode"]' 2>/dev/null || echo 9)"
+    if [ "$MODE" = "0" ]; then
+        RECOVERED=1
+        break
+    fi
+    sleep 0.25
+done
+[ -n "$RECOVERED" ] || {
+    echo "FAIL: ladder never recovered to mode 0:" >&2
+    statz_field 's["brownout"]' >&2 || true
+    exit 1
+}
+STEPS="$(statz_field 's["brownout"]["step_downs"], s["brownout"]["step_ups"]')"
+echo "ok: recovered to mode 0 (step_downs, step_ups = $STEPS)"
+
+# Stop the prober before the leak check so its in-flight curls don't hold
+# server goroutines open.
+kill "$(cat "$TMP/probe.pid")" 2>/dev/null || true
+rm -f "$TMP/probe.pid"
+sleep 2
+END_GOROUTINES="$(statz_field 's["goroutines"]')"
+if [ "$END_GOROUTINES" -gt $((BASE_GOROUTINES + 10)) ]; then
+    echo "FAIL: goroutines grew $BASE_GOROUTINES -> $END_GOROUTINES across the overload" >&2
+    exit 1
+fi
+echo "ok: goroutines $BASE_GOROUTINES -> $END_GOROUTINES (no leak)"
+
+kill -TERM "$(cat "$TMP/sosd.pid")"
+for _ in $(seq 1 200); do
+    kill -0 "$(cat "$TMP/sosd.pid")" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$(cat "$TMP/sosd.pid")" 2>/dev/null; then
+    echo "FAIL: sosd still running 20s after SIGTERM" >&2
+    exit 1
+fi
+grep -q "drained cleanly" "$TMP/sosd.log" \
+    || { echo "FAIL: no clean-drain line after SIGTERM:" >&2; tail -5 "$TMP/sosd.log" >&2; exit 1; }
+echo "ok: drained cleanly after the overload"
+echo "PASS"
