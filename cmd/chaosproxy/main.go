@@ -1,0 +1,150 @@
+// Command chaosproxy is a deterministic network-fault injector: a TCP relay
+// that sits between a client and a backend (typically sosfront and sosd) and
+// perturbs the byte streams it carries — added latency, connection resets,
+// single-bit corruption, silent truncation, slow-loris stalls and timed
+// blackhole partitions. Every fault is drawn from a seed-keyed counter hash
+// (internal/chaosnet), so a run's entire fault schedule is replayable from
+// its seed: same seed, same label, same connection order — same faults.
+//
+// Exit codes: 0 clean shutdown on SIGINT/SIGTERM, 1 internal error, 2 usage
+// error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"symbios/internal/buildinfo"
+	"symbios/internal/chaosnet"
+)
+
+// Exit codes.
+const (
+	exitOK       = 0
+	exitInternal = 1
+	exitUsage    = 2
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("chaosproxy", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+
+	var (
+		addr    = fs.String("addr", "127.0.0.1:0", "listen address (host:port; port 0 picks a free port)")
+		backend = fs.String("backend", "", "backend address to relay to (host:port; required)")
+		label   = fs.String("label", "", "fault stream label; distinct labels draw independent schedules from the same seed (default: the backend address)")
+		seed    = fs.Uint64("seed", 1, "fault schedule seed")
+		version = fs.Bool("version", false, "print version and exit")
+
+		latencyP   = fs.Float64("latency-p", 0, "per-connection probability of added first-byte latency")
+		latencyMin = fs.Duration("latency-min", 5*time.Millisecond, "added latency floor")
+		latencyMax = fs.Duration("latency-max", 50*time.Millisecond, "added latency ceiling")
+
+		resetP    = fs.Float64("reset-p", 0, "per-connection probability of an immediate RST")
+		corruptP  = fs.Float64("corrupt-p", 0, "per-connection probability of a single flipped bit in the backend->client stream")
+		corruptW  = fs.Uint64("corrupt-window", 4096, "byte window the corruption offset is drawn from")
+		truncateP = fs.Float64("truncate-p", 0, "per-connection probability of silent stream truncation")
+		truncateW = fs.Uint64("truncate-window", 4096, "byte window the truncation offset is drawn from")
+
+		stallP   = fs.Float64("stall-p", 0, "per-connection probability of a mid-stream stall (slow loris)")
+		stallFor = fs.Duration("stall-for", 2*time.Second, "stall duration")
+		stallW   = fs.Uint64("stall-window", 4096, "byte window the stall offset is drawn from")
+
+		partEvery = fs.Duration("partition-every", 0, "blackhole period: hold all traffic for -partition-for once per this interval (0 disables)")
+		partFor   = fs.Duration("partition-for", 10*time.Second, "blackhole duration per period")
+		partStart = fs.Duration("partition-start", 0, "offset of the first blackhole window into each period")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, `chaosproxy — deterministic TCP fault injector
+
+Usage:
+  chaosproxy -backend HOST:PORT [flags]
+
+Exit codes:
+  0  clean shutdown (SIGINT/SIGTERM)
+  1  internal error
+  2  usage error
+
+Flags:
+`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.Version("chaosproxy"))
+		return exitOK
+	}
+	logger := log.New(stderr, "chaosproxy: ", log.LstdFlags|log.Lmsgprefix)
+	if *backend == "" {
+		fmt.Fprintln(stderr, "-backend is required (host:port to relay to)")
+		return exitUsage
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"latency-p", *latencyP}, {"reset-p", *resetP}, {"corrupt-p", *corruptP}, {"truncate-p", *truncateP}, {"stall-p", *stallP}} {
+		if p.v < 0 || p.v > 1 {
+			fmt.Fprintf(stderr, "-%s %v out of range [0,1]\n", p.name, p.v)
+			return exitUsage
+		}
+	}
+
+	cfg := chaosnet.Config{
+		Seed:           *seed,
+		LatencyP:       *latencyP,
+		LatencyMin:     *latencyMin,
+		LatencyMax:     *latencyMax,
+		ResetP:         *resetP,
+		CorruptP:       *corruptP,
+		CorruptWindow:  *corruptW,
+		TruncateP:      *truncateP,
+		TruncateWindow: *truncateW,
+		StallP:         *stallP,
+		StallFor:       *stallFor,
+		StallWindow:    *stallW,
+		PartitionEvery: *partEvery,
+		PartitionFor:   *partFor,
+		PartitionStart: *partStart,
+	}
+	lbl := *label
+	if lbl == "" {
+		lbl = *backend
+	}
+	proxy, err := chaosnet.NewProxy(cfg, *addr, *backend, lbl)
+	if err != nil {
+		logger.Printf("listen: %v", err)
+		return exitInternal
+	}
+
+	// The address line is a contract: scripts/partitionsoak.sh parses it to
+	// find a dynamically chosen port.
+	logger.Printf("listening on %s", proxy.Addr())
+	logger.Printf("relaying to %s (label %q, seed %d)", *backend, lbl, *seed)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	sig := <-sigs
+
+	logger.Printf("%v: closing", sig)
+	if err := proxy.Close(); err != nil {
+		logger.Printf("close: %v", err)
+		return exitInternal
+	}
+	st, _ := json.Marshal(proxy.Stats())
+	logger.Printf("drained cleanly; final stats: %s", st)
+	return exitOK
+}

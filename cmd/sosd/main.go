@@ -82,6 +82,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		brownoutDownHold = fs.Duration("brownout-down-hold", time.Second, "sustained exceedance required before a step down")
 		brownoutUpHold   = fs.Duration("brownout-up-hold", 0, "sustained recovery required before a step up (0 = 4x -brownout-down-hold)")
 
+		divergence    = fs.Float64("divergence", 0, "fault injection: fraction of schedule fingerprints answered with deterministically perturbed bytes (models a divergent replica)")
+		divergenceFor = fs.Duration("divergence-for", 0, "fault injection: close the -divergence window after this much uptime (0 = never)")
+
 		brkWindow   = fs.Int("breaker-window", 32, "breaker sliding window size")
 		brkMin      = fs.Int("breaker-min", 8, "breaker minimum samples before tripping")
 		brkRate     = fs.Float64("breaker-rate", 0.5, "breaker error-rate threshold")
@@ -154,6 +157,10 @@ Flags:
 		fmt.Fprintf(stderr, "-brownout-pin %d out of range [-1,%d]\n", *brownoutPin, brownoutModes-1)
 		return exitUsage
 	}
+	if *divergence < 0 || *divergence > 1 {
+		fmt.Fprintf(stderr, "-divergence %v out of range [0,1]\n", *divergence)
+		return exitUsage
+	}
 
 	eval := &evaluator{scale: sc}
 	mode := "sosd"
@@ -161,6 +168,9 @@ Flags:
 		eval.chaos = &faults.Config{FailRate: *chaos}
 		mode = "sosd-chaos"
 		logger.Printf("chaos mode: counter reads fail with p=%v", *chaos)
+	}
+	if *divergence > 0 {
+		logger.Printf("divergence fault injection: p=%v window=%v", *divergence, *divergenceFor)
 	}
 
 	var rec *checkpoint.Recorder
@@ -216,6 +226,9 @@ Flags:
 		BrownoutUp:       *brownoutUp,
 		BrownoutDownHold: *brownoutDownHold,
 		BrownoutUpHold:   *brownoutUpHold,
+
+		Divergence:    *divergence,
+		DivergenceFor: *divergenceFor,
 	}, eval, rec, reg, logger, func(from, to resilience.State) {
 		logger.Printf("breaker: %s -> %s", from, to)
 	})

@@ -20,6 +20,7 @@ const (
 	saltChaos     = 0x50d2
 	saltAdaptive  = 0x50d3
 	saltJitter    = 0x50d4
+	saltDiverge   = 0x50d5
 )
 
 // evaluator answers schedule requests. Fields are read-only after New, so

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log"
 	"net"
@@ -17,6 +19,7 @@ import (
 
 	"symbios/internal/checkpoint"
 	"symbios/internal/core"
+	"symbios/internal/integrity"
 	"symbios/internal/obs"
 	"symbios/internal/resilience"
 	"symbios/internal/rng"
@@ -61,6 +64,19 @@ type serverConfig struct {
 	BrownoutUp       time.Duration
 	BrownoutDownHold time.Duration
 	BrownoutUpHold   time.Duration
+
+	// Divergence, when positive, makes this replica answer a deterministic
+	// fraction of schedule fingerprints with a perturbed body — a valid JSON
+	// answer carrying a correct digest over *wrong* bytes. It models a
+	// replica that is honestly wrong (bad warm cache, skewed deploy) so the
+	// fleet tier's quarantine machinery has something real to convict. The
+	// response cache always records the honest bytes, so cache exports never
+	// spread the divergence to siblings.
+	Divergence float64
+	// DivergenceFor bounds the fault window: after this much uptime the
+	// replica answers honestly again (0 means diverge forever), letting soaks
+	// exercise quarantine *and* readmission in one run.
+	DivergenceFor time.Duration
 }
 
 // brownoutModes is the ladder length: mode 0 full adaptive verdicts, mode 1
@@ -95,6 +111,8 @@ type server struct {
 	// transferred from a fleet sibling on boot, so a front tier never routes
 	// to a node that would answer cold what a sibling has already computed.
 	warming atomic.Bool
+	// started anchors the divergence fault window (cfg.DivergenceFor).
+	started time.Time
 	logger  *log.Logger
 
 	// obs is never nil; with a nil registry every handle inside is a
@@ -125,6 +143,7 @@ func newServer(cfg serverConfig, eval *evaluator, rec *checkpoint.Recorder, reg 
 		rec:      rec,
 		base:     base,
 		hardStop: cancel,
+		started:  time.Now(),
 		logger:   logger,
 		obs:      newServerObs(reg),
 	}
@@ -177,13 +196,17 @@ func (s *server) handler() http.Handler {
 	return s.obs.instrument(mux)
 }
 
-// httpError writes a JSON error body with the given status.
+// httpError writes a JSON error body with the given status. Like every
+// other write path it stamps X-Content-Digest over the exact bytes sent,
+// so a verifying front can tell a genuine error answer from one a flaky
+// wire mangled in transit.
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
 	body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	body = append(body, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(integrity.Header, integrity.Digest(body))
+	w.WriteHeader(status)
 	w.Write(body)
-	w.Write([]byte("\n"))
 }
 
 // setRetryAfter renders d as a Retry-After header: whole seconds, rounded
@@ -280,7 +303,7 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	s.obs.stageCache.ObserveSince(t0)
 	if lerr == nil && hit {
 		s.obs.cacheHits.Inc()
-		s.writeResponse(w, cached, true)
+		s.writeResponse(w, s.maybeDiverge(key, cached), true)
 		return
 	}
 	// Cache miss at the ladder floor: answer round-robin. The work is a
@@ -341,7 +364,7 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 				s.logger.Printf("cache record: %v", rerr)
 			}
 		}
-		s.writeResponse(w, raw, false)
+		s.writeResponse(w, s.maybeDiverge(key, raw), false)
 	case errors.Is(qerr, resilience.ErrSaturated), errors.Is(qerr, resilience.ErrOverloaded), errors.Is(qerr, resilience.ErrDraining):
 		// Never reached the backend: no verdict on its health. The hint is
 		// the queue's own sojourn estimate — roughly how long new work is
@@ -364,6 +387,37 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		report(resilience.Failure)
 		httpError(w, http.StatusInternalServerError, "%v", qerr)
 	}
+}
+
+// maybeDiverge perturbs the response for a deterministic fraction of
+// fingerprints while the divergence fault window is open: it injects a
+// `"divergent":true` field into the JSON body, yielding a parseable answer
+// that is byte-different from what every honest replica serves. The draw
+// hashes the fingerprint, so the same request diverges on every ask (cache
+// hits included) — exactly the repeatably-wrong replica the fleet tier's
+// quarantine must catch. The caller records the honest bytes before calling,
+// so the perturbation never enters the cache or its exports.
+func (s *server) maybeDiverge(key string, raw []byte) []byte {
+	if s.cfg.Divergence <= 0 {
+		return raw
+	}
+	if s.cfg.DivergenceFor > 0 && time.Since(s.started) > s.cfg.DivergenceFor {
+		return raw
+	}
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	if rng.Float01(rng.Hash(h.Sum64(), saltDiverge)) >= s.cfg.Divergence {
+		return raw
+	}
+	i := bytes.LastIndexByte(raw, '}')
+	if i < 0 {
+		return append(append([]byte{}, raw...), []byte(` divergent`)...)
+	}
+	out := make([]byte, 0, len(raw)+len(`,"divergent":true`))
+	out = append(out, raw[:i]...)
+	out = append(out, `,"divergent":true}`...)
+	out = append(out, raw[i+1:]...)
+	return out
 }
 
 // predictWithRetry runs the evaluation under the client's retry budget with
@@ -389,16 +443,22 @@ func (s *server) predictWithRetry(ctx context.Context, req ScheduleRequest, clie
 
 // writeResponse sends cached-or-fresh response bytes. The body is the
 // recorded bytes verbatim either way, so identical requests get
-// byte-identical responses; only the X-Cache header differs.
+// byte-identical responses; only the X-Cache header differs. The digest is
+// computed over the exact bytes written (body plus trailing newline), so a
+// verifier hashing the body it read gets an equality check against the
+// bytes this replica actually produced.
 func (s *server) writeResponse(w http.ResponseWriter, raw []byte, hit bool) {
+	body := make([]byte, 0, len(raw)+1)
+	body = append(body, raw...)
+	body = append(body, '\n')
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(integrity.Header, integrity.Digest(body))
 	if hit {
 		w.Header().Set("X-Cache", "hit")
 	} else {
 		w.Header().Set("X-Cache", "miss")
 	}
-	w.Write(raw)
-	w.Write([]byte("\n"))
+	w.Write(body)
 }
 
 // writeJSON marshals v fully before touching the ResponseWriter, so an
@@ -413,10 +473,11 @@ func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 		httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
 		return
 	}
+	body = append(body, '\n')
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(integrity.Header, integrity.Digest(body))
 	w.WriteHeader(status)
 	w.Write(body)
-	w.Write([]byte("\n"))
 }
 
 // handleMixes lists the schedulable jobmix labels.

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,6 +8,7 @@ import (
 	"time"
 
 	"symbios/internal/checkpoint"
+	"symbios/internal/integrity"
 )
 
 // maxExportBytes bounds a sibling's cache-export payload. The cap is
@@ -55,7 +55,11 @@ func (s *server) warmFromSiblings(siblings []string, timeout time.Duration) {
 }
 
 // fetchExport pulls one sibling's cache snapshot, returning the decoded
-// snapshot and the transfer size in bytes.
+// snapshot and the transfer size in bytes. The body must verify against the
+// sibling's X-Content-Digest stamp and parse under the strict export
+// decoder before a single byte reaches the recorder: a warm-up that adopted
+// wire-corrupted cache entries would poison every response this node serves
+// from them, digest-stamped as if they were honest.
 func fetchExport(client *http.Client, base string) (*checkpoint.Snapshot, int, error) {
 	resp, err := client.Get(strings.TrimRight(base, "/") + "/v1/cache/export")
 	if err != nil {
@@ -69,9 +73,12 @@ func fetchExport(client *http.Client, base string) (*checkpoint.Snapshot, int, e
 	if err != nil {
 		return nil, 0, fmt.Errorf("reading export: %w", err)
 	}
-	var snap checkpoint.Snapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
+	if cerr := integrity.Check(resp.Header.Get(integrity.Header), data); cerr != nil {
+		return nil, 0, fmt.Errorf("export integrity: %w", cerr)
+	}
+	snap, err := checkpoint.DecodeExport(data)
+	if err != nil {
 		return nil, 0, fmt.Errorf("decoding export: %w", err)
 	}
-	return &snap, len(data), nil
+	return snap, len(data), nil
 }

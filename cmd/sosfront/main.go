@@ -67,6 +67,17 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		hedgeRatio    = fs.Float64("hedge-budget-ratio", 0.1, "hedge credit earned per attempt, per backend")
 		hedgeCap      = fs.Float64("hedge-budget-cap", 10, "hedge credit ceiling per backend")
 
+		attemptTimeout = fs.Duration("attempt-timeout", 10*time.Second, "per-backend attempt timeout inside a dispatch (0 = dispatch deadline only; bounds slow-loris backends)")
+		failoverBase   = fs.Duration("failover-base", 10*time.Millisecond, "full-jitter backoff base between failover attempts")
+		failoverMax    = fs.Duration("failover-max", 250*time.Millisecond, "full-jitter backoff ceiling between failover attempts")
+		requireDigest  = fs.Bool("require-digest", true, "reject backend responses that carry no X-Content-Digest stamp (corrupted stamps are always rejected)")
+
+		auditRate       = fs.Float64("audit-rate", 0.05, "per-answered-request probability of a background divergence audit (0 disables audits and quarantine readmission)")
+		auditSeed       = fs.Uint64("audit-seed", 1, "deterministic audit draw seed")
+		quarantineAfter = fs.Int("quarantine-after", 3, "divergence observations before a backend is quarantined from placement")
+		quarantineClean = fs.Int("quarantine-readmit", 2, "consecutive clean probes before a quarantined backend is readmitted")
+		noHedgeCompare  = fs.Bool("no-hedge-compare", false, "do not digest-compare hedge losers against the winner (hedge losers are cancelled instead)")
+
 		healthEvery   = fs.Duration("health-interval", 500*time.Millisecond, "active health probe interval")
 		healthTimeout = fs.Duration("health-timeout", 0, "health probe timeout (0 = same as -health-interval)")
 		ejectAfter    = fs.Int("eject-after", 3, "consecutive failed probes before a backend is ejected")
@@ -135,6 +146,19 @@ Flags:
 		HedgeMax:      *hedgeMax,
 		HedgeWarmup:   *hedgeWarmup,
 		HedgeDisable:  *noHedge,
+
+		AttemptTimeout: *attemptTimeout,
+		FailoverBase:   *failoverBase,
+		FailoverMax:    *failoverMax,
+		RequireDigest:  *requireDigest,
+
+		Divergence: fleet.DivergenceConfig{
+			CompareHedges:   !*noHedgeCompare,
+			AuditRate:       *auditRate,
+			Seed:            *auditSeed,
+			QuarantineAfter: *quarantineAfter,
+			ReadmitAfter:    *quarantineClean,
+		},
 
 		Health: fleet.HealthConfig{
 			Interval:     *healthEvery,

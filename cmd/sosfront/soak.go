@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"time"
 
+	"symbios/internal/integrity"
 	"symbios/internal/rng"
 )
 
@@ -32,9 +33,12 @@ type soakRequest struct {
 
 // fleetSoak drives paced deterministic load through a sosfront and holds it
 // to the fleet contract: every request is answered (200), or shed cleanly
-// (429/503 carrying Retry-After); every 200 body is byte-identical to what
-// a single-node oracle sosd computes for the same request. Any transport
-// error, un-hinted shed, unexpected status or byte mismatch is a violation.
+// (429/503/502 carrying Retry-After — a 502 is the front reporting every
+// replica for the key failed, which under partitions or quarantine is
+// honest shedding, not a lie); every 200 body carries a digest that
+// verifies and is byte-identical to what a single-node oracle sosd computes
+// for the same request. Any transport error, un-hinted shed, unexpected
+// status or byte mismatch is a violation.
 //
 // The oracle answers are memoized per body: identical requests must produce
 // identical bytes, so one oracle evaluation settles every recurrence.
@@ -96,7 +100,7 @@ func fleetSoak(stdout io.Writer, logger *log.Logger, frontURL, oracleURL string,
 	r := rng.New(seed)
 	deadline := time.Now().Add(dur)
 
-	var sent, ok200, shed429, shed503, violations int
+	var sent, ok200, shed429, shed503, shed502, violations int
 	violate := func(format string, args ...any) {
 		violations++
 		logger.Printf("VIOLATION: "+format, args...)
@@ -125,6 +129,13 @@ func fleetSoak(stdout io.Writer, logger *log.Logger, frontURL, oracleURL string,
 		switch resp.StatusCode {
 		case http.StatusOK:
 			ok200++
+			// The relayed digest stamp must verify against the bytes this
+			// client read — end-to-end proof no hop mangled the body.
+			if derr := integrity.Check(resp.Header.Get(integrity.Header), data); derr != nil {
+				violate("digest check for %s (served by %s): %v",
+					body, resp.Header.Get("X-Fleet-Backend"), derr)
+				continue
+			}
 			want, oerr := oracleAnswer(body)
 			if oerr != nil {
 				violate("cannot verify %s: %v", body, oerr)
@@ -134,21 +145,23 @@ func fleetSoak(stdout io.Writer, logger *log.Logger, frontURL, oracleURL string,
 				violate("byte mismatch for %s (served by %s):\noracle: %s\nfleet:  %s",
 					body, resp.Header.Get("X-Fleet-Backend"), want, data)
 			}
-		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusBadGateway:
 			if resp.Header.Get("Retry-After") == "" {
 				violate("shed %d without Retry-After", resp.StatusCode)
 			} else if resp.StatusCode == http.StatusTooManyRequests {
 				shed429++
-			} else {
+			} else if resp.StatusCode == http.StatusServiceUnavailable {
 				shed503++
+			} else {
+				shed502++
 			}
 		default:
 			violate("unexpected status %d: %s", resp.StatusCode, data)
 		}
 	}
 
-	logger.Printf("fleet soak: sent=%d 200=%d 429=%d 503=%d violations=%d",
-		sent, ok200, shed429, shed503, violations)
+	logger.Printf("fleet soak: sent=%d 200=%d 429=%d 503=%d 502=%d violations=%d",
+		sent, ok200, shed429, shed503, shed502, violations)
 	if len(oracleCache) > 0 {
 		fmt.Fprintf(stdout, "verified %d distinct responses\n", len(oracleCache))
 	}

@@ -1,0 +1,158 @@
+package chaosnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// chaoticConfig arms every fault class at rates high enough that a few
+// thousand draws exercise them all.
+func chaoticConfig(seed uint64) Config {
+	return Config{
+		Seed:       seed,
+		LatencyP:   0.2,
+		LatencyMin: time.Millisecond,
+		LatencyMax: 20 * time.Millisecond,
+		ResetP:     0.05,
+		CorruptP:   0.1,
+		TruncateP:  0.1,
+		StallP:     0.05,
+	}
+}
+
+// TestPlanReplaysIdenticallyAcrossWorkers is the determinism acceptance
+// criterion: the fault schedule must be byte-identical whether computed by
+// one worker or carved up among eight, and across two independent runs at
+// the same seed.
+func TestPlanReplaysIdenticallyAcrossWorkers(t *testing.T) {
+	const n = 4096
+	cfg := chaoticConfig(42)
+
+	serial := make([]string, n)
+	for i := 0; i < n; i++ {
+		serial[i] = cfg.Plan(7, uint64(i)).String()
+	}
+
+	// Second run, fresh Config value, 8 workers striding the index space.
+	cfg2 := chaoticConfig(42)
+	concurrent := make([]string, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 8 {
+				concurrent[i] = cfg2.Plan(7, uint64(i)).String()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for i := range serial {
+		if serial[i] != concurrent[i] {
+			t.Fatalf("idx %d: serial %q != concurrent %q", i, serial[i], concurrent[i])
+		}
+	}
+
+	// And a different seed must actually change the schedule.
+	diff := 0
+	other := chaoticConfig(43)
+	for i := 0; i < n; i++ {
+		if other.Plan(7, uint64(i)).String() != serial[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seed 43 produced the identical schedule to seed 42")
+	}
+}
+
+// TestPlanStreamsIndependent checks that enabling one fault class does not
+// shift another's schedule, and that distinct streams draw independently.
+func TestPlanStreamsIndependent(t *testing.T) {
+	base := Config{Seed: 9, CorruptP: 0.2}
+	withReset := base
+	withReset.ResetP = 0.9
+	for i := 0; i < 2048; i++ {
+		a, b := base.Plan(1, uint64(i)), withReset.Plan(1, uint64(i))
+		if a.Corrupt != b.Corrupt || a.CorruptAt != b.CorruptAt || a.CorruptBit != b.CorruptBit {
+			t.Fatalf("idx %d: enabling resets moved the corruption schedule: %+v vs %+v", i, a, b)
+		}
+	}
+	same := 0
+	for i := 0; i < 2048; i++ {
+		if base.Plan(1, uint64(i)).Corrupt == base.Plan(2, uint64(i)).Corrupt {
+			same++
+		}
+	}
+	if same == 2048 {
+		t.Fatal("streams 1 and 2 drew identical corruption schedules")
+	}
+}
+
+// TestPlanRates sanity-checks that configured probabilities are roughly
+// honored (deterministic: fixed seed, so exact counts are stable).
+func TestPlanRates(t *testing.T) {
+	cfg := Config{Seed: 5, CorruptP: 0.5}
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if cfg.Plan(0, uint64(i)).Corrupt {
+			hits++
+		}
+	}
+	if hits < n*4/10 || hits > n*6/10 {
+		t.Fatalf("CorruptP=0.5 hit %d/%d draws", hits, n)
+	}
+	if (Config{Seed: 5}).Plan(0, 0).Active() {
+		t.Fatal("zero config produced an active fault")
+	}
+}
+
+// TestPartitionWindows walks the partition schedule at fixed elapsed times.
+func TestPartitionWindows(t *testing.T) {
+	cfg := Config{
+		Seed:           1,
+		PartitionEvery: 10 * time.Second,
+		PartitionFor:   2 * time.Second,
+		PartitionStart: 3 * time.Second,
+	}
+	cases := []struct {
+		at   time.Duration
+		open bool
+	}{
+		{0, false},
+		{2900 * time.Millisecond, false},
+		{3 * time.Second, true},
+		{4900 * time.Millisecond, true},
+		{5 * time.Second, false},
+		{12 * time.Second, false},
+		{13500 * time.Millisecond, true},
+		{15100 * time.Millisecond, false},
+	}
+	for _, c := range cases {
+		open, remain := cfg.Partitioned(c.at)
+		if open != c.open {
+			t.Fatalf("at %s: open=%v, want %v", c.at, open, c.open)
+		}
+		if open && (remain <= 0 || remain > cfg.PartitionFor) {
+			t.Fatalf("at %s: remain=%s out of range", c.at, remain)
+		}
+	}
+	if open, _ := (Config{}).Partitioned(time.Hour); open {
+		t.Fatal("zero config reported a partition")
+	}
+}
+
+// TestFaultString pins the log rendering both soak runs diff against.
+func TestFaultString(t *testing.T) {
+	if got := (Fault{}).String(); got != "clean" {
+		t.Fatalf("clean fault renders %q", got)
+	}
+	f := Fault{Latency: 5 * time.Millisecond, Corrupt: true, CorruptAt: 17, CorruptBit: 3, Truncate: true, TruncateAt: 99}
+	want := "latency=5ms,corrupt@17 bit3,truncate@99"
+	if got := f.String(); got != want {
+		t.Fatalf("render %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,12 @@
+package chaosnet
+
+import (
+	"os"
+	"testing"
+
+	"symbios/internal/leakcheck"
+)
+
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.MainRun(m.Run))
+}

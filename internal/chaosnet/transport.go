@@ -1,0 +1,197 @@
+package chaosnet
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Transport is an http.RoundTripper that applies a deterministic fault plan
+// to every exchange. Each destination host gets its own fault stream (keyed
+// by a hash of the host), indexed by a per-host request counter, so the
+// schedule for one backend is independent of traffic to the others.
+type Transport struct {
+	cfg   Config
+	base  http.RoundTripper
+	start time.Time
+
+	mu      sync.Mutex
+	counter map[uint64]*uint64
+
+	stats Stats
+}
+
+// NewTransport wraps base (nil selects http.DefaultTransport) with the
+// configured fault layer. The partition clock starts now.
+func NewTransport(cfg Config, base http.RoundTripper) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{
+		cfg:     cfg,
+		base:    base,
+		start:   time.Now(),
+		counter: make(map[uint64]*uint64),
+	}
+}
+
+// StreamForHost maps a destination host to its fault stream id (FNV-1a 64).
+func StreamForHost(host string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, host)
+	return h.Sum64()
+}
+
+// nextIdx returns the next exchange index for a stream.
+func (t *Transport) nextIdx(stream uint64) uint64 {
+	t.mu.Lock()
+	c, ok := t.counter[stream]
+	if !ok {
+		c = new(uint64)
+		t.counter[stream] = c
+	}
+	t.mu.Unlock()
+	return atomic.AddUint64(c, 1) - 1
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Exchanges:   atomic.LoadUint64(&t.stats.Exchanges),
+		Latencies:   atomic.LoadUint64(&t.stats.Latencies),
+		Resets:      atomic.LoadUint64(&t.stats.Resets),
+		Corruptions: atomic.LoadUint64(&t.stats.Corruptions),
+		Truncations: atomic.LoadUint64(&t.stats.Truncations),
+		Stalls:      atomic.LoadUint64(&t.stats.Stalls),
+		Partitions:  atomic.LoadUint64(&t.stats.Partitions),
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	tmr := time.NewTimer(d)
+	defer tmr.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-tmr.C:
+		return nil
+	}
+}
+
+// partitionHold blocks while the blackhole window is open, polling the
+// schedule so a request issued mid-window resumes the moment it closes.
+func (t *Transport) partitionHold(ctx context.Context) error {
+	counted := false
+	for {
+		open, remain := t.cfg.Partitioned(time.Since(t.start))
+		if !open {
+			return nil
+		}
+		if !counted {
+			atomic.AddUint64(&t.stats.Partitions, 1)
+			counted = true
+		}
+		if remain > 50*time.Millisecond {
+			remain = 50 * time.Millisecond
+		}
+		if err := sleepCtx(ctx, remain); err != nil {
+			return err
+		}
+	}
+}
+
+// RoundTrip applies the exchange's fault plan: partition hold and latency
+// before dispatch, reset instead of dispatch, and a body wrapper that
+// carries out corruption, truncation and stalls as the caller reads.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	ctx := req.Context()
+	stream := StreamForHost(req.URL.Host)
+	idx := t.nextIdx(stream)
+	f := t.cfg.Plan(stream, idx)
+	atomic.AddUint64(&t.stats.Exchanges, 1)
+
+	abort := func(err error) (*http.Response, error) {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, err
+	}
+	if err := t.partitionHold(ctx); err != nil {
+		return abort(err)
+	}
+	if f.Latency > 0 {
+		atomic.AddUint64(&t.stats.Latencies, 1)
+		if err := sleepCtx(ctx, f.Latency); err != nil {
+			return abort(err)
+		}
+	}
+	if f.Reset {
+		atomic.AddUint64(&t.stats.Resets, 1)
+		return abort(fmt.Errorf("chaosnet: injected connection reset (stream %x idx %d)", stream, idx))
+	}
+
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	// Always wrap: even a clean plan must hang mid-body when a partition
+	// window opens while the caller is still reading.
+	resp.Body = &faultBody{t: t, ctx: ctx, inner: resp.Body, fault: f}
+	return resp, nil
+}
+
+// faultBody applies per-byte faults to a response stream as it is read.
+type faultBody struct {
+	t       *Transport
+	ctx     context.Context
+	inner   io.ReadCloser
+	fault   Fault
+	off     uint64
+	stalled bool
+}
+
+func (b *faultBody) Read(p []byte) (int, error) {
+	if err := b.t.partitionHold(b.ctx); err != nil {
+		return 0, err
+	}
+	f := b.fault
+	if f.Truncate && b.off >= f.TruncateAt {
+		// Silent early EOF: no error, just a short stream. Only a length
+		// or digest check can tell this apart from a legitimate end.
+		atomic.AddUint64(&b.t.stats.Truncations, 1)
+		b.fault.Truncate = false // count once
+		return 0, io.EOF
+	}
+	if f.Stall && !b.stalled && b.off >= f.StallAt {
+		b.stalled = true
+		atomic.AddUint64(&b.t.stats.Stalls, 1)
+		if err := sleepCtx(b.ctx, b.t.cfg.stallFor()); err != nil {
+			return 0, err
+		}
+	}
+	limit := uint64(len(p))
+	if f.Truncate && f.TruncateAt-b.off < limit {
+		limit = f.TruncateAt - b.off
+	}
+	n, err := b.inner.Read(p[:limit])
+	if n > 0 {
+		if f.Corrupt && f.CorruptAt >= b.off && f.CorruptAt < b.off+uint64(n) {
+			p[f.CorruptAt-b.off] ^= 1 << f.CorruptBit
+			atomic.AddUint64(&b.t.stats.Corruptions, 1)
+			b.fault.Corrupt = false // landed; count once
+		}
+		b.off += uint64(n)
+	}
+	return n, err
+}
+
+func (b *faultBody) Close() error { return b.inner.Close() }

@@ -1,0 +1,163 @@
+package chaosnet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"symbios/internal/integrity"
+	"symbios/internal/leakcheck"
+)
+
+// testBody is large enough that a corruption offset drawn in the default
+// window always lands inside it.
+var testBody = bytes.Repeat([]byte("symbios-fleet-response-"), 100) // 2300 bytes
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(integrity.Header, integrity.Digest(testBody))
+		w.Write(testBody)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestTransportCleanPassThrough(t *testing.T) {
+	leakcheck.Check(t)
+	srv := testServer(t)
+	client := &http.Client{Transport: NewTransport(Config{Seed: 1}, nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(body, testBody) {
+		t.Fatal("clean transport altered the body")
+	}
+	if err := integrity.Check(resp.Header.Get(integrity.Header), body); err != nil {
+		t.Fatalf("digest: %v", err)
+	}
+}
+
+func TestTransportReset(t *testing.T) {
+	leakcheck.Check(t)
+	srv := testServer(t)
+	client := &http.Client{Transport: NewTransport(Config{Seed: 1, ResetP: 1}, nil)}
+	if _, err := client.Get(srv.URL); err == nil {
+		t.Fatal("ResetP=1 request succeeded")
+	}
+	tr := client.Transport.(*Transport)
+	if s := tr.Stats(); s.Resets != 1 {
+		t.Fatalf("stats: %+v, want 1 reset", s)
+	}
+}
+
+// TestTransportCorruptionCaughtByDigest is the envelope working end to end:
+// the transport flips one bit, the body still arrives as a clean 200, and
+// only the digest check exposes it.
+func TestTransportCorruptionCaughtByDigest(t *testing.T) {
+	leakcheck.Check(t)
+	srv := testServer(t)
+	client := &http.Client{Transport: NewTransport(Config{Seed: 1, CorruptP: 1, CorruptWindow: uint64(len(testBody))}, nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if bytes.Equal(body, testBody) {
+		t.Fatal("CorruptP=1 delivered an unmodified body")
+	}
+	if err := integrity.Check(resp.Header.Get(integrity.Header), body); !errors.Is(err, integrity.ErrMismatch) {
+		t.Fatalf("digest check = %v, want ErrMismatch", err)
+	}
+}
+
+// TestTransportTruncationIsSilent checks the nastiest case: a truncated
+// body reads cleanly to EOF with no error, and only the digest catches it.
+func TestTransportTruncationIsSilent(t *testing.T) {
+	leakcheck.Check(t)
+	srv := testServer(t)
+	client := &http.Client{Transport: NewTransport(Config{Seed: 1, TruncateP: 1, TruncateWindow: uint64(len(testBody) - 1)}, nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read returned %v; truncation must be silent", err)
+	}
+	if len(body) >= len(testBody) {
+		t.Fatalf("TruncateP=1 delivered %d bytes of %d", len(body), len(testBody))
+	}
+	if err := integrity.Check(resp.Header.Get(integrity.Header), body); !errors.Is(err, integrity.ErrMismatch) {
+		t.Fatalf("digest check = %v, want ErrMismatch", err)
+	}
+}
+
+// TestTransportStallHonorsContext checks a consumer with a deadline escapes
+// a slow-loris stall instead of pinning a goroutine.
+func TestTransportStallHonorsContext(t *testing.T) {
+	leakcheck.Check(t)
+	srv := testServer(t)
+	client := &http.Client{Transport: NewTransport(Config{Seed: 1, StallP: 1, StallFor: time.Minute, StallWindow: 1}, nil)}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		return // stalled before any byte; also fine
+	}
+	defer resp.Body.Close()
+	start := time.Now()
+	_, err = io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatal("stalled read completed without error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("read pinned for %s despite 100ms deadline", time.Since(start))
+	}
+}
+
+// TestTransportPartitionBlocksUntilDeadline checks a request issued inside
+// a blackhole window hangs until the caller's context expires.
+func TestTransportPartitionBlocksUntilDeadline(t *testing.T) {
+	leakcheck.Check(t)
+	srv := testServer(t)
+	client := &http.Client{Transport: NewTransport(Config{
+		Seed:           1,
+		PartitionEvery: time.Hour,
+		PartitionFor:   time.Hour,
+	}, nil)}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("request inside a partition window succeeded")
+	}
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("request failed after %s; a partition should hang, not error fast", d)
+	}
+	tr := client.Transport.(*Transport)
+	if s := tr.Stats(); s.Partitions == 0 {
+		t.Fatalf("stats: %+v, want a partition hold", s)
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"symbios/internal/integrity"
 )
 
 // testMeta is the run identity used across these tests.
@@ -327,5 +329,67 @@ func TestRecorderExportMerge(t *testing.T) {
 	}
 	if n, err := dst.Merge(nil); n != 0 || err != nil {
 		t.Fatalf("Merge(nil) = (%d, %v)", n, err)
+	}
+}
+
+// TestMergeCorruptedExportBitFlips is the satellite bit-flip table test:
+// for EVERY single-bit corruption of a serialized cache export, (a) the
+// integrity digest the warm-up path checks first always catches the flip,
+// and (b) even for a consumer without the digest gate, the decode+merge
+// pipeline is all-or-nothing — it either rejects the payload outright or
+// leaves every pre-existing local shard byte-identical, never a partial
+// adoption of a corrupt snapshot.
+func TestMergeCorruptedExportBitFlips(t *testing.T) {
+	payload, err := json.Marshal(&Snapshot{
+		Meta: testMeta,
+		Shards: map[string]json.RawMessage{
+			"a": json.RawMessage(`1`),
+			"c": json.RawMessage(`3`),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := integrity.Digest(payload)
+	path := filepath.Join(t.TempDir(), "dst.ckpt")
+
+	newLocal := func() *Recorder {
+		r := NewRecorder(path, testMeta, 100)
+		if err := r.Record("a", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Record("b", 2); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	checkLocal := func(r *Recorder, i, bit int) {
+		var a, b int
+		if ok, err := r.Lookup("a", &a); !ok || err != nil || a != 1 {
+			t.Fatalf("flip byte %d bit %d: local shard a mutated: ok=%v err=%v v=%v", i, bit, ok, err, a)
+		}
+		if ok, err := r.Lookup("b", &b); !ok || err != nil || b != 2 {
+			t.Fatalf("flip byte %d bit %d: local shard b mutated: ok=%v err=%v v=%v", i, bit, ok, err, b)
+		}
+	}
+
+	for i := range payload {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), payload...)
+			mut[i] ^= 1 << bit
+			if err := integrity.Check(digest, mut); !errors.Is(err, integrity.ErrMismatch) {
+				t.Fatalf("flip byte %d bit %d: digest check = %v, want ErrMismatch", i, bit, err)
+			}
+			snap, err := DecodeExport(mut)
+			if err != nil {
+				continue // rejected at parse: nothing to merge
+			}
+			local := newLocal()
+			added, merr := local.Merge(snap)
+			if merr != nil && added != 0 {
+				t.Fatalf("flip byte %d bit %d: Merge errored yet adopted %d shards", i, bit, added)
+			}
+			checkLocal(local, i, bit)
+		}
 	}
 }

@@ -7,6 +7,54 @@ import (
 	"testing"
 )
 
+// FuzzDecodeCacheExport fuzzes the wire-format parser the warm-up path
+// feeds with sibling HTTP bodies: DecodeExport must return an error — never
+// panic, never half-parse — on arbitrary input, and anything it accepts
+// must round-trip through Marshal/DecodeExport unchanged.
+func FuzzDecodeCacheExport(f *testing.F) {
+	valid, err := json.Marshal(&Snapshot{
+		Meta: Meta{Exp: "robustness", Scale: "quick", Seed: 1, Mix: "Jsb(4,2,2)"},
+		Shards: map[string]json.RawMessage{
+			"robustness/00000": json.RawMessage(`{"WS":1.25}`),
+		},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(append(append([]byte{}, valid...), '\n')) // the HTTP body form
+	f.Add([]byte{})
+	f.Add([]byte("null"))
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"meta":{},"shards":{},"extra":1}`))
+	f.Add(append(append([]byte{}, valid...), valid...)) // concatenated docs
+	f.Add(valid[:len(valid)/2])                         // truncated
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeExport(data)
+		if err != nil {
+			if s != nil {
+				t.Fatal("DecodeExport returned a snapshot alongside an error")
+			}
+			return
+		}
+		if s.Shards == nil {
+			t.Fatal("DecodeExport returned nil Shards")
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded export failed: %v", err)
+		}
+		s2, err := DecodeExport(out)
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded export failed: %v", err)
+		}
+		if s.Meta != s2.Meta || len(s.Shards) != len(s2.Shards) {
+			t.Fatalf("export drifted across re-encode: %+v vs %+v", s, s2)
+		}
+	})
+}
+
 // FuzzDecodeCheckpoint is the satellite fuzz target: Decode must return an
 // error — never panic, never misread — on arbitrary input. Valid encodings
 // that decode are additionally required to re-encode to the same bytes

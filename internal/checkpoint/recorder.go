@@ -1,9 +1,11 @@
 package checkpoint
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"sync"
 )
 
@@ -146,6 +148,35 @@ func (r *Recorder) Export() *Snapshot {
 		out.Shards[k] = append(json.RawMessage(nil), v...)
 	}
 	return out
+}
+
+// DecodeExport parses a sibling's cache-export payload (the plain-JSON
+// Snapshot served at /v1/cache/export) strictly: unknown fields, trailing
+// garbage, and non-JSON input all fail with an error wrapping ErrCorrupt.
+// Note this is the *wire* format, not the versioned on-disk checkpoint
+// format Decode handles — the export travels inside an HTTP response whose
+// digest envelope supplies the corruption check a file header would.
+// Strictness matters because the payload crossed a network: a body that
+// passed its digest but does not parse exactly means the producer and
+// consumer disagree about the schema, and adopting a best-effort reading of
+// it into the cache would launder that disagreement into served results.
+func DecodeExport(data []byte) (*Snapshot, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Snapshot
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("%w: cache export: %v", ErrCorrupt, err)
+	}
+	// A cache export is exactly one JSON document; trailing bytes beyond
+	// insignificant whitespace mean a truncated or concatenated payload.
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return nil, fmt.Errorf("%w: cache export: trailing data after snapshot", ErrCorrupt)
+	}
+	if s.Shards == nil {
+		s.Shards = map[string]json.RawMessage{}
+	}
+	return &s, nil
 }
 
 // Merge imports a sibling's exported snapshot: every shard absent locally is

@@ -1,0 +1,251 @@
+package fleet
+
+import (
+	"context"
+	"time"
+
+	"symbios/internal/integrity"
+	"symbios/internal/rng"
+)
+
+// Divergence quarantine exploits the fleet's byte-identical-response
+// contract (DESIGN §13): for a given request, every correct replica returns
+// the same bytes, so digest equality between two replicas' answers is an
+// exact correctness cross-check that costs one hash. The digest envelope
+// catches the wire lying; this layer catches a replica that is *honestly
+// wrong* — stamping a valid digest over a divergent answer (bad warm cache,
+// corrupted snapshot, skew after a partial deploy).
+//
+// Evidence arrives on two paths, both free or cheap:
+//
+//   - Hedge losers (CompareHedges): when a hedged duplicate completes after
+//     the winner anyway, its body was already paid for — comparing digests
+//     is free. The dispatch loop hands the straggler to drainCompare
+//     instead of cancelling it.
+//   - Background audits (AuditRate): a deterministic low-rate draw re-asks
+//     a second replica after a request was answered and compares.
+//
+// A mismatch alone does not convict — two replicas disagreeing identifies
+// no culprit — so arbitrate asks a third replica and the odd one out takes
+// the divergence observation (both do, when no third exists). A backend
+// reaching QuarantineAfter observations is quarantined: excluded from
+// placement entirely (see candidates) until ReadmitAfter consecutive clean
+// readmit probes — which ride the same audit draws, re-asking every
+// quarantined backend and comparing against the authoritative answer —
+// prove it agrees with the fleet again.
+
+// DivergenceConfig tunes replica divergence detection and quarantine.
+type DivergenceConfig struct {
+	// CompareHedges lets a hedge loser that completes anyway be digest-
+	// compared against the winner instead of being cancelled on the spot.
+	// Off by default: it trades a little extra backend work (the loser runs
+	// to completion) for a free divergence probe.
+	CompareHedges bool
+	// AuditRate is the per-answered-request probability of a background
+	// audit (0 disables auditing and, with it, quarantine readmission).
+	AuditRate float64
+	// Seed drives the deterministic audit draw: audit i fires iff
+	// Float01(Hash2(Seed, i, saltAudit)) < AuditRate.
+	Seed uint64
+	// QuarantineAfter is the divergence-observation count that quarantines
+	// a backend (< 1 selects 3).
+	QuarantineAfter int
+	// ReadmitAfter is the consecutive clean readmit probes required to lift
+	// a quarantine (< 1 selects 2).
+	ReadmitAfter int
+	// AuditTimeout bounds one audit or readmit probe (<= 0 selects 2s).
+	AuditTimeout time.Duration
+}
+
+// maybeAudit decides — deterministically — whether the just-answered
+// request triggers a background audit, and spawns it if so. Quarantined
+// backends are probed for readmission on the same draws, so the audit rate
+// also paces recovery.
+func (f *Front) maybeAudit(body []byte, winner *Result) {
+	dc := f.cfg.Divergence
+	if dc.AuditRate <= 0 || winner == nil {
+		return
+	}
+	idx := f.auditIdx.Add(1) - 1
+	if rng.Float01(rng.Hash2(dc.Seed, idx, saltAudit)) >= dc.AuditRate {
+		return
+	}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		f.audit(body, winner)
+	}()
+}
+
+// audit re-asks a second replica for the shard and digest-compares its
+// answer against what was served, then runs readmit probes against every
+// quarantined backend using the served answer as the authority.
+func (f *Front) audit(body []byte, winner *Result) {
+	ctx, cancel := context.WithTimeout(f.base, f.cfg.Divergence.AuditTimeout)
+	defer cancel()
+	wantDigest := integrity.Digest(winner.Body)
+
+	second := f.arbiter(winner.Backend)
+	if second != nil {
+		f.audits.Add(1)
+		f.obsAudits.Inc()
+		out := f.attempt(ctx, second, body, true)
+		// Only a deterministic answer is evidence; sheds, failures and
+		// timeouts say nothing about divergence.
+		if out.class == classGood && out.res != nil {
+			if integrity.Digest(out.res.Body) != wantDigest {
+				f.auditMismatches.Add(1)
+				f.obsAuditMiss.Inc()
+				f.arbitrate(ctx, body, winner, out.res)
+			}
+		}
+	}
+	f.readmitProbes(ctx, body, wantDigest)
+}
+
+// arbiter returns a backend able to give a second opinion: the first
+// healthy, non-quarantined backend whose base is not excluded. The fleet's
+// byte-identical contract means an arbiter need not sit in the key's
+// replica set — every correct replica computes the same bytes — so
+// opinions are drawn fleet-wide. That matters at Replicas=2, where the
+// placement set contains exactly the two disagreeing parties.
+func (f *Front) arbiter(exclude ...string) *backend {
+	for _, b := range f.backends {
+		if b.isQuarantined() || !b.isHealthy() {
+			continue
+		}
+		excluded := false
+		for _, e := range exclude {
+			if b.base == e {
+				excluded = true
+				break
+			}
+		}
+		if !excluded {
+			return b
+		}
+	}
+	return nil
+}
+
+// arbitrate resolves a divergence between two answers by asking a replica
+// that produced neither: the odd one out takes the divergence observation.
+// With no third replica available, both are observed — the contract says
+// they cannot both be right, and in a two-replica fleet symmetric suspicion
+// beats guessing. But when a third exists and merely fails to answer
+// (timeout, shed, wire damage), no one is charged: transport trouble is not
+// divergence evidence, and convicting the honest half of a mismatch would
+// let a flaky wire quarantine correct replicas. A real divergence is
+// deterministic, so the mismatch resurfaces on a later audit and conviction
+// is only delayed, never lost.
+func (f *Front) arbitrate(ctx context.Context, body []byte, a, b *Result) {
+	da, db := integrity.Digest(a.Body), integrity.Digest(b.Body)
+	third := f.arbiter(a.Backend, b.Backend)
+	if third != nil {
+		out := f.attempt(ctx, third, body, true)
+		if out.class != classGood || out.res == nil {
+			return // inconclusive tiebreak: no evidence either way
+		}
+		switch integrity.Digest(out.res.Body) {
+		case da:
+			f.observeDivergence(f.byBase[b.Backend])
+			return
+		case db:
+			f.observeDivergence(f.byBase[a.Backend])
+			return
+		}
+		// Three-way disagreement: at least two of three are wrong; fall
+		// through to symmetric suspicion.
+	}
+	f.observeDivergence(f.byBase[a.Backend])
+	f.observeDivergence(f.byBase[b.Backend])
+}
+
+// observeDivergence charges one divergence observation to a backend and
+// quarantines it when it crosses the configured threshold.
+func (f *Front) observeDivergence(b *backend) {
+	if b == nil {
+		return
+	}
+	f.divergencesTotal.Add(1)
+	b.obsDiverges.Inc()
+	b.mu.Lock()
+	b.divergences++
+	b.divergesSeen++
+	b.cleanProbes = 0
+	quarantineNow := !b.quarantined && b.divergences >= f.cfg.Divergence.QuarantineAfter
+	if quarantineNow {
+		b.quarantined = true
+		b.quarantines++
+	}
+	n := b.divergences
+	b.mu.Unlock()
+	if quarantineNow {
+		b.obsQuarantines.Inc()
+		f.logger.Printf("backend %s quarantined after %d divergence observations", b.base, n)
+	} else {
+		f.logger.Printf("backend %s divergence observation %d/%d", b.base, n, f.cfg.Divergence.QuarantineAfter)
+	}
+}
+
+// readmitProbes re-asks every quarantined backend and compares against the
+// authoritative digest; ReadmitAfter consecutive clean answers lift the
+// quarantine, any divergent answer resets the count (and recharges an
+// observation).
+func (f *Front) readmitProbes(ctx context.Context, body []byte, wantDigest string) {
+	for _, b := range f.backends {
+		if !b.isQuarantined() {
+			continue
+		}
+		out := f.attempt(ctx, b, body, true)
+		if out.class != classGood || out.res == nil {
+			continue // inconclusive: quarantine stands, count unchanged
+		}
+		if integrity.Digest(out.res.Body) != wantDigest {
+			f.observeDivergence(b)
+			continue
+		}
+		b.mu.Lock()
+		b.cleanProbes++
+		readmit := b.cleanProbes >= f.cfg.Divergence.ReadmitAfter
+		if readmit {
+			b.quarantined = false
+			b.divergences = 0
+			b.cleanProbes = 0
+			b.qReadmits++
+		}
+		n := b.cleanProbes
+		b.mu.Unlock()
+		if readmit {
+			f.logger.Printf("backend %s readmitted from quarantine", b.base)
+		} else {
+			f.logger.Printf("backend %s clean quarantine probe %d/%d", b.base, n, f.cfg.Divergence.ReadmitAfter)
+		}
+	}
+}
+
+// drainCompare receives the results still in flight when a winner was
+// chosen, digest-compares every deterministic straggler answer against the
+// winner's, and only then releases the attempt and budget contexts it was
+// handed. Attempts always deliver exactly one result each (bounded by the
+// budget context's deadline), so the drain always terminates.
+func (f *Front) drainCompare(cancel, acancel context.CancelFunc, results <-chan attemptOut, remaining int, body []byte, winner *Result) {
+	defer f.wg.Done()
+	defer func() {
+		acancel()
+		cancel()
+	}()
+	wantDigest := integrity.Digest(winner.Body)
+	for i := 0; i < remaining; i++ {
+		out := <-results
+		if out.class != classGood || out.res == nil || out.res.Backend == winner.Backend {
+			continue
+		}
+		if integrity.Digest(out.res.Body) == wantDigest {
+			continue
+		}
+		ctx, acancel2 := context.WithTimeout(f.base, f.cfg.Divergence.AuditTimeout)
+		f.arbitrate(ctx, body, winner, out.res)
+		acancel2()
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -15,16 +16,29 @@ import (
 	"sync/atomic"
 	"time"
 
+	"symbios/internal/integrity"
 	"symbios/internal/obs"
 	"symbios/internal/resilience"
+	"symbios/internal/rng"
 )
 
 // maxBodyBytes bounds a proxied request body, matching sosd's own request
 // cap so the front never accepts what a backend would refuse on size.
 const maxBodyBytes = 16 << 10
 
-// maxResponseBytes bounds a proxied response body.
+// maxResponseBytes bounds a proxied response body. A backend answer that
+// exceeds it is a failure, never a silent truncation — a truncated relay of
+// a deterministic answer would be indistinguishable from corruption.
 const maxResponseBytes = 1 << 20
+
+// Deterministic-jitter hash salts (distinct from sosd's 0x50d1..0x50d4 and
+// chaosnet's 0xc4a1.. range).
+const (
+	// saltFailover streams the full-jitter factor between failover attempts.
+	saltFailover = 0xfa17
+	// saltAudit streams the background divergence-audit draw.
+	saltAudit = 0xa0d7
+)
 
 // Config wires a Front.
 type Config struct {
@@ -63,6 +77,31 @@ type Config struct {
 	// node's traffic is the front tier's job, not an optional extra.
 	Budget resilience.BudgetConfig
 
+	// AttemptTimeout bounds one backend attempt end to end (connect through
+	// last body byte), so a slow-loris backend or stalled wire costs at most
+	// one timeout before failover instead of pinning the dispatch until the
+	// whole request deadline. <= 0 disables the per-attempt bound.
+	AttemptTimeout time.Duration
+
+	// FailoverBase and FailoverMax shape the full-jitter backoff between
+	// corrective failover attempts (delay before retry k is
+	// jitter*min(FailoverMax, FailoverBase<<k)), so a partition or a dead
+	// replica does not translate into an instant synchronized hammering of
+	// the next one. The jitter factor is deterministic per (shard key,
+	// attempt). FailoverBase <= 0 selects 10ms, FailoverMax <= 0 selects
+	// 250ms.
+	FailoverBase time.Duration
+	FailoverMax  time.Duration
+
+	// RequireDigest treats a backend reply without an X-Content-Digest
+	// header as a failure. Off by default so fronts can sit over backends
+	// that predate the envelope; a digest that is present but wrong is
+	// ALWAYS a failure regardless of this setting.
+	RequireDigest bool
+
+	// Divergence tunes replica divergence detection and quarantine.
+	Divergence DivergenceConfig
+
 	// Client performs backend HTTP calls; nil selects a client with a
 	// 30-second overall timeout.
 	Client *http.Client
@@ -85,6 +124,17 @@ type backend struct {
 	ejections  uint64
 	readmits   uint64
 
+	// Divergence quarantine state (also under mu). Unlike a health
+	// ejection, a quarantined backend is excluded from placement entirely —
+	// it answers promptly and convincingly, just wrongly, so "last resort"
+	// would serve the wrong answer exactly when it matters.
+	quarantined  bool
+	divergences  int // observations since the last clean slate
+	cleanProbes  int // consecutive clean readmit probes
+	quarantines  uint64
+	qReadmits    uint64
+	divergesSeen uint64 // lifetime divergence observations
+
 	requests atomic.Uint64
 	failures atomic.Uint64
 
@@ -94,11 +144,14 @@ type backend struct {
 	// first-choice traffic without being ejected.
 	mode atomic.Int64
 
-	obsEjections *obs.Counter
-	obsFailovers *obs.Counter
-	obsHedgeWins *obs.Counter
-	obsRequests  *obs.Counter
-	obsFailures  *obs.Counter
+	obsEjections   *obs.Counter
+	obsFailovers   *obs.Counter
+	obsHedgeWins   *obs.Counter
+	obsRequests    *obs.Counter
+	obsFailures    *obs.Counter
+	obsIntegrity   *obs.Counter
+	obsDiverges    *obs.Counter
+	obsQuarantines *obs.Counter
 }
 
 // isHealthy reads the health bit.
@@ -106,6 +159,13 @@ func (b *backend) isHealthy() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.healthy
+}
+
+// isQuarantined reads the quarantine bit.
+func (b *backend) isQuarantined() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.quarantined
 }
 
 // Front is the fleet's shard-and-failover dispatcher.
@@ -131,8 +191,20 @@ type Front struct {
 	hedges    atomic.Uint64
 	hedgeWins atomic.Uint64
 
+	// Integrity / divergence counters. wg tracks every background goroutine
+	// the divergence machinery spawns (hedge-loser drains, audits), so Close
+	// accounts for all of them.
+	wg               sync.WaitGroup
+	auditIdx         atomic.Uint64
+	integrityFails   atomic.Uint64
+	audits           atomic.Uint64
+	auditMismatches  atomic.Uint64
+	divergencesTotal atomic.Uint64
+
 	obsCoalesced *obs.Counter
 	obsHedges    *obs.Counter
+	obsAudits    *obs.Counter
+	obsAuditMiss *obs.Counter
 
 	startOnce sync.Once
 	closeOnce sync.Once
@@ -163,6 +235,21 @@ func New(cfg Config) (*Front, error) {
 	}
 	if cfg.HedgeMax <= 0 {
 		cfg.HedgeMax = 2 * time.Second
+	}
+	if cfg.FailoverBase <= 0 {
+		cfg.FailoverBase = 10 * time.Millisecond
+	}
+	if cfg.FailoverMax <= 0 {
+		cfg.FailoverMax = 250 * time.Millisecond
+	}
+	if cfg.Divergence.QuarantineAfter < 1 {
+		cfg.Divergence.QuarantineAfter = 3
+	}
+	if cfg.Divergence.ReadmitAfter < 1 {
+		cfg.Divergence.ReadmitAfter = 2
+	}
+	if cfg.Divergence.AuditTimeout <= 0 {
+		cfg.Divergence.AuditTimeout = 2 * time.Second
 	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 30 * time.Second}
@@ -231,16 +318,36 @@ func (f *Front) registerObs() {
 			"Schedule attempts sent to this backend.", l)
 		b.obsFailures = f.reg.Counter("fleet_backend_failures_total",
 			"Schedule attempts against this backend that failed (transport error or 5xx).", l)
+		b.obsIntegrity = f.reg.Counter("fleet_integrity_failures_total",
+			"Backend replies rejected because the body failed its content-digest check.", l)
+		b.obsDiverges = f.reg.Counter("fleet_divergences_total",
+			"Divergence observations against this backend (its answer disagreed with the fleet's).", l)
+		b.obsQuarantines = f.reg.Counter("fleet_quarantines_total",
+			"Times this backend was quarantined for divergence.", l)
 	}
 	f.obsCoalesced = f.reg.Counter("fleet_coalesced_total",
 		"Requests answered by another identical in-flight request (singleflight).")
 	f.obsHedges = f.reg.Counter("fleet_hedges_total",
 		"Hedged duplicate requests launched.")
+	f.obsAudits = f.reg.Counter("fleet_audits_total",
+		"Background divergence audits performed (second replica re-asked).")
+	f.obsAuditMiss = f.reg.Counter("fleet_audit_mismatches_total",
+		"Background audits whose second replica disagreed with the served answer.")
 	f.reg.GaugeFunc("fleet_healthy_backends", "Backends currently considered healthy.",
 		func() float64 {
 			n := 0
 			for _, b := range f.backends {
 				if b.isHealthy() {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	f.reg.GaugeFunc("fleet_quarantined_backends", "Backends currently quarantined for divergence.",
+		func() float64 {
+			n := 0
+			for _, b := range f.backends {
+				if b.isQuarantined() {
 					n++
 				}
 			}
@@ -253,14 +360,16 @@ func (f *Front) Start() {
 	f.startOnce.Do(func() { go f.checker.run() })
 }
 
-// Close stops the health checker and aborts in-flight dispatches.
-// Idempotent; safe even if Start was never called.
+// Close stops the health checker, aborts in-flight dispatches, and waits
+// for every background audit/drain goroutine to exit. Idempotent; safe even
+// if Start was never called.
 func (f *Front) Close() {
 	f.closeOnce.Do(func() {
 		f.startOnce.Do(func() { close(f.checker.done) }) // never started: mark drained
 		close(f.checker.stop)
 		<-f.checker.done
 		f.hardStop()
+		f.wg.Wait()
 	})
 }
 
@@ -325,13 +434,19 @@ type attemptOut struct {
 // failover and hedge traffic but stops being anyone's first choice, which
 // itself relieves the overload that degraded it. Ejected backends stay in
 // the list as a last resort: with every replica ejected, trying one anyway
-// beats refusing outright.
+// beats refusing outright. Quarantined backends, by contrast, are excluded
+// entirely — a diverging replica answers promptly and convincingly, just
+// wrongly, so "try it as a last resort" would serve the wrong answer
+// exactly when no one is left to contradict it.
 func (f *Front) candidates(shardKey string) []*backend {
 	bases := f.ring.Lookup(shardKey, f.cfg.Replicas)
 	healthy := make([]*backend, 0, len(bases))
 	var ejected []*backend
 	for _, base := range bases {
 		b := f.byBase[base]
+		if b.isQuarantined() {
+			continue
+		}
 		if b.isHealthy() {
 			healthy = append(healthy, b)
 		} else {
@@ -356,8 +471,11 @@ func (f *Front) Dispatch(ctx context.Context, body []byte) (*Result, error) {
 	res, shared, err := f.flights.Do(ctx, string(body), func() (*Result, error) {
 		dctx, cancel := resilience.WithBudget(f.base,
 			time.Duration(sf.DeadlineMS)*time.Millisecond, f.cfg.DeadlineDef, f.cfg.DeadlineMax)
-		defer cancel()
-		return f.dispatch(dctx, key, body)
+		// cancel ownership passes to dispatch: it either releases the budget
+		// context itself or hands it to the hedge-loser drain goroutine,
+		// which must keep straggler attempts alive long enough to digest-
+		// compare their bodies against the winner's.
+		return f.dispatch(dctx, cancel, key, body)
 	})
 	if shared {
 		f.coalesced.Add(1)
@@ -370,13 +488,23 @@ func (f *Front) Dispatch(ctx context.Context, body []byte) (*Result, error) {
 // chain. At most one hedge is launched per request; every launched attempt
 // writes exactly one result into a buffered channel, so abandoned attempts
 // finish (and settle their breaker permits) without anyone listening.
-func (f *Front) dispatch(ctx context.Context, shardKey string, body []byte) (*Result, error) {
+// dispatch owns cancel (the budget context's release): every return path
+// either calls it or hands it — together with the still-inflight attempt
+// results — to a drainCompare goroutine for hedge-loser divergence checks.
+func (f *Front) dispatch(ctx context.Context, cancel context.CancelFunc, shardKey string, body []byte) (*Result, error) {
 	cands := f.candidates(shardKey)
 	results := make(chan attemptOut, len(cands))
 	actx, acancel := context.WithCancel(ctx)
-	defer acancel()
+	handoff := false
+	defer func() {
+		if !handoff {
+			acancel()
+			cancel()
+		}
+	}()
 
 	next, inflight := 0, 0
+	failovers := 0
 	// launchNext starts an attempt on the next untried candidate. Hedge
 	// launches are speculative, so they are charged to the target's hedge
 	// budget and skipped when it is dry; corrective launches always run.
@@ -411,6 +539,24 @@ func (f *Front) dispatch(ctx context.Context, shardKey string, body []byte) (*Re
 		hedgeC = t.C
 	}
 
+	// failoverWait sleeps the full-jitter backoff before corrective failover
+	// k, so a partition does not turn into the surviving replicas being
+	// hammered in lockstep. The jitter factor is a pure function of (shard
+	// key, k), keeping chaos-soak timing replayable.
+	failoverWait := func() error {
+		if next >= len(cands) {
+			return nil // no one left to try; nothing to pace
+		}
+		jitter := rng.Float01(rng.Hash2(hashString(shardKey), uint64(failovers), saltFailover))
+		d := resilience.BackoffDelay(resilience.RetryConfig{
+			BaseDelay: f.cfg.FailoverBase,
+			MaxDelay:  f.cfg.FailoverMax,
+			Jitter:    func(int) float64 { return jitter },
+		}, failovers)
+		failovers++
+		return resilience.SleepContext(ctx, d)
+	}
+
 	var (
 		shedRes *Result
 		lastErr error
@@ -421,21 +567,38 @@ func (f *Front) dispatch(ctx context.Context, shardKey string, body []byte) (*Re
 			inflight--
 			switch out.class {
 			case classGood:
-				acancel() // first deterministic answer wins; cancel the loser
 				if out.hedge {
 					f.hedgeWins.Add(1)
 					out.b.obsHedgeWins.Inc()
 				}
+				if f.cfg.Divergence.CompareHedges && inflight > 0 {
+					// Hand the straggler(s) to the drain goroutine: their
+					// bodies are a free divergence probe, so let them finish
+					// and digest-compare against the winner before releasing
+					// the budget context.
+					handoff = true
+					f.wg.Add(1)
+					go f.drainCompare(cancel, acancel, results, inflight, body, out.res)
+				} else {
+					acancel() // first deterministic answer wins; cancel the loser
+				}
+				f.maybeAudit(body, out.res)
 				return out.res, nil
 			case classShed:
 				if out.res != nil {
 					shedRes = out.res
+				}
+				if err := failoverWait(); err != nil {
+					return nil, err
 				}
 				if launchNext(false) {
 					out.b.obsFailovers.Inc()
 				}
 			case classFail:
 				lastErr = out.err
+				if err := failoverWait(); err != nil {
+					return nil, err
+				}
 				if launchNext(false) {
 					out.b.obsFailovers.Inc()
 				}
@@ -447,7 +610,6 @@ func (f *Front) dispatch(ctx context.Context, shardKey string, body []byte) (*Re
 				f.obsHedges.Inc()
 			}
 		case <-ctx.Done():
-			acancel()
 			return nil, ctx.Err()
 		}
 	}
@@ -455,9 +617,14 @@ func (f *Front) dispatch(ctx context.Context, shardKey string, body []byte) (*Re
 		return shedRes, nil
 	}
 	if lastErr == nil {
-		lastErr = fmt.Errorf("fleet: no replica available for %s", shardKey)
+		return nil, fmt.Errorf("fleet: no replica available for %s", shardKey)
 	}
-	return nil, fmt.Errorf("fleet: all %d replicas failed: %w", len(cands), lastErr)
+	// %v on purpose: lastErr often wraps an attempt-level timeout, and
+	// letting that chain escape would make errors.Is(err, DeadlineExceeded)
+	// misread "every replica failed" as "the request's own deadline died" —
+	// the handler would answer 504 with no Retry-After instead of a
+	// retryable 502.
+	return nil, fmt.Errorf("fleet: all %d replicas failed: %v", len(cands), lastErr)
 }
 
 // attempt sends body to one backend and classifies the outcome, settling
@@ -478,18 +645,22 @@ func (f *Front) attempt(ctx context.Context, b *backend, body []byte, hedge bool
 	b.obsRequests.Inc()
 
 	t0 := time.Now()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/schedule", bytes.NewReader(body))
-	if err != nil {
-		report(resilience.Skipped)
-		return attemptOut{b: b, class: classFail, err: err, hedge: hedge}
+	// The per-attempt timeout bounds connect through last body byte, so a
+	// slow-loris backend costs one AttemptTimeout before failover, not the
+	// whole request deadline. ctx (the parent) stays the authority on
+	// whether the *request* is over; tctx only bounds *this try*.
+	tctx := ctx
+	tcancel := context.CancelFunc(func() {})
+	if f.cfg.AttemptTimeout > 0 {
+		tctx, tcancel = context.WithTimeout(ctx, f.cfg.AttemptTimeout)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set("X-Client-ID", "sosfront")
-	resp, err := f.client.Do(req)
-	if err != nil {
+	defer tcancel()
+	// fail classifies a transport-level breakdown: a dead parent context is
+	// no verdict on the backend (hedge lost, client gone, deadline), but an
+	// attempt timeout with a live parent is the backend being slow — that is
+	// exactly what the breaker should hear about.
+	fail := func(err error) attemptOut {
 		if ctx.Err() != nil {
-			// Cancelled (hedge lost, client gone, deadline): no verdict on
-			// the backend's health.
 			report(resilience.Skipped)
 		} else {
 			report(resilience.Failure)
@@ -498,13 +669,38 @@ func (f *Front) attempt(ctx context.Context, b *backend, body []byte, hedge bool
 		}
 		return attemptOut{b: b, class: classFail, err: fmt.Errorf("backend %s: %w", b.base, err), hedge: hedge}
 	}
+	req, err := http.NewRequestWithContext(tctx, http.MethodPost, b.base+"/v1/schedule", bytes.NewReader(body))
+	if err != nil {
+		report(resilience.Skipped)
+		return attemptOut{b: b, class: classFail, err: err, hedge: hedge}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client-ID", "sosfront")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return fail(err)
+	}
 	defer resp.Body.Close()
-	data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	// Read one byte past the cap: exactly maxResponseBytes+1 bytes read
+	// means the backend's body was larger, which is a hard failure — a
+	// silently truncated relay of a deterministic answer would be
+	// indistinguishable from wire corruption.
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
 	if rerr != nil {
-		report(resilience.Failure)
-		b.failures.Add(1)
-		b.obsFailures.Inc()
-		return attemptOut{b: b, class: classFail, err: fmt.Errorf("backend %s: reading response: %w", b.base, rerr), hedge: hedge}
+		return fail(fmt.Errorf("reading response: %w", rerr))
+	}
+	if len(data) > maxResponseBytes {
+		return fail(fmt.Errorf("response exceeds %d bytes", maxResponseBytes))
+	}
+	// Integrity envelope: a present-but-wrong digest is always a failure (a
+	// corrupt 200 must never reach a client); a missing digest is tolerated
+	// unless RequireDigest, so fronts can sit over pre-envelope backends.
+	if cerr := integrity.Check(resp.Header.Get(integrity.Header), data); cerr != nil {
+		if !errors.Is(cerr, integrity.ErrMissing) || f.cfg.RequireDigest {
+			f.integrityFails.Add(1)
+			b.obsIntegrity.Inc()
+			return fail(cerr)
+		}
 	}
 	dur := time.Since(t0)
 	if v := resp.Header.Get("X-Brownout-Mode"); v != "" {
@@ -545,7 +741,7 @@ func (f *Front) attempt(ctx context.Context, b *backend, body []byte, hedge bool
 // relayHeaders picks the response headers worth relaying to the client.
 func relayHeaders(h http.Header) http.Header {
 	out := http.Header{}
-	for _, k := range []string{"Content-Type", "X-Cache", "Retry-After", "X-Brownout-Mode"} {
+	for _, k := range []string{"Content-Type", "X-Cache", "Retry-After", "X-Brownout-Mode", integrity.Header} {
 		if v := h.Get(k); v != "" {
 			out.Set(k, v)
 		}
@@ -575,40 +771,56 @@ func retryAfterValue(d time.Duration) string {
 
 // BackendStats is one backend's /statz entry.
 type BackendStats struct {
-	Backend   string                  `json:"backend"`
-	Healthy   bool                    `json:"healthy"`
-	Mode      int                     `json:"mode"`
-	Ejections uint64                  `json:"ejections"`
-	Readmits  uint64                  `json:"readmits"`
-	Requests  uint64                  `json:"requests"`
-	Failures  uint64                  `json:"failures"`
-	Breaker   resilience.BreakerStats `json:"breaker"`
+	Backend     string                  `json:"backend"`
+	Healthy     bool                    `json:"healthy"`
+	Mode        int                     `json:"mode"`
+	Ejections   uint64                  `json:"ejections"`
+	Readmits    uint64                  `json:"readmits"`
+	Requests    uint64                  `json:"requests"`
+	Failures    uint64                  `json:"failures"`
+	Quarantined bool                    `json:"quarantined"`
+	Divergences uint64                  `json:"divergences"`
+	Quarantines uint64                  `json:"quarantines"`
+	QReadmits   uint64                  `json:"quarantine_readmits"`
+	Breaker     resilience.BreakerStats `json:"breaker"`
 }
 
 // Stats is the front tier's /statz body.
 type Stats struct {
-	Backends  []BackendStats `json:"backends"`
-	Coalesced uint64         `json:"coalesced"`
-	Hedges    uint64         `json:"hedges"`
-	HedgeWins uint64         `json:"hedge_wins"`
-	Draining  bool           `json:"draining"`
+	Backends         []BackendStats `json:"backends"`
+	Coalesced        uint64         `json:"coalesced"`
+	Hedges           uint64         `json:"hedges"`
+	HedgeWins        uint64         `json:"hedge_wins"`
+	IntegrityFails   uint64         `json:"integrity_failures"`
+	Audits           uint64         `json:"audits"`
+	AuditMismatches  uint64         `json:"audit_mismatches"`
+	DivergencesTotal uint64         `json:"divergences"`
+	Draining         bool           `json:"draining"`
 }
 
 // Stats snapshots the fleet state.
 func (f *Front) Stats() Stats {
 	st := Stats{
-		Coalesced: f.coalesced.Load(),
-		Hedges:    f.hedges.Load(),
-		HedgeWins: f.hedgeWins.Load(),
-		Draining:  f.draining.Load(),
+		Coalesced:        f.coalesced.Load(),
+		Hedges:           f.hedges.Load(),
+		HedgeWins:        f.hedgeWins.Load(),
+		IntegrityFails:   f.integrityFails.Load(),
+		Audits:           f.audits.Load(),
+		AuditMismatches:  f.auditMismatches.Load(),
+		DivergencesTotal: f.divergencesTotal.Load(),
+		Draining:         f.draining.Load(),
 	}
 	for _, b := range f.backends {
 		b.mu.Lock()
 		bs := BackendStats{
-			Backend:   b.base,
-			Healthy:   b.healthy,
-			Ejections: b.ejections,
-			Readmits:  b.readmits,
+			Backend:     b.base,
+			Healthy:     b.healthy,
+			Ejections:   b.ejections,
+			Readmits:    b.readmits,
+			Quarantined: b.quarantined,
+			Divergences: b.divergesSeen,
+			Quarantines: b.quarantines,
+			QReadmits:   b.qReadmits,
 		}
 		b.mu.Unlock()
 		bs.Mode = int(b.mode.Load())

@@ -15,6 +15,7 @@ func (f *Front) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/schedule", f.handleSchedule)
 	mux.HandleFunc("GET /v1/mixes", f.handleMixes)
+	mux.HandleFunc("GET /v1/quarantine", f.handleQuarantine)
 	mux.HandleFunc("GET /healthz", f.handleHealthz)
 	mux.HandleFunc("GET /readyz", f.handleReadyz)
 	mux.HandleFunc("GET /statz", f.handleStatz)
@@ -93,6 +94,50 @@ func (f *Front) handleMixes(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	httpError(w, http.StatusBadGateway, "no backend answered /v1/mixes")
+}
+
+// handleQuarantine reports divergence-quarantine state per backend: which
+// replicas are currently excluded from placement, how much evidence each has
+// accumulated, and the lifetime quarantine/readmit counts. Operators (and
+// the partition soak) read this to confirm a diverging replica was isolated
+// and later readmitted.
+func (f *Front) handleQuarantine(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Backend     string `json:"backend"`
+		Quarantined bool   `json:"quarantined"`
+		Divergences uint64 `json:"divergences"`
+		CleanProbes int    `json:"clean_probes"`
+		Quarantines uint64 `json:"quarantines"`
+		Readmits    uint64 `json:"readmits"`
+	}
+	out := struct {
+		Quarantined int     `json:"quarantined"`
+		Backends    []entry `json:"backends"`
+	}{Backends: []entry{}}
+	for _, b := range f.backends {
+		b.mu.Lock()
+		e := entry{
+			Backend:     b.base,
+			Quarantined: b.quarantined,
+			Divergences: b.divergesSeen,
+			CleanProbes: b.cleanProbes,
+			Quarantines: b.quarantines,
+			Readmits:    b.qReadmits,
+		}
+		b.mu.Unlock()
+		if e.Quarantined {
+			out.Quarantined++
+		}
+		out.Backends = append(out.Backends, e)
+	}
+	body, err := json.Marshal(out)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding quarantine state: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+	w.Write([]byte("\n"))
 }
 
 // handleHealthz is liveness: the front process is up.

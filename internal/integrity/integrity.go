@@ -1,0 +1,67 @@
+// Package integrity implements the fleet's response integrity envelope: a
+// cheap content digest stamped by the producing sosd and verified by every
+// consumer (the sosfront dispatcher on every proxied reply, the cache
+// warm-up on every sibling export) so a corrupted-in-transit body can never
+// masquerade as a deterministic answer.
+//
+// The digest is FNV-1a 64 over the exact response body bytes, rendered as
+// "fnv1a:<16 hex digits>" in the X-Content-Digest header. FNV is not
+// collision-resistant against an adversary, and does not need to be: the
+// threat model is the wire (bit flips, truncation, proxy bugs), not a
+// malicious backend — a backend that wanted to lie would simply stamp its
+// lie correctly, which is exactly what the fleet's divergence quarantine
+// (byte-identity comparison between replicas) exists to catch. What the
+// envelope buys is that corruption *between* a correct backend and the
+// front is always detected, for the price of one hash pass over bytes the
+// front was already copying.
+package integrity
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Header is the HTTP header carrying the body digest.
+const Header = "X-Content-Digest"
+
+// prefix names the digest algorithm in the header value, so the scheme can
+// be evolved without ambiguity.
+const prefix = "fnv1a:"
+
+// Sentinel errors; match with errors.Is.
+var (
+	// ErrMissing marks a response that carries no digest header at all.
+	ErrMissing = errors.New("integrity: response carries no content digest")
+	// ErrMismatch marks a digest that does not match the body — the body
+	// was corrupted (or truncated) somewhere between producer and consumer.
+	ErrMismatch = errors.New("integrity: content digest mismatch")
+	// ErrMalformed marks a digest header this package cannot parse.
+	ErrMalformed = errors.New("integrity: malformed content digest")
+)
+
+// Digest returns the header value for body: "fnv1a:" plus the FNV-1a 64
+// sum in fixed-width hex.
+func Digest(body []byte) string {
+	h := fnv.New64a()
+	h.Write(body)
+	return fmt.Sprintf("%s%016x", prefix, h.Sum64())
+}
+
+// Check verifies a header value against body. An empty header returns
+// ErrMissing (the caller decides whether absence is tolerable — old
+// backends don't stamp); an unparsable header returns ErrMalformed; a
+// parsed digest that does not match returns ErrMismatch with both values.
+func Check(header string, body []byte) error {
+	if header == "" {
+		return ErrMissing
+	}
+	if !strings.HasPrefix(header, prefix) || len(header) != len(prefix)+16 {
+		return fmt.Errorf("%w: %q", ErrMalformed, header)
+	}
+	if got := Digest(body); got != header {
+		return fmt.Errorf("%w: header %s, body %s (%d bytes)", ErrMismatch, header, got, len(body))
+	}
+	return nil
+}

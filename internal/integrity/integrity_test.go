@@ -1,0 +1,63 @@
+package integrity
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestDigestRoundTrip checks stamp-then-verify is clean, including on the
+// empty body.
+func TestDigestRoundTrip(t *testing.T) {
+	for _, body := range [][]byte{nil, {}, []byte("x"), []byte(`{"ok":1}` + "\n")} {
+		if err := Check(Digest(body), body); err != nil {
+			t.Fatalf("Check(Digest(%q)) = %v", body, err)
+		}
+	}
+}
+
+// TestDigestDetectsEveryBitFlip flips every bit of a representative body
+// and requires the digest to catch each one — the property the fleet's
+// "no corrupt 200 reaches a client" contract rests on.
+func TestDigestDetectsEveryBitFlip(t *testing.T) {
+	body := []byte(`{"mix":"Jsb(4,2,2)","pick":[0,1],"ws":1.2345}` + "\n")
+	d := Digest(body)
+	for i := range body {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), body...)
+			mut[i] ^= 1 << bit
+			if err := Check(d, mut); !errors.Is(err, ErrMismatch) {
+				t.Fatalf("flip byte %d bit %d: err = %v, want ErrMismatch", i, bit, err)
+			}
+		}
+	}
+	// Truncation is caught too.
+	for cut := 0; cut < len(body); cut++ {
+		if err := Check(d, body[:cut]); !errors.Is(err, ErrMismatch) {
+			t.Fatalf("truncate to %d: err = %v, want ErrMismatch", cut, err)
+		}
+	}
+}
+
+// TestCheckClassifiesHeaders checks the three failure classes are told
+// apart, so callers can treat absence (old backend) differently from
+// corruption.
+func TestCheckClassifiesHeaders(t *testing.T) {
+	body := []byte("payload")
+	cases := []struct {
+		header string
+		want   error
+	}{
+		{"", ErrMissing},
+		{"md5:abc", ErrMalformed},
+		{"fnv1a:short", ErrMalformed},
+		{"fnv1a:" + strings.Repeat("0", 17), ErrMalformed},
+		{"fnv1a:" + strings.Repeat("0", 16), ErrMismatch},
+		{Digest(body), nil},
+	}
+	for _, c := range cases {
+		if err := Check(c.header, body); !errors.Is(err, c.want) {
+			t.Fatalf("Check(%q) = %v, want %v", c.header, err, c.want)
+		}
+	}
+}

@@ -220,20 +220,27 @@ func Do(ctx context.Context, cfg RetryConfig, budget *Budget, retryable func(err
 		if !budget.TryWithdraw() {
 			return fmt.Errorf("%w: %w", ErrBudgetExhausted, err)
 		}
-		if serr := cfg.Sleep(ctx, backoff(cfg, attempt)); serr != nil {
+		if serr := cfg.Sleep(ctx, BackoffDelay(cfg, attempt)); serr != nil {
 			return fmt.Errorf("%w (last attempt: %w)", serr, err)
 		}
 	}
 }
 
-// backoff computes the full-jitter delay before the retry after attempt.
-func backoff(cfg RetryConfig, attempt int) time.Duration {
+// BackoffDelay computes the full-jitter delay before the retry after
+// attempt: Jitter(attempt) * min(MaxDelay, BaseDelay<<attempt). It is
+// exported so callers with their own retry loops (the fleet's failover
+// walk) share Do's backoff shape instead of reinventing it. Zero-valued
+// BaseDelay/MaxDelay are NOT defaulted here — pass a fully resolved config.
+func BackoffDelay(cfg RetryConfig, attempt int) time.Duration {
 	ceil := cfg.BaseDelay
 	for i := 0; i < attempt && ceil < cfg.MaxDelay; i++ {
 		ceil *= 2
 	}
 	if ceil > cfg.MaxDelay {
 		ceil = cfg.MaxDelay
+	}
+	if cfg.Jitter == nil {
+		return ceil
 	}
 	return time.Duration(cfg.Jitter(attempt) * float64(ceil))
 }

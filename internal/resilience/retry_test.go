@@ -300,3 +300,31 @@ func TestNilBudgetUnlimited(t *testing.T) {
 	}
 	b.Deposit()
 }
+
+// TestBackoffDelayShape pins the exported full-jitter curve: the ceiling
+// doubles per attempt up to MaxDelay, the jitter factor scales it, and a
+// nil Jitter returns the raw ceiling.
+func TestBackoffDelayShape(t *testing.T) {
+	cfg := RetryConfig{BaseDelay: 10 * time.Millisecond, MaxDelay: 45 * time.Millisecond}
+	for attempt, want := range []time.Duration{
+		10 * time.Millisecond, // 10 << 0
+		20 * time.Millisecond, // 10 << 1
+		40 * time.Millisecond, // 10 << 2
+		45 * time.Millisecond, // capped
+		45 * time.Millisecond, // stays capped
+	} {
+		if got := BackoffDelay(cfg, attempt); got != want {
+			t.Fatalf("attempt %d: delay %s, want %s", attempt, got, want)
+		}
+	}
+	half := cfg
+	half.Jitter = func(int) float64 { return 0.5 }
+	if got := BackoffDelay(half, 1); got != 10*time.Millisecond {
+		t.Fatalf("jitter 0.5 attempt 1: %s, want 10ms", got)
+	}
+	zero := cfg
+	zero.Jitter = func(int) float64 { return 0 }
+	if got := BackoffDelay(zero, 3); got != 0 {
+		t.Fatalf("jitter 0: %s, want 0 (full jitter may sleep nothing)", got)
+	}
+}

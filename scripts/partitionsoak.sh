@@ -1,0 +1,233 @@
+#!/usr/bin/env bash
+# partitionsoak.sh — soak a 1-front/3-backend sosd fleet through deterministic
+# chaosproxy fault injectors and assert the integrity contract:
+#
+#   - wire corruption, resets, latency and a timed 10s blackhole partition are
+#     injected between the front and its backends, yet zero digest-mismatched
+#     or oracle-divergent bodies reach the client (the soak's digest check and
+#     byte-identity oracle both stay clean);
+#   - a replica answering deterministically-wrong bytes (sosd -divergence) is
+#     convicted by hedge-loser comparison and background audits and
+#     quarantined out of placement within -quarantine-after observations;
+#   - once its divergence window closes, clean readmit probes lift the
+#     quarantine while traffic is still flowing;
+#   - the chaosnet fault schedule replays byte-identically regardless of
+#     worker parallelism (the workers-1-vs-8 determinism test).
+#
+# Usage:
+#   scripts/partitionsoak.sh                 # 30-second soak
+#   SOAK_SECONDS=15 scripts/partitionsoak.sh # shorter, for local smoke
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SOAK_SECONDS="${SOAK_SECONDS:-30}"
+CHAOS_SEED="${CHAOS_SEED:-42}"
+DIVERGE_FOR="${DIVERGE_FOR:-20s}"
+
+TMP="$(mktemp -d)"
+cleanup() {
+    for pidf in "$TMP"/*.pid; do
+        [ -f "$pidf" ] && kill "$(cat "$pidf")" 2>/dev/null || true
+    done
+    if [ -n "${KEEP_TMP:-}" ]; then
+        echo "KEEP_TMP set: logs left in $TMP" >&2
+    else
+        rm -rf "$TMP"
+    fi
+}
+trap cleanup EXIT
+
+echo "== fault-schedule determinism: identical plans at workers 1 and 8 =="
+go test -count=1 -run 'TestPlanReplaysIdenticallyAcrossWorkers' ./internal/chaosnet/
+
+go build -o "$TMP/sosd" ./cmd/sosd
+go build -o "$TMP/sosfront" ./cmd/sosfront
+go build -o "$TMP/chaosproxy" ./cmd/chaosproxy
+
+# start_daemon NAME LOGFILE BIN ARGS...: launch a daemon with its log in
+# LOGFILE, record its pid in $TMP/NAME.pid, and echo the bound address
+# parsed from the "listening on" contract line.
+start_daemon() {
+    local name="$1" logf="$2" bin="$3"
+    shift 3
+    "$bin" "$@" </dev/null >/dev/null 2>"$logf" &
+    local pid=$!
+    echo "$pid" >"$TMP/$name.pid"
+    local addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/.*listening on \(.*\)/\1/p' "$logf" | head -n1)"
+        [ -n "$addr" ] && break
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "FAIL: $name died on startup:" >&2
+            cat "$logf" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "FAIL: $name never logged its address" >&2
+        exit 1
+    fi
+    echo "$addr"
+}
+
+# stop_daemon NAME LOGFILE: SIGTERM and require a clean drained exit.
+stop_daemon() {
+    local name="$1" logf="$2"
+    local pid
+    pid="$(cat "$TMP/$name.pid")"
+    kill -TERM "$pid"
+    for _ in $(seq 1 200); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    if kill -0 "$pid" 2>/dev/null; then
+        echo "FAIL: $name still running 20s after SIGTERM" >&2
+        exit 1
+    fi
+    if ! grep -q "drained cleanly" "$logf"; then
+        echo "FAIL: no clean-drain line in $logf after SIGTERM:" >&2
+        tail -5 "$logf" >&2
+        exit 1
+    fi
+    rm -f "$TMP/$name.pid"
+}
+
+BACKEND_FLAGS=(-scale serve -rate 500 -queue 64 -workers 4 -drain 15s)
+
+echo "== fleet: oracle + 3 backends (b3 divergent for $DIVERGE_FOR) behind chaos proxies =="
+ORACLE="$(start_daemon oracle "$TMP/oracle.log" "$TMP/sosd" \
+    -addr 127.0.0.1:0 -checkpoint "$TMP/oracle.ckpt" "${BACKEND_FLAGS[@]}")"
+B1="$(start_daemon b1 "$TMP/b1.log" "$TMP/sosd" \
+    -addr 127.0.0.1:0 -checkpoint "$TMP/b1.ckpt" "${BACKEND_FLAGS[@]}")"
+B2="$(start_daemon b2 "$TMP/b2.log" "$TMP/sosd" \
+    -addr 127.0.0.1:0 -checkpoint "$TMP/b2.ckpt" "${BACKEND_FLAGS[@]}")"
+B3="$(start_daemon b3 "$TMP/b3.log" "$TMP/sosd" \
+    -addr 127.0.0.1:0 -checkpoint "$TMP/b3.ckpt" \
+    -divergence 1 -divergence-for "$DIVERGE_FOR" "${BACKEND_FLAGS[@]}")"
+
+# p1 carries the 10s blackhole partition (a single window, 15s in); p2
+# carries bit corruption plus resets (connection churn keeps fresh fault
+# draws coming); p3 only adds latency — b3's divergence is the application-
+# level fault under test and should not be confounded by wire damage.
+P1="$(start_daemon p1 "$TMP/p1.log" "$TMP/chaosproxy" \
+    -backend "$B1" -label b1 -seed "$CHAOS_SEED" \
+    -latency-p 0.2 -partition-every 600s -partition-for 10s -partition-start 15s)"
+P2="$(start_daemon p2 "$TMP/p2.log" "$TMP/chaosproxy" \
+    -backend "$B2" -label b2 -seed "$CHAOS_SEED" \
+    -latency-p 0.2 -corrupt-p 0.5 -reset-p 0.1)"
+P3="$(start_daemon p3 "$TMP/p3.log" "$TMP/chaosproxy" \
+    -backend "$B3" -label b3 -seed "$CHAOS_SEED" -latency-p 0.2)"
+
+FRONT="$(start_daemon front "$TMP/front.log" "$TMP/sosfront" \
+    -addr 127.0.0.1:0 -backends "http://$P1,http://$P2,http://$P3" \
+    -replicas 2 -drain 15s \
+    -attempt-timeout 2s -audit-rate 1 -audit-seed 7 \
+    -quarantine-after 3 -quarantine-readmit 2)"
+echo "oracle=$ORACLE proxies=$P1,$P2,$P3 front=$FRONT"
+
+post_front() {
+    curl -sf -X POST -H 'Content-Type: application/json' \
+        -d "{\"mix\":\"Jsb(4,2,2)\",\"seed\":$1,\"samples\":2,\"mode\":\"rank\",\"deadline_ms\":15000}" \
+        "http://$FRONT/v1/schedule" -o /dev/null
+}
+
+quarantined_count() {
+    curl -sf "http://$FRONT/v1/quarantine" | sed -n 's/.*"quarantined":\([0-9]*\),.*/\1/p'
+}
+
+# Prime the quarantine with unchecked traffic: distinct fingerprints (seeds
+# outside the soak client's 0..63 space) give the audits fresh evaluations
+# to cross-check until b3 crosses the quarantine threshold. Only then does
+# the oracle-checked soak start — from that point on, a divergent body
+# reaching the client is a hard failure.
+echo "== priming: convict the divergent replica before checked load starts =="
+CONVICTED=""
+for i in $(seq 1 100); do
+    post_front $((20000 + i)) || true
+    if [ "$(quarantined_count)" = "1" ]; then
+        CONVICTED=1
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$CONVICTED" ]; then
+    echo "FAIL: divergent replica was never quarantined during priming:" >&2
+    curl -s "http://$FRONT/v1/quarantine" >&2 || true
+    tail -10 "$TMP/front.log" >&2
+    exit 1
+fi
+echo "ok: divergent replica quarantined (after $i priming requests)"
+curl -s "http://$FRONT/v1/quarantine" | head -c 400; echo
+
+echo "== soak: ${SOAK_SECONDS}s of oracle-checked load under chaos =="
+"$TMP/sosfront" -soak "http://$FRONT" -oracle "http://$ORACLE" \
+    -soak-duration "${SOAK_SECONDS}s" >"$TMP/soak.out" 2>"$TMP/soak.log" &
+SOAK_PID=$!
+if ! wait "$SOAK_PID"; then
+    echo "FAIL: partition soak found violations:" >&2
+    tail -20 "$TMP/soak.log" >&2
+    exit 1
+fi
+grep -q "fleet soak passed" "$TMP/soak.out"
+cat "$TMP/soak.out"
+tail -1 "$TMP/soak.log" >&2 || true
+
+# By now b3's divergence window has closed; keep a trickle of traffic
+# flowing so readmit probes (which ride the audit draws) can lift the
+# quarantine, then require it lifted.
+echo "== readmission: clean probes must lift the quarantine =="
+READMITTED=""
+for i in $(seq 1 100); do
+    post_front $((30000 + i)) || true
+    if [ "$(quarantined_count)" = "0" ]; then
+        READMITTED=1
+        break
+    fi
+    sleep 0.1
+done
+QJSON="$(curl -s "http://$FRONT/v1/quarantine")"
+if [ -z "$READMITTED" ]; then
+    echo "FAIL: quarantine never lifted after the divergence window closed:" >&2
+    echo "$QJSON" >&2
+    tail -10 "$TMP/front.log" >&2
+    exit 1
+fi
+echo "$QJSON" | grep -Eq '"quarantines":[1-9]' || {
+    echo "FAIL: no backend records a quarantine episode: $QJSON" >&2
+    exit 1
+}
+echo "$QJSON" | grep -Eq '"readmits":[1-9]' || {
+    echo "FAIL: no backend records a readmission: $QJSON" >&2
+    exit 1
+}
+echo "ok: quarantine episode recorded and lifted"
+echo "$QJSON" | head -c 400; echo
+
+echo "== drain the fleet =="
+stop_daemon front "$TMP/front.log"
+stop_daemon p3 "$TMP/p3.log"
+stop_daemon p2 "$TMP/p2.log"
+stop_daemon p1 "$TMP/p1.log"
+stop_daemon b3 "$TMP/b3.log"
+stop_daemon b2 "$TMP/b2.log"
+stop_daemon b1 "$TMP/b1.log"
+stop_daemon oracle "$TMP/oracle.log"
+
+# The proxies' exit stats prove the chaos actually fired: the partition
+# window held traffic, and at least one injected fault (corruption, reset
+# or stall) hit a live connection.
+PARTITIONS="$(sed -n 's/.*"partition_holds":\([0-9]*\).*/\1/p' "$TMP/p1.log" | tail -n1)"
+CORRUPTIONS="$(sed -n 's/.*"corruptions":\([0-9]*\).*/\1/p' "$TMP/p2.log" | tail -n1)"
+RESETS="$(sed -n 's/.*"resets":\([0-9]*\).*/\1/p' "$TMP/p2.log" | tail -n1)"
+echo "chaos totals: partition_holds=$PARTITIONS corruptions=$CORRUPTIONS resets=$RESETS"
+if [ "${PARTITIONS:-0}" -eq 0 ]; then
+    echo "FAIL: the blackhole partition never held a connection" >&2
+    exit 1
+fi
+if [ "$(( ${CORRUPTIONS:-0} + ${RESETS:-0} ))" -eq 0 ]; then
+    echo "FAIL: no corruption or reset ever fired on p2" >&2
+    exit 1
+fi
+echo "PASS"
