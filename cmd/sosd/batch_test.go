@@ -1,0 +1,284 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"symbios/internal/checkpoint"
+	"symbios/internal/integrity"
+	"symbios/internal/leakcheck"
+)
+
+// postBatch sends a batch envelope and returns status, raw body, and the
+// decoded envelope (when the status is 200).
+func postBatch(t *testing.T, ts *httptest.Server, body string) (int, []byte, *BatchResponse) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/schedule/batch", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("build batch request: %v", err)
+	}
+	req.Header.Set("X-Client-ID", "t")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/schedule/batch: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read batch response: %v", err)
+	}
+	data := buf.Bytes()
+	if cerr := integrity.Check(resp.Header.Get(integrity.Header), data); cerr != nil {
+		t.Fatalf("batch envelope digest: %v", cerr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, data, nil
+	}
+	var env BatchResponse
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("decode batch envelope: %v\n%s", err, data)
+	}
+	return resp.StatusCode, data, &env
+}
+
+// batchEnvelope builds a `{"requests":[...]}` body from item bodies.
+func batchEnvelope(items ...string) string {
+	return `{"requests":[` + strings.Join(items, ",") + `]}`
+}
+
+// checkItemAgainstSingleton asserts one batch item reconstructs byte-for-
+// byte into the singleton answer for the same body: same status, same wire
+// bytes (item body + '\n'), and a digest that both verifies and equals the
+// digest header the singleton response carried.
+func checkItemAgainstSingleton(t *testing.T, item BatchItem, singletonStatus int, singletonBody []byte, singletonDig string) {
+	t.Helper()
+	if item.Status != singletonStatus {
+		t.Fatalf("item status %d, singleton answered %d", item.Status, singletonStatus)
+	}
+	wire := append(append([]byte{}, item.Body...), '\n')
+	if !bytes.Equal(wire, singletonBody) {
+		t.Fatalf("item bytes diverge from singleton:\nitem:      %s\nsingleton: %s", wire, singletonBody)
+	}
+	if err := integrity.Check(item.Digest, wire); err != nil {
+		t.Fatalf("item digest: %v", err)
+	}
+	if singletonDig != "" && item.Digest != singletonDig {
+		t.Fatalf("item digest %q != singleton header %q", item.Digest, singletonDig)
+	}
+}
+
+// postSingleton fetches the singleton truth for a body: status, wire bytes,
+// digest header.
+func postSingleton(t *testing.T, ts *httptest.Server, body string) (int, []byte, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/schedule", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("build request: %v", err)
+	}
+	req.Header.Set("X-Client-ID", "t")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/schedule: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp.StatusCode, buf.Bytes(), resp.Header.Get(integrity.Header)
+}
+
+// TestScheduleBatchByteIdentity proves the tentpole contract: every batch
+// item — cache miss on a fresh server, then cache hit on the second ask —
+// is byte-identical to the singleton answer for the same request, per-item
+// digest included. Error items (unknown mix, adaptive mode) reproduce the
+// singleton error bytes the same way.
+func TestScheduleBatchByteIdentity(t *testing.T) {
+	leakcheck.Check(t)
+	// Singleton truth comes from its own server so the batch server's cache
+	// state cannot contaminate the comparison.
+	_, single := newTestServer(t, testServerOpts{})
+	rec := checkpoint.NewRecorder(filepath.Join(t.TempDir(), "batch.ckpt"),
+		checkpoint.Meta{Exp: "sosd", Scale: "serve", Seed: 1}, 1)
+	_, batch := newTestServer(t, testServerOpts{rec: rec})
+
+	items := []string{
+		`{"mix":"Jsb(4,2,2)","seed":7,"samples":3}`,
+		`{"mix":"Jsb(5,2,2)","seed":9,"samples":2,"predictor":"IPC"}`,
+		`{"mix":"nope","seed":1}`,
+		`{"mix":"Jsb(4,2,2)","seed":7,"samples":3,"mode":"adaptive"}`,
+	}
+	type truth struct {
+		status int
+		body   []byte
+		digest string
+	}
+	truths := make([]truth, len(items))
+	for i, it := range items {
+		if strings.Contains(it, "adaptive") {
+			// The batch endpoint rejects adaptive items by contract; the
+			// expected bytes are the documented per-item 400.
+			continue
+		}
+		st, body, dig := postSingleton(t, single, it)
+		truths[i] = truth{st, body, dig}
+	}
+
+	for pass, wantCache := range []string{"miss", "hit"} {
+		status, _, env := postBatch(t, batch, batchEnvelope(items...))
+		if status != http.StatusOK {
+			t.Fatalf("pass %d: batch status %d", pass, status)
+		}
+		if len(env.Items) != len(items) {
+			t.Fatalf("pass %d: %d items answered, want %d", pass, len(env.Items), len(items))
+		}
+		for i, item := range env.Items {
+			switch i {
+			case 2: // unknown mix: singleton 400, byte-identical
+				checkItemAgainstSingleton(t, item, truths[i].status, truths[i].body, truths[i].digest)
+				if item.Cache != "" {
+					t.Fatalf("error item carries cache %q", item.Cache)
+				}
+			case 3: // adaptive: rejected per item, batch untouched
+				if item.Status != http.StatusBadRequest {
+					t.Fatalf("adaptive item status %d, want 400", item.Status)
+				}
+				wire := append(append([]byte{}, item.Body...), '\n')
+				if err := integrity.Check(item.Digest, wire); err != nil {
+					t.Fatalf("adaptive item digest: %v", err)
+				}
+			default:
+				checkItemAgainstSingleton(t, item, truths[i].status, truths[i].body, truths[i].digest)
+				if item.Cache != wantCache {
+					t.Fatalf("pass %d item %d cache %q, want %q", pass, i, item.Cache, wantCache)
+				}
+			}
+		}
+	}
+
+	// The batch's recorded answers are the singleton answers: a singleton
+	// ask on the batch server now hits the cache with identical bytes.
+	st, body, _ := postSingleton(t, batch, items[0])
+	if st != http.StatusOK || !bytes.Equal(body, truths[0].body) {
+		t.Fatalf("singleton-after-batch status %d, bytes match %v", st, bytes.Equal(body, truths[0].body))
+	}
+}
+
+// TestScheduleBatchWorkerInvariance proves batch results do not depend on
+// the queue's worker count: the same envelope answered at -workers 1 and
+// -workers 8 is byte-identical (the batched ranking pass uses fixed chunk
+// sizes and one queue task, so parallelism never reorders its work).
+func TestScheduleBatchWorkerInvariance(t *testing.T) {
+	leakcheck.Check(t)
+	env := batchEnvelope(
+		`{"mix":"Jsb(4,2,2)","seed":1,"samples":2}`,
+		`{"mix":"Jsb(4,2,2)","seed":2,"samples":3}`,
+		`{"mix":"Jsb(5,2,2)","seed":3,"samples":2}`,
+		`{"mix":"Jsb(6,3,3)","seed":4,"samples":2}`,
+	)
+	var bodies [][]byte
+	for _, workers := range []int{1, 8} {
+		_, ts := newTestServer(t, testServerOpts{cfg: func(c *serverConfig) { c.Workers = workers }})
+		status, raw, _ := postBatch(t, ts, env)
+		if status != http.StatusOK {
+			t.Fatalf("workers=%d: batch status %d", workers, status)
+		}
+		bodies = append(bodies, raw)
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatalf("batch envelope differs between workers=1 and workers=8:\n%s\n%s", bodies[0], bodies[1])
+	}
+}
+
+// TestScheduleBatchDuplicateItem checks two items sharing a fingerprint are
+// resolved per item: the first evaluates, the duplicate 400s, the batch
+// succeeds.
+func TestScheduleBatchDuplicateItem(t *testing.T) {
+	leakcheck.Check(t)
+	_, ts := newTestServer(t, testServerOpts{})
+	// Different bytes, same fingerprint (samples defaults to 10).
+	status, _, env := postBatch(t, ts, batchEnvelope(
+		`{"mix":"Jsb(4,2,2)","seed":5,"samples":2}`,
+		`{"mix":"Jsb(4,2,2)","samples":2,"seed":5}`,
+	))
+	if status != http.StatusOK {
+		t.Fatalf("batch status %d", status)
+	}
+	if env.Items[0].Status != http.StatusOK {
+		t.Fatalf("first twin status %d, want 200", env.Items[0].Status)
+	}
+	if env.Items[1].Status != http.StatusBadRequest || !strings.Contains(string(env.Items[1].Body), "duplicate of item 0") {
+		t.Fatalf("duplicate item status %d body %s", env.Items[1].Status, env.Items[1].Body)
+	}
+}
+
+// TestScheduleBatchLimiterChargesPerItem checks a batch of n costs n tokens:
+// a batch larger than the burst is shed whole with a Retry-After hint, and
+// a batch that fits is admitted.
+func TestScheduleBatchLimiterChargesPerItem(t *testing.T) {
+	leakcheck.Check(t)
+	_, ts := newTestServer(t, testServerOpts{cfg: func(c *serverConfig) {
+		c.Rate = 0.001 // no meaningful refill during the test
+		c.Burst = 4
+	}})
+	var items []string
+	for i := 0; i < 8; i++ {
+		items = append(items, fmt.Sprintf(`{"mix":"Jsb(4,2,2)","seed":%d,"samples":2}`, i))
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/schedule/batch", bytes.NewReader([]byte(batchEnvelope(items...))))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("8-item batch against burst 4: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	status, _, env := postBatch(t, ts, batchEnvelope(items[:3]...))
+	if status != http.StatusOK {
+		t.Fatalf("3-item batch status %d, want 200", status)
+	}
+	for i, item := range env.Items {
+		if item.Status != http.StatusOK {
+			t.Fatalf("item %d status %d: %s", i, item.Status, item.Body)
+		}
+	}
+}
+
+// TestScheduleBatchBounds checks batch-level validation: empty and oversized
+// arrays are whole-batch 400s.
+func TestScheduleBatchBounds(t *testing.T) {
+	leakcheck.Check(t)
+	_, ts := newTestServer(t, testServerOpts{})
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"empty", `{"requests":[]}`},
+		{"missing", `{}`},
+		{"trailing", `{"requests":[{"mix":"Jsb(4,2,2)"}]} extra`},
+		{"unknown-field", `{"requests":[],"extra":1}`},
+		{"overfull", batchEnvelope(make64PlusItems()...)},
+	} {
+		status, body, _ := postBatch(t, ts, tc.body)
+		if status != http.StatusBadRequest {
+			t.Fatalf("%s: status %d (%s), want 400", tc.name, status, body)
+		}
+	}
+}
+
+func make64PlusItems() []string {
+	items := make([]string, MaxBatchItems+1)
+	for i := range items {
+		items[i] = fmt.Sprintf(`{"mix":"Jsb(4,2,2)","seed":%d}`, i)
+	}
+	return items
+}

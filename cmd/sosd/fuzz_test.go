@@ -64,3 +64,52 @@ func FuzzDecodeScheduleRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeBatchRequest drives the batch envelope decoder with hostile
+// bodies: oversized arrays, duplicate and NaN-bearing items, truncated JSON.
+// The envelope decoder must never panic and never accept an out-of-bounds
+// batch; item-level garbage is deliberately accepted here (it becomes a
+// per-item 400 downstream), but each accepted raw item must survive the
+// singleton decoder without panicking too.
+func FuzzDecodeBatchRequest(f *testing.F) {
+	item := `{"mix":"Jsb(4,2,2)","seed":7,"samples":4}`
+	many := item
+	for i := 0; i < 70; i++ {
+		many += "," + item
+	}
+	seeds := []string{
+		``,
+		`{}`,
+		`{"requests":[]}`,
+		`{"requests":[` + item + `]}`,
+		`{"requests":[` + item + `,` + item + `]}`, // duplicates
+		`{"requests":[` + many + `]}`,              // over the item bound
+		`{"requests":[{"mix":"Jsb(4,2,2)","fault":{"fail_rate":1e999}}]}`,
+		`{"requests":[{"mix":"Jsb(4,2,2)","fault":{"noise_sigma":NaN}}]}`,
+		`{"requests":[` + item + `]} trailing`,
+		`{"requests":[` + item + `],"extra":true}`,
+		`{"requests":"not an array"}`,
+		`{"requests":[1,2,3]}`,
+		strings.Repeat(`{"requests":[`, 5_000),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items, err := DecodeBatchRequest(data)
+		if err != nil {
+			return
+		}
+		if len(data) > MaxBatchRequestBytes {
+			t.Fatalf("accepted %d-byte batch over the %d cap", len(data), MaxBatchRequestBytes)
+		}
+		if len(items) < 1 || len(items) > MaxBatchItems {
+			t.Fatalf("accepted %d items outside [1,%d]", len(items), MaxBatchItems)
+		}
+		for _, raw := range items {
+			// Item validation is the singleton decoder's job; it must hold
+			// its own no-panic guarantee on whatever the envelope let through.
+			DecodeScheduleRequest(raw)
+		}
+	})
+}

@@ -32,6 +32,11 @@ type serverObs struct {
 	warmShards     *obs.Counter
 	warmBytes      *obs.Counter
 
+	// Batch endpoint counters: envelopes admitted, and items whose batched
+	// rank attempt failed and reran on the singleton retry path.
+	batchRequests  *obs.Counter
+	batchFallbacks *obs.Counter
+
 	// tracer feeds SOS phase spans from the evaluator's adaptive runs into
 	// obs_span_seconds. No JSONL sink in the service; spans surface only as
 	// histogram series on /metrics.
@@ -66,8 +71,28 @@ func newServerObs(reg *obs.Registry) *serverObs {
 		"Cached responses adopted from a fleet sibling during boot warm-up.")
 	o.warmBytes = reg.Counter("sosd_warm_bytes_total",
 		"Bytes transferred from fleet siblings during cache warm-up.")
+	o.batchRequests = reg.Counter("sosd_batch_requests_total",
+		"Batch envelopes admitted on /v1/schedule/batch.")
+	o.batchFallbacks = reg.Counter("sosd_batch_fallbacks_total",
+		"Batch items rerun on the singleton retry path after the batched rank attempt failed.")
 	o.tracer = obs.NewTracer(nil, reg)
 	return o
+}
+
+// countBatchItem tallies one finished batch item by outcome: "hit" and
+// "miss" for 200s (mirroring X-Cache), "error" for everything else. Series
+// register lazily like the per-status request counter.
+func (o *serverObs) countBatchItem(item BatchItem) {
+	if o.reg == nil {
+		return
+	}
+	result := "error"
+	if item.Status == http.StatusOK {
+		result = item.Cache
+	}
+	o.reg.Counter("sosd_batch_items_total",
+		"Batch items answered, by outcome (hit, miss, error).",
+		obs.L("result", result)).Inc()
 }
 
 // countRequest tallies one finished HTTP request by status code. Series

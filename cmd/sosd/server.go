@@ -180,6 +180,7 @@ func newServer(cfg serverConfig, eval *evaluator, rec *checkpoint.Recorder, reg 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	mux.HandleFunc("POST /v1/schedule/batch", s.handleScheduleBatch)
 	mux.HandleFunc("GET /v1/mixes", s.handleMixes)
 	mux.HandleFunc("GET /v1/cache/export", s.handleCacheExport)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -1,0 +1,443 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"symbios/internal/integrity"
+	"symbios/internal/leakcheck"
+)
+
+// singletonWire is the deterministic wire body the fake backend answers for a
+// request: derived from the raw request bytes, newline-terminated like sosd's
+// own cached answers.
+func singletonWire(reqBody []byte) []byte {
+	return []byte(fmt.Sprintf(`{"answer":"%016x"}`+"\n", hashString(string(reqBody))))
+}
+
+// batchCapableHandler serves both schedule endpoints the way sosd does:
+// singleton answers are digest-stamped wire bodies, and the batch endpoint
+// splits the envelope into per-item singleton answers, each carrying the
+// digest of its reconstructed wire form. corruptItem, when >= 0, damages that
+// item's digest so tests can watch the front reject it.
+func batchCapableHandler(singles, batches, batchedItems *atomic.Int64, corruptItem int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		switch r.URL.Path {
+		case "/v1/schedule":
+			if singles != nil {
+				singles.Add(1)
+			}
+			wire := singletonWire(body)
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Cache", "miss")
+			w.Header().Set(integrity.Header, integrity.Digest(wire))
+			w.Write(wire)
+		case "/v1/schedule/batch":
+			if batches != nil {
+				batches.Add(1)
+			}
+			var env struct {
+				Requests []json.RawMessage `json:"requests"`
+			}
+			if err := json.Unmarshal(body, &env); err != nil {
+				http.Error(w, "bad envelope", http.StatusBadRequest)
+				return
+			}
+			if batchedItems != nil {
+				batchedItems.Add(int64(len(env.Requests)))
+			}
+			type item struct {
+				Status int             `json:"status"`
+				Cache  string          `json:"cache,omitempty"`
+				Digest string          `json:"digest"`
+				Body   json.RawMessage `json:"body"`
+			}
+			out := struct {
+				Items []item `json:"items"`
+			}{}
+			for i, raw := range env.Requests {
+				wire := singletonWire(raw)
+				dig := integrity.Digest(wire)
+				if i == corruptItem {
+					dig = integrity.Digest([]byte("corrupt"))
+				}
+				out.Items = append(out.Items, item{
+					Status: http.StatusOK, Cache: "miss", Digest: dig,
+					Body: json.RawMessage(wire[:len(wire)-1]),
+				})
+			}
+			envBody, _ := json.Marshal(out)
+			envBody = append(envBody, '\n')
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set(integrity.Header, integrity.Digest(envBody))
+			w.Write(envBody)
+		default:
+			http.NotFound(w, r)
+		}
+	}
+}
+
+// checkBatchResult asserts one dispatch result is the byte-identical
+// digest-verified singleton answer for body.
+func checkBatchResult(t *testing.T, res *Result, body []byte) {
+	t.Helper()
+	want := singletonWire(body)
+	if res.Status != http.StatusOK {
+		t.Fatalf("status %d body %s", res.Status, res.Body)
+	}
+	if string(res.Body) != string(want) {
+		t.Fatalf("body %q, want singleton %q", res.Body, want)
+	}
+	if err := integrity.Check(res.Header.Get(integrity.Header), res.Body); err != nil {
+		t.Fatalf("result digest: %v", err)
+	}
+}
+
+// bodiesSameGroup scans seeds for n distinct bodies whose candidate chains
+// are identical, so they accumulate into one batch group.
+func bodiesSameGroup(t *testing.T, f *Front, n int) [][]byte {
+	t.Helper()
+	var bodies [][]byte
+	var gkey string
+	for seed := uint64(0); seed < 100_000 && len(bodies) < n; seed++ {
+		body := scheduleBody(seed)
+		cands := f.candidates(ShardKey(body))
+		bases := make([]string, len(cands))
+		for i, b := range cands {
+			bases[i] = b.base
+		}
+		k := strings.Join(bases, ",")
+		if gkey == "" {
+			gkey = k
+		}
+		if k != gkey {
+			continue
+		}
+		bodies = append(bodies, body)
+	}
+	if len(bodies) < n {
+		t.Fatalf("found only %d of %d same-group bodies", len(bodies), n)
+	}
+	return bodies
+}
+
+// TestFrontBatchGroupsAndSplits is the batching tentpole's front-side proof:
+// distinct concurrent rank requests ride batch envelopes — zero singleton
+// calls — and every caller gets bytes identical to the singleton answer,
+// digest-verified per item.
+func TestFrontBatchGroupsAndSplits(t *testing.T) {
+	leakcheck.Check(t)
+	var singles, batches, items atomic.Int64
+	h := batchCapableHandler(&singles, &batches, &items, -1)
+	a := newFakeBackend(t, h)
+	b := newFakeBackend(t, h)
+	f := newTestFront(t, []*fakeBackend{a, b}, func(cfg *Config) {
+		cfg.BatchWindow = 50 * time.Millisecond
+		cfg.BatchMax = 8
+	})
+
+	const n = 6
+	var wg sync.WaitGroup
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = f.Dispatch(context.Background(), scheduleBody(uint64(i)))
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("dispatch %d: %v", i, errs[i])
+		}
+		checkBatchResult(t, results[i], scheduleBody(uint64(i)))
+		if got := results[i].Header.Get("X-Cache"); got != "miss" {
+			t.Fatalf("dispatch %d X-Cache = %q, want miss", i, got)
+		}
+	}
+	if singles.Load() != 0 {
+		t.Fatalf("%d singleton calls escaped the batcher", singles.Load())
+	}
+	if batches.Load() < 1 || items.Load() != n {
+		t.Fatalf("backends saw %d batch calls carrying %d items, want >=1 carrying %d",
+			batches.Load(), items.Load(), n)
+	}
+	st := f.Stats()
+	if st.BatchItems != n || st.BatchFallbacks != 0 {
+		t.Fatalf("stats batch_items=%d batch_fallbacks=%d, want %d and 0",
+			st.BatchItems, st.BatchFallbacks, n)
+	}
+	if st.BatchFlushes != uint64(batches.Load()) {
+		t.Fatalf("stats batch_flushes=%d, backends saw %d calls", st.BatchFlushes, batches.Load())
+	}
+}
+
+// TestFrontBatchMaxFlushesFull checks a full group flushes immediately
+// instead of waiting out the window.
+func TestFrontBatchMaxFlushesFull(t *testing.T) {
+	leakcheck.Check(t)
+	var batches, items atomic.Int64
+	h := batchCapableHandler(nil, &batches, &items, -1)
+	a := newFakeBackend(t, h)
+	b := newFakeBackend(t, h)
+	f := newTestFront(t, []*fakeBackend{a, b}, func(cfg *Config) {
+		cfg.BatchWindow = 2 * time.Second // far beyond the asserted latency
+		cfg.BatchMax = 2
+	})
+	bodies := bodiesSameGroup(t, f, 2)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, body := range bodies {
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			res, err := f.Dispatch(context.Background(), body)
+			if err != nil {
+				t.Errorf("Dispatch: %v", err)
+				return
+			}
+			checkBatchResult(t, res, body)
+		}(body)
+	}
+	wg.Wait()
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("full group took %v, want an immediate flush well before the %v window", el, 2*time.Second)
+	}
+	if batches.Load() != 1 || items.Load() != 2 {
+		t.Fatalf("backends saw %d batch calls / %d items, want 1 / 2", batches.Load(), items.Load())
+	}
+}
+
+// TestFrontBatchIncapableFallsBack checks a pre-batch backend (404 on the
+// batch endpoint) costs one probe: its items fall back to singleton dispatch
+// with correct bytes, the incapability latches, and once every replica has
+// latched the batcher stops intercepting entirely.
+func TestFrontBatchIncapableFallsBack(t *testing.T) {
+	leakcheck.Check(t)
+	var singles atomic.Int64
+	h := func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if r.URL.Path != "/v1/schedule" {
+			http.NotFound(w, r)
+			return
+		}
+		singles.Add(1)
+		wire := singletonWire(body)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(integrity.Header, integrity.Digest(wire))
+		w.Write(wire)
+	}
+	a := newFakeBackend(t, h)
+	b := newFakeBackend(t, h)
+	f := newTestFront(t, []*fakeBackend{a, b}, func(cfg *Config) {
+		cfg.BatchWindow = 5 * time.Millisecond
+	})
+
+	// Each of the first two dispatches probes (and latches) one replica; the
+	// third finds no capable candidate and skips the batch path outright.
+	for i := 0; i < 3; i++ {
+		body := scheduleBody(uint64(i))
+		res, err := f.Dispatch(context.Background(), body)
+		if err != nil {
+			t.Fatalf("dispatch %d: %v", i, err)
+		}
+		checkBatchResult(t, res, body)
+	}
+	if !f.byBase[a.ts.URL].batchIncapable.Load() || !f.byBase[b.ts.URL].batchIncapable.Load() {
+		t.Fatal("batch incapability did not latch on both replicas")
+	}
+	st := f.Stats()
+	if st.BatchFlushes != 2 || st.BatchFallbacks != 2 {
+		t.Fatalf("batch_flushes=%d batch_fallbacks=%d, want 2 probes and 2 fallbacks",
+			st.BatchFlushes, st.BatchFallbacks)
+	}
+	if singles.Load() != 3 {
+		t.Fatalf("singleton endpoint saw %d calls, want 3", singles.Load())
+	}
+}
+
+// TestFrontBatchItemDigestMismatchFallsBack checks per-item verification: a
+// damaged item inside an otherwise healthy envelope is re-dispatched as a
+// singleton (correct bytes), its sibling is served from the batch, and the
+// integrity counter records the rejection.
+func TestFrontBatchItemDigestMismatchFallsBack(t *testing.T) {
+	leakcheck.Check(t)
+	var singles, batches atomic.Int64
+	h := batchCapableHandler(&singles, &batches, nil, 0)
+	a := newFakeBackend(t, h)
+	b := newFakeBackend(t, h)
+	f := newTestFront(t, []*fakeBackend{a, b}, func(cfg *Config) {
+		cfg.BatchWindow = 2 * time.Second
+		cfg.BatchMax = 2
+	})
+	bodies := bodiesSameGroup(t, f, 2)
+
+	var wg sync.WaitGroup
+	for _, body := range bodies {
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			res, err := f.Dispatch(context.Background(), body)
+			if err != nil {
+				t.Errorf("Dispatch: %v", err)
+				return
+			}
+			checkBatchResult(t, res, body)
+		}(body)
+	}
+	wg.Wait()
+
+	st := f.Stats()
+	if st.IntegrityFails < 1 {
+		t.Fatal("damaged item digest did not count as an integrity failure")
+	}
+	if st.BatchFallbacks != 1 || singles.Load() != 1 {
+		t.Fatalf("batch_fallbacks=%d singleton calls=%d, want exactly the damaged item (1 and 1)",
+			st.BatchFallbacks, singles.Load())
+	}
+	if batches.Load() != 1 {
+		t.Fatalf("backends saw %d batch calls, want 1", batches.Load())
+	}
+}
+
+// TestFrontBatchSkipsUnbatchable checks adaptive-mode and unparseable bodies
+// bypass the batcher entirely even when it is enabled.
+func TestFrontBatchSkipsUnbatchable(t *testing.T) {
+	leakcheck.Check(t)
+	var singles, batches atomic.Int64
+	h := batchCapableHandler(&singles, &batches, nil, -1)
+	a := newFakeBackend(t, h)
+	b := newFakeBackend(t, h)
+	f := newTestFront(t, []*fakeBackend{a, b}, func(cfg *Config) {
+		cfg.BatchWindow = 50 * time.Millisecond
+	})
+
+	for _, body := range [][]byte{
+		[]byte(`{"mix":"Jsb(6,3,3)","seed":1,"mode":"adaptive"}`),
+		[]byte(`not json at all`),
+	} {
+		res, err := f.Dispatch(context.Background(), body)
+		if err != nil {
+			t.Fatalf("Dispatch(%q): %v", body, err)
+		}
+		checkBatchResult(t, res, body)
+	}
+	if singles.Load() != 2 || batches.Load() != 0 {
+		t.Fatalf("singles=%d batches=%d, want 2 and 0 (both bodies unbatchable)",
+			singles.Load(), batches.Load())
+	}
+}
+
+// TestFrontBatchShardKeyConflictSplits checks two distinct bodies sharing a
+// shard key never share a batch: the backend rejects fingerprint twins per
+// batch, so the second body dispatches as a singleton instead of earning a
+// 400 it would not get alone.
+func TestFrontBatchShardKeyConflictSplits(t *testing.T) {
+	leakcheck.Check(t)
+	var singles, batches, items atomic.Int64
+	h := batchCapableHandler(&singles, &batches, &items, -1)
+	a := newFakeBackend(t, h)
+	b := newFakeBackend(t, h)
+	f := newTestFront(t, []*fakeBackend{a, b}, func(cfg *Config) {
+		cfg.BatchWindow = 60 * time.Millisecond
+		cfg.BatchMax = 8
+	})
+
+	// Same "mix|seed" shard key, different bytes.
+	twinA := []byte(`{"mix":"Jsb(6,3,3)","seed":1}`)
+	twinB := []byte(`{"mix":"Jsb(6,3,3)","seed":1,"samples":3}`)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, err := f.Dispatch(context.Background(), twinA)
+		if err != nil {
+			t.Errorf("Dispatch twinA: %v", err)
+			return
+		}
+		checkBatchResult(t, res, twinA)
+	}()
+	// Wait until twinA is queued so the conflict is guaranteed to be seen.
+	deadline := time.Now().Add(time.Second)
+	for {
+		f.batcher.mu.Lock()
+		queued := 0
+		for _, g := range f.batcher.groups {
+			queued += len(g.items)
+		}
+		f.batcher.mu.Unlock()
+		if queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("twinA never reached the accumulator")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	res, err := f.Dispatch(context.Background(), twinB)
+	if err != nil {
+		t.Fatalf("Dispatch twinB: %v", err)
+	}
+	checkBatchResult(t, res, twinB)
+	wg.Wait()
+
+	if items.Load() != 1 || singles.Load() != 1 {
+		t.Fatalf("batched items=%d singleton calls=%d, want the twins split 1 and 1",
+			items.Load(), singles.Load())
+	}
+}
+
+// TestFrontBatchCloseFailsQueued checks shutdown ordering: a body waiting in
+// an accumulator when the front closes gets a prompt error, not a hang, and
+// no flush goroutine outlives Close (the package leak gate enforces it).
+func TestFrontBatchCloseFailsQueued(t *testing.T) {
+	leakcheck.Check(t)
+	h := batchCapableHandler(nil, nil, nil, -1)
+	a := newFakeBackend(t, h)
+	b := newFakeBackend(t, h)
+	f := newTestFront(t, []*fakeBackend{a, b}, func(cfg *Config) {
+		cfg.BatchWindow = time.Hour // only Close can release the item
+	})
+
+	errC := make(chan error, 1)
+	go func() {
+		_, err := f.Dispatch(context.Background(), scheduleBody(1))
+		errC <- err
+	}()
+	deadline := time.Now().Add(time.Second)
+	for {
+		f.batcher.mu.Lock()
+		queued := len(f.batcher.groups)
+		f.batcher.mu.Unlock()
+		if queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("body never reached the accumulator")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	f.Close()
+	select {
+	case err := <-errC:
+		if err == nil {
+			t.Fatal("queued dispatch returned nil error across Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued dispatch hung across Close")
+	}
+}

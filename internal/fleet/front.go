@@ -93,6 +93,15 @@ type Config struct {
 	FailoverBase time.Duration
 	FailoverMax  time.Duration
 
+	// BatchWindow, when positive, turns on cross-request batching: small
+	// rank-mode requests for the same replica set arriving within the window
+	// are sent to one backend as a single /v1/schedule/batch envelope (after
+	// singleflight has collapsed identical bodies). Zero disables batching.
+	BatchWindow time.Duration
+	// BatchMax caps one batch; reaching it flushes the group before the
+	// window elapses. < 1 selects 16; clamped to the backend's 64-item bound.
+	BatchMax int
+
 	// RequireDigest treats a backend reply without an X-Content-Digest
 	// header as a failure. Off by default so fronts can sit over backends
 	// that predate the envelope; a digest that is present but wrong is
@@ -137,6 +146,11 @@ type backend struct {
 
 	requests atomic.Uint64
 	failures atomic.Uint64
+
+	// batchIncapable latches when the backend answers /v1/schedule/batch
+	// with 404/405/501 — a pre-batch build. Batches skip it from then on;
+	// ordinary singleton traffic is unaffected.
+	batchIncapable atomic.Bool
 
 	// mode is the backend's last advertised brownout mode (the
 	// X-Brownout-Mode response header; 0 = full service). Placement
@@ -187,9 +201,17 @@ type Front struct {
 	hardStop context.CancelFunc
 	draining atomic.Bool
 
+	// batcher groups small rank-mode requests into cross-request batch
+	// calls; nil when Config.BatchWindow is zero.
+	batcher *batcher
+
 	coalesced atomic.Uint64
 	hedges    atomic.Uint64
 	hedgeWins atomic.Uint64
+
+	batchFlushes   atomic.Uint64
+	batchItems     atomic.Uint64
+	batchFallbacks atomic.Uint64
 
 	// Integrity / divergence counters. wg tracks every background goroutine
 	// the divergence machinery spawns (hedge-loser drains, audits), so Close
@@ -201,10 +223,13 @@ type Front struct {
 	auditMismatches  atomic.Uint64
 	divergencesTotal atomic.Uint64
 
-	obsCoalesced *obs.Counter
-	obsHedges    *obs.Counter
-	obsAudits    *obs.Counter
-	obsAuditMiss *obs.Counter
+	obsCoalesced      *obs.Counter
+	obsHedges         *obs.Counter
+	obsAudits         *obs.Counter
+	obsAuditMiss      *obs.Counter
+	obsBatchFlushes   *obs.Counter
+	obsBatchItems     *obs.Counter
+	obsBatchFallbacks *obs.Counter
 
 	startOnce sync.Once
 	closeOnce sync.Once
@@ -297,6 +322,9 @@ func New(cfg Config) (*Front, error) {
 		}
 	}
 	f.checker = newHealthChecker(hcfg, f.backends, cfg.Client)
+	if cfg.BatchWindow > 0 {
+		f.batcher = newBatcher(f, cfg.BatchWindow, cfg.BatchMax)
+	}
 	f.registerObs()
 	return f, nil
 }
@@ -333,6 +361,12 @@ func (f *Front) registerObs() {
 		"Background divergence audits performed (second replica re-asked).")
 	f.obsAuditMiss = f.reg.Counter("fleet_audit_mismatches_total",
 		"Background audits whose second replica disagreed with the served answer.")
+	f.obsBatchFlushes = f.reg.Counter("fleet_batch_flushes_total",
+		"Cross-request batch calls flushed to backends.")
+	f.obsBatchItems = f.reg.Counter("fleet_batch_items_total",
+		"Requests carried inside cross-request batch calls.")
+	f.obsBatchFallbacks = f.reg.Counter("fleet_batch_fallback_items_total",
+		"Batched requests re-dispatched as singletons (incapable backend, batch failure, or a rejected item).")
 	f.reg.GaugeFunc("fleet_healthy_backends", "Backends currently considered healthy.",
 		func() float64 {
 			n := 0
@@ -368,7 +402,16 @@ func (f *Front) Close() {
 		f.startOnce.Do(func() { close(f.checker.done) }) // never started: mark drained
 		close(f.checker.stop)
 		<-f.checker.done
+		if f.batcher != nil {
+			// Fail queued items and stop window timers first; the hardStop
+			// below aborts flushes already on the wire, whose items then fail
+			// fast on the fallback path.
+			f.batcher.shutdown()
+		}
 		f.hardStop()
+		if f.batcher != nil {
+			f.batcher.wg.Wait()
+		}
 		f.wg.Wait()
 	})
 }
@@ -465,23 +508,38 @@ func (f *Front) candidates(shardKey string) []*backend {
 // front's base context bounded by the request's clamped deadline), so an
 // impatient leader cannot cancel the answer out from under its followers.
 func (f *Front) Dispatch(ctx context.Context, body []byte) (*Result, error) {
-	var sf shardFields
-	json.Unmarshal(body, &sf) // lenient: zero values route and clamp fine
 	key := ShardKey(body)
 	res, shared, err := f.flights.Do(ctx, string(body), func() (*Result, error) {
-		dctx, cancel := resilience.WithBudget(f.base,
-			time.Duration(sf.DeadlineMS)*time.Millisecond, f.cfg.DeadlineDef, f.cfg.DeadlineMax)
-		// cancel ownership passes to dispatch: it either releases the budget
-		// context itself or hands it to the hedge-loser drain goroutine,
-		// which must keep straggler attempts alive long enough to digest-
-		// compare their bodies against the winner's.
-		return f.dispatch(dctx, cancel, key, body)
+		if f.batcher != nil {
+			// The batcher sits behind singleflight on purpose: identical
+			// bodies have already collapsed to one flight leader, so a batch
+			// only ever carries distinct requests.
+			if res, berr, ok := f.batcher.enqueue(key, body); ok {
+				return res, berr
+			}
+		}
+		return f.dispatchBody(key, body)
 	})
 	if shared {
 		f.coalesced.Add(1)
 		f.obsCoalesced.Inc()
 	}
 	return res, err
+}
+
+// dispatchBody runs the singleton failover/hedge dispatch for one body on a
+// fresh budget context: the flight leader's direct path, and the batcher's
+// per-item fallback.
+func (f *Front) dispatchBody(key string, body []byte) (*Result, error) {
+	var sf shardFields
+	json.Unmarshal(body, &sf) // lenient: zero values route and clamp fine
+	dctx, cancel := resilience.WithBudget(f.base,
+		time.Duration(sf.DeadlineMS)*time.Millisecond, f.cfg.DeadlineDef, f.cfg.DeadlineMax)
+	// cancel ownership passes to dispatch: it either releases the budget
+	// context itself or hands it to the hedge-loser drain goroutine,
+	// which must keep straggler attempts alive long enough to digest-
+	// compare their bodies against the winner's.
+	return f.dispatch(dctx, cancel, key, body)
 }
 
 // dispatch runs the failover/hedge state machine against the key's replica
@@ -496,7 +554,11 @@ func (f *Front) dispatch(ctx context.Context, cancel context.CancelFunc, shardKe
 	results := make(chan attemptOut, len(cands))
 	actx, acancel := context.WithCancel(ctx)
 	handoff := false
+	var backoffT *time.Timer
 	defer func() {
+		if backoffT != nil {
+			backoffT.Stop()
+		}
 		if !handoff {
 			acancel()
 			cancel()
@@ -539,13 +601,25 @@ func (f *Front) dispatch(ctx context.Context, cancel context.CancelFunc, shardKe
 		hedgeC = t.C
 	}
 
-	// failoverWait sleeps the full-jitter backoff before corrective failover
-	// k, so a partition does not turn into the surviving replicas being
-	// hammered in lockstep. The jitter factor is a pure function of (shard
-	// key, k), keeping chaos-soak timing replayable.
-	failoverWait := func() error {
+	// Corrective failover is paced by a full-jitter backoff, but the backoff
+	// must never delay an answer: it is armed as a timer case in the select
+	// loop below instead of slept inline, so a hedge winner landing in
+	// `results` mid-backoff is served immediately. failedQ remembers which
+	// backend each pending corrective launch is failing away from, for
+	// attribution; armFailover schedules the next launch when none is
+	// pending. The jitter factor is a pure function of (shard key, k),
+	// keeping chaos-soak timing replayable.
+	var (
+		failedQ  []*backend
+		backoffC <-chan time.Time
+	)
+	armFailover := func() {
+		if len(failedQ) == 0 || backoffC != nil {
+			return // nothing pending, or a launch is already scheduled
+		}
 		if next >= len(cands) {
-			return nil // no one left to try; nothing to pace
+			failedQ = nil // no one left to try; nothing to pace
+			return
 		}
 		jitter := rng.Float01(rng.Hash2(hashString(shardKey), uint64(failovers), saltFailover))
 		d := resilience.BackoffDelay(resilience.RetryConfig{
@@ -554,14 +628,19 @@ func (f *Front) dispatch(ctx context.Context, cancel context.CancelFunc, shardKe
 			Jitter:    func(int) float64 { return jitter },
 		}, failovers)
 		failovers++
-		return resilience.SleepContext(ctx, d)
+		if backoffT == nil {
+			backoffT = time.NewTimer(d)
+		} else {
+			backoffT.Reset(d)
+		}
+		backoffC = backoffT.C
 	}
 
 	var (
 		shedRes *Result
 		lastErr error
 	)
-	for inflight > 0 {
+	for inflight > 0 || backoffC != nil {
 		select {
 		case out := <-results:
 			inflight--
@@ -588,21 +667,21 @@ func (f *Front) dispatch(ctx context.Context, cancel context.CancelFunc, shardKe
 				if out.res != nil {
 					shedRes = out.res
 				}
-				if err := failoverWait(); err != nil {
-					return nil, err
-				}
-				if launchNext(false) {
-					out.b.obsFailovers.Inc()
-				}
+				failedQ = append(failedQ, out.b)
+				armFailover()
 			case classFail:
 				lastErr = out.err
-				if err := failoverWait(); err != nil {
-					return nil, err
-				}
-				if launchNext(false) {
-					out.b.obsFailovers.Inc()
-				}
+				failedQ = append(failedQ, out.b)
+				armFailover()
 			}
+		case <-backoffC:
+			backoffC = nil
+			from := failedQ[0]
+			failedQ = failedQ[1:]
+			if launchNext(false) {
+				from.obsFailovers.Inc()
+			}
+			armFailover()
 		case <-hedgeC:
 			hedgeC = nil // hedge at most once
 			if inflight > 0 && launchNext(true) {
@@ -750,13 +829,17 @@ func relayHeaders(h http.Header) http.Header {
 }
 
 // shedResult synthesizes a 503 for a refusal that never reached a backend
-// (breaker open), carrying the breaker's cooldown as Retry-After.
+// (breaker open), carrying the breaker's cooldown as Retry-After. Like every
+// body the front writes itself, it is digest-stamped, so a strict verifier
+// can tell "the front spoke" from "a backend's envelope was stripped".
 func shedResult(err error, retryAfter time.Duration) *Result {
 	body, _ := json.Marshal(map[string]string{"error": err.Error()})
+	body = append(body, '\n')
 	h := http.Header{}
 	h.Set("Content-Type", "application/json")
 	h.Set("Retry-After", retryAfterValue(retryAfter))
-	return &Result{Status: http.StatusServiceUnavailable, Header: h, Body: append(body, '\n')}
+	h.Set(integrity.Header, integrity.Digest(body))
+	return &Result{Status: http.StatusServiceUnavailable, Header: h, Body: body}
 }
 
 // retryAfterValue renders a duration as a Retry-After header value: whole
@@ -791,6 +874,9 @@ type Stats struct {
 	Coalesced        uint64         `json:"coalesced"`
 	Hedges           uint64         `json:"hedges"`
 	HedgeWins        uint64         `json:"hedge_wins"`
+	BatchFlushes     uint64         `json:"batch_flushes"`
+	BatchItems       uint64         `json:"batch_items"`
+	BatchFallbacks   uint64         `json:"batch_fallback_items"`
 	IntegrityFails   uint64         `json:"integrity_failures"`
 	Audits           uint64         `json:"audits"`
 	AuditMismatches  uint64         `json:"audit_mismatches"`
@@ -804,6 +890,9 @@ func (f *Front) Stats() Stats {
 		Coalesced:        f.coalesced.Load(),
 		Hedges:           f.hedges.Load(),
 		HedgeWins:        f.hedgeWins.Load(),
+		BatchFlushes:     f.batchFlushes.Load(),
+		BatchItems:       f.batchItems.Load(),
+		BatchFallbacks:   f.batchFallbacks.Load(),
 		IntegrityFails:   f.integrityFails.Load(),
 		Audits:           f.audits.Load(),
 		AuditMismatches:  f.auditMismatches.Load(),

@@ -19,6 +19,7 @@ import (
 	"symbios/internal/leakcheck"
 	"symbios/internal/obs"
 	"symbios/internal/resilience"
+	"symbios/internal/rng"
 )
 
 // fakeBackend is an httptest sosd stand-in whose handler the test can swap
@@ -573,6 +574,74 @@ func TestFrontHandlerAllDead(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusBadGateway {
 		t.Fatalf("all-dead schedule = %d, want 502", resp.StatusCode)
+	}
+}
+
+// TestFrontHedgeWinNotDelayedByFailoverBackoff is the backoff regression: a
+// hedge winner arriving while a corrective-failover backoff is pending must
+// be served immediately. Pre-fix, dispatch slept the backoff inline, so the
+// winner already sitting in the results channel waited out the full delay.
+func TestFrontHedgeWinNotDelayedByFailoverBackoff(t *testing.T) {
+	leakcheck.Check(t)
+	slow500 := func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		time.Sleep(100 * time.Millisecond)
+		httpError(w, http.StatusInternalServerError, "boom")
+	}
+	slowOK := func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		time.Sleep(150 * time.Millisecond)
+		okHandler(`{"ok":1}`)(w, r)
+	}
+	a := newFakeBackend(t, slowOK)
+	b := newFakeBackend(t, slowOK)
+	c := newFakeBackend(t, slowOK)
+	f := newTestFront(t, []*fakeBackend{a, b, c}, func(cfg *Config) {
+		cfg.Replicas = 3
+		cfg.HedgeMin = time.Millisecond
+		cfg.HedgeMax = 20 * time.Millisecond // unwarmed tracker hedges at max
+		cfg.FailoverBase = 2 * time.Second
+		cfg.FailoverMax = 2 * time.Second
+	})
+
+	// Timeline: primary launches at t=0 and fails at ~100ms; the hedge fires
+	// at ~20ms toward the second candidate, which answers at ~170ms. The
+	// failure arms a backoff of jitter*2s before the third candidate; pick a
+	// key whose deterministic jitter is >= 0.5 so the pending backoff dwarfs
+	// the hedge winner's arrival and the regression cannot pass by a lucky
+	// tiny delay.
+	var body []byte
+	for seed := uint64(0); seed < 100_000; seed++ {
+		cand := scheduleBody(seed)
+		key := ShardKey(cand)
+		if f.candidates(key)[0].base != a.ts.URL {
+			continue
+		}
+		if rng.Float01(rng.Hash2(hashString(key), 0, saltFailover)) >= 0.5 {
+			body = cand
+			break
+		}
+	}
+	if body == nil {
+		t.Fatal("no seed with primary a and jitter >= 0.5")
+	}
+	second := f.candidates(ShardKey(body))[1]
+	a.set(slow500)
+
+	start := time.Now()
+	res, err := f.Dispatch(context.Background(), body)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	if res.Status != http.StatusOK || res.Backend != second.base {
+		t.Fatalf("res = %d from %s, want hedged 200 from %s", res.Status, res.Backend, second.base)
+	}
+	if elapsed > 900*time.Millisecond {
+		t.Fatalf("hedge winner served after %v; the pending >=1s failover backoff delayed it", elapsed)
+	}
+	if st := f.Stats(); st.HedgeWins != 1 {
+		t.Fatalf("hedge_wins = %d, want 1", st.HedgeWins)
 	}
 }
 

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"symbios/internal/integrity"
 )
 
 // Handler builds the front tier's route table: the sharded /v1/schedule
@@ -23,13 +25,18 @@ func (f *Front) Handler() http.Handler {
 	return mux
 }
 
-// httpError writes a JSON error body with the given status.
+// httpError writes a JSON error body with the given status. Every body the
+// front writes itself is digest-stamped — the integrity envelope's promise
+// is "every byte on the wire is verifiable", and a strict verifier (soak
+// -require-digest) must be able to tell a front-synthesized answer from a
+// backend envelope a hop stripped.
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
 	body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	body = append(body, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(integrity.Header, integrity.Digest(body))
+	w.WriteHeader(status)
 	w.Write(body)
-	w.Write([]byte("\n"))
 }
 
 // handleSchedule reads the body and hands it to the dispatcher, relaying
@@ -73,7 +80,12 @@ func (f *Front) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleMixes relays the static mix list from the first answering backend.
+// handleMixes relays the static mix list from the first answering backend,
+// held to the same relay rules as the schedule path: the body is read one
+// byte past the cap so an over-limit answer fails instead of being silently
+// truncated, and it must pass the integrity check (a wrong digest is always
+// a failed candidate; a missing one only under RequireDigest). A backend
+// whose answer fails either check is skipped and the next one tried.
 func (f *Front) handleMixes(w http.ResponseWriter, r *http.Request) {
 	for _, b := range f.candidates("mixes") {
 		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.base+"/v1/mixes", nil)
@@ -84,12 +96,27 @@ func (f *Front) handleMixes(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			continue
 		}
-		data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
 		resp.Body.Close()
 		if rerr != nil || resp.StatusCode != http.StatusOK {
 			continue
 		}
+		if len(data) > maxResponseBytes {
+			f.logger.Printf("backend %s: /v1/mixes response exceeds %d bytes; trying next", b.base, maxResponseBytes)
+			continue
+		}
+		if cerr := integrity.Check(resp.Header.Get(integrity.Header), data); cerr != nil {
+			if !errors.Is(cerr, integrity.ErrMissing) || f.cfg.RequireDigest {
+				f.integrityFails.Add(1)
+				b.obsIntegrity.Inc()
+				f.logger.Printf("backend %s: /v1/mixes: %v; trying next", b.base, cerr)
+				continue
+			}
+		}
 		w.Header().Set("Content-Type", "application/json")
+		if v := resp.Header.Get(integrity.Header); v != "" {
+			w.Header().Set(integrity.Header, v)
+		}
 		w.Write(data)
 		return
 	}
@@ -135,15 +162,21 @@ func (f *Front) handleQuarantine(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "encoding quarantine state: %v", err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	writeStamped(w, http.StatusOK, "application/json", append(body, '\n'))
+}
+
+// writeStamped writes a front-synthesized body with its integrity digest:
+// nothing the front puts on the wire goes out unverifiable.
+func writeStamped(w http.ResponseWriter, status int, contentType string, body []byte) {
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set(integrity.Header, integrity.Digest(body))
+	w.WriteHeader(status)
 	w.Write(body)
-	w.Write([]byte("\n"))
 }
 
 // handleHealthz is liveness: the front process is up.
 func (f *Front) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.WriteHeader(http.StatusOK)
-	io.WriteString(w, "ok\n")
+	writeStamped(w, http.StatusOK, "text/plain; charset=utf-8", []byte("ok\n"))
 }
 
 // handleReadyz is readiness: not draining and at least one healthy backend.
@@ -156,8 +189,7 @@ func (f *Front) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "no healthy backend")
 		return
 	}
-	w.WriteHeader(http.StatusOK)
-	io.WriteString(w, "ready\n")
+	writeStamped(w, http.StatusOK, "text/plain; charset=utf-8", []byte("ready\n"))
 }
 
 // handleStatz reports the fleet counters.
@@ -167,9 +199,7 @@ func (f *Front) handleStatz(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "encoding stats: %v", err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(body)
-	w.Write([]byte("\n"))
+	writeStamped(w, http.StatusOK, "application/json", append(body, '\n'))
 }
 
 // handleMetrics serves the Prometheus exposition.

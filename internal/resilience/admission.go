@@ -69,6 +69,37 @@ func (l *Limiter) Allow() bool {
 	return true
 }
 
+// AllowN reports whether a request worth n tokens may proceed, spending all
+// n if so. The withdrawal is all-or-nothing: a batch either pays for every
+// item it carries or is shed whole — admitting half a batch would force the
+// caller to invent per-item shed semantics the token bucket cannot express.
+// n < 1 is treated as 1.
+func (l *Limiter) AllowN(n int) bool {
+	if l == nil {
+		return true
+	}
+	if n < 1 {
+		n = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.cfg.Now()
+	if el := now.Sub(l.last).Seconds(); el > 0 {
+		l.tokens += el * l.cfg.Rate
+		if l.tokens > l.cfg.Burst {
+			l.tokens = l.cfg.Burst
+		}
+		l.last = now
+	}
+	if l.tokens < float64(n) {
+		l.shed += uint64(n)
+		return false
+	}
+	l.tokens -= float64(n)
+	l.admitted += uint64(n)
+	return true
+}
+
 // RetryAfter reports how long until the bucket accrues a full token — the
 // honest Retry-After value for a 429: a client that waits this long is
 // admitted (absent competition) instead of hot-looping against an empty

@@ -24,6 +24,32 @@ func TestLimiterBurstThenShed(t *testing.T) {
 	}
 }
 
+// TestLimiterAllowN checks the batch withdrawal is all-or-nothing and
+// tallies by item count, so a shed batch and a shed singleton stream report
+// the same admission load.
+func TestLimiterAllowN(t *testing.T) {
+	clock := newFakeClock()
+	l := NewLimiter(LimiterConfig{Rate: 10, Burst: 4, Now: clock.Now})
+	if l.AllowN(8) {
+		t.Fatal("8-item batch admitted against a 4-token bucket")
+	}
+	if s := l.Stats(); s.Shed != 8 {
+		t.Fatalf("shed %d, want 8 (per item)", s.Shed)
+	}
+	if !l.AllowN(4) {
+		t.Fatal("4-item batch shed with 4 tokens available (all-or-nothing must not have spent any)")
+	}
+	if s := l.Stats(); s.Admitted != 4 {
+		t.Fatalf("admitted %d, want 4 (per item)", s.Admitted)
+	}
+	if l.Allow() {
+		t.Fatal("singleton admitted after the batch drained the bucket")
+	}
+	if !(*Limiter)(nil).AllowN(100) {
+		t.Fatal("nil limiter must admit everything")
+	}
+}
+
 // TestLimiterRefill checks tokens return at Rate per second, capped at Burst.
 func TestLimiterRefill(t *testing.T) {
 	clock := newFakeClock()
